@@ -1,0 +1,83 @@
+// Package ncfn's root benchmarks regenerate every table and figure of the
+// paper's evaluation in reduced (quick) form — one testing.B benchmark per
+// experiment, each printing the series it measured. The full-resolution
+// sweeps run via cmd/ncbench.
+//
+//	go test -bench=. -benchmem
+package ncfn_test
+
+import (
+	"io"
+	"os"
+	"testing"
+
+	"ncfn/internal/bench"
+)
+
+// runExperiment executes one harness entry exactly once per benchmark
+// invocation (the experiments are seconds-long macro-benchmarks; b.N loops
+// would multiply minutes, so each iteration re-runs the same experiment).
+func runExperiment(b *testing.B, name string, out *onceWriter) {
+	b.Helper()
+	e, ok := bench.Lookup(name)
+	if !ok {
+		b.Fatalf("unknown experiment %q", name)
+	}
+	opts := bench.Options{Quick: true, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(out, opts); err != nil {
+			b.Fatal(err)
+		}
+		out.printed = true
+	}
+}
+
+// quiet discards experiment output after the first iteration prints it.
+type onceWriter struct {
+	printed bool
+	w       io.Writer
+}
+
+func (o *onceWriter) Write(p []byte) (int, error) {
+	if o.printed {
+		return len(p), nil
+	}
+	return o.w.Write(p)
+}
+
+func newOut() *onceWriter { return &onceWriter{w: os.Stdout} }
+
+func BenchmarkTable1BandwidthProbe(b *testing.B) { runExperiment(b, "table1", newOut()) }
+
+func BenchmarkFig4GenerationSize(b *testing.B) { runExperiment(b, "fig4", newOut()) }
+
+func BenchmarkFig5BufferSize(b *testing.B) { runExperiment(b, "fig5", newOut()) }
+
+func BenchmarkFig7Throughput(b *testing.B) { runExperiment(b, "fig7", newOut()) }
+
+func BenchmarkTable2Delay(b *testing.B) { runExperiment(b, "table2", newOut()) }
+
+func BenchmarkFig8UniformLoss(b *testing.B) { runExperiment(b, "fig8", newOut()) }
+
+func BenchmarkFig9BurstLoss(b *testing.B) { runExperiment(b, "fig9", newOut()) }
+
+func BenchmarkFig10Dynamics(b *testing.B) { runExperiment(b, "fig10", newOut()) }
+
+func BenchmarkFig11BandwidthVariation(b *testing.B) { runExperiment(b, "fig11", newOut()) }
+
+func BenchmarkFig12MaxDelay(b *testing.B) { runExperiment(b, "fig12", newOut()) }
+
+func BenchmarkFig13Alpha(b *testing.B) { runExperiment(b, "fig13", newOut()) }
+
+func BenchmarkTable3ForwardingUpdate(b *testing.B) { runExperiment(b, "table3", newOut()) }
+
+func BenchmarkLaunchOverhead(b *testing.B) { runExperiment(b, "launch", newOut()) }
+
+func BenchmarkAblationFieldSize(b *testing.B) { runExperiment(b, "ablation-field", newOut()) }
+
+func BenchmarkAblationTauReuse(b *testing.B) { runExperiment(b, "ablation-tau", newOut()) }
+
+func BenchmarkAblationPipelined(b *testing.B) { runExperiment(b, "ablation-pipeline", newOut()) }
+
+func BenchmarkSoakPoissonChurn(b *testing.B) { runExperiment(b, "soak", newOut()) }

@@ -1,0 +1,101 @@
+// Command ncbench regenerates every table and figure of the paper's
+// evaluation (Sec. V). Run a single experiment by name or everything:
+//
+//	ncbench fig7          # NC vs Non-NC vs Direct TCP on the butterfly
+//	ncbench -quick fig8   # reduced sweep for a fast check
+//	ncbench all           # the full evaluation
+//	ncbench -list         # available experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"ncfn/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ncbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ncbench", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "reduced sweeps and durations")
+	seed := fs.Int64("seed", 1, "random seed")
+	list := fs.Bool("list", false, "list experiments and exit")
+	outDir := fs.String("out", "", "also write each experiment's output to <dir>/<name>.txt")
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: ncbench [-quick] [-seed N] [-out dir] <experiment>|all")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, e := range bench.List() {
+			fmt.Printf("%-18s %s\n", e.Name, e.What)
+		}
+		return nil
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("expected one experiment name (or \"all\")")
+	}
+	opts := bench.Options{Quick: *quick, Seed: *seed}
+	name := fs.Arg(0)
+	if name == "all" {
+		if *outDir != "" {
+			return runAllToDir(*outDir, opts)
+		}
+		return bench.RunAll(os.Stdout, opts)
+	}
+	e, ok := bench.Lookup(name)
+	if !ok {
+		return fmt.Errorf("unknown experiment %q (try -list)", name)
+	}
+	w := io.Writer(os.Stdout)
+	if *outDir != "" {
+		f, closeFn, err := teeFile(*outDir, name)
+		if err != nil {
+			return err
+		}
+		defer closeFn()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+	return e.Run(w, opts)
+}
+
+// teeFile opens <dir>/<name>.txt for an experiment's copy of the output.
+func teeFile(dir, name string) (io.Writer, func(), error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	f, err := os.Create(filepath.Join(dir, name+".txt"))
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, func() { f.Close() }, nil
+}
+
+// runAllToDir runs every experiment, teeing each to its own file.
+func runAllToDir(dir string, opts bench.Options) error {
+	for _, e := range bench.List() {
+		fmt.Printf("\n===== %s — %s =====\n", e.Name, e.What)
+		f, closeFn, err := teeFile(dir, e.Name)
+		if err != nil {
+			return err
+		}
+		err = e.Run(io.MultiWriter(os.Stdout, f), opts)
+		closeFn()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.Name, err)
+		}
+	}
+	return nil
+}

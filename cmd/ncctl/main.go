@@ -1,0 +1,211 @@
+// Command ncctl is the central controller CLI: it pushes session settings,
+// peer bindings, and forwarding tables to running ncd daemons over their
+// TCP control ports, and can end sessions / shut VNFs down — the
+// operational surface of Sec. III-A.
+//
+// The deployment is described by a JSON file:
+//
+//	{
+//	  "sessions": [{
+//	    "id": 1, "blocks": 4, "blockSize": 1460, "redundancy": 1,
+//	    "roles": {"relay1": "recoder", "recv1": "decoder"},
+//	    "inPerGen": {"relay1": 4},
+//	    "tables": {"relay1": [{"addrs": ["recv1"], "perGen": 4}]}
+//	  }],
+//	  "peers": {"relay1": "127.0.0.1:7001", "recv1": "127.0.0.1:7002"},
+//	  "daemons": {"relay1": "127.0.0.1:8001", "recv1": "127.0.0.1:8002"}
+//	}
+//
+// Usage:
+//
+//	ncctl -config deploy.json start     # NC_SETTINGS + NC_FORWARD_TAB + NC_START
+//	ncctl -config deploy.json stop -tau 10m
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"time"
+
+	"ncfn/internal/controller"
+	"ncfn/internal/dataplane"
+	"ncfn/internal/ncproto"
+	"ncfn/internal/rlnc"
+)
+
+// deployConfig is the JSON schema ncctl reads.
+type deployConfig struct {
+	Sessions []sessionConfig   `json:"sessions"`
+	Peers    map[string]string `json:"peers"`
+	Daemons  map[string]string `json:"daemons"`
+}
+
+type sessionConfig struct {
+	ID         int                     `json:"id"`
+	Blocks     int                     `json:"blocks"`
+	BlockSize  int                     `json:"blockSize"`
+	Redundancy int                     `json:"redundancy"`
+	Roles      map[string]string       `json:"roles"`
+	InPerGen   map[string]int          `json:"inPerGen"`
+	Tables     map[string][]tableGroup `json:"tables"`
+}
+
+type tableGroup struct {
+	Addrs  []string `json:"addrs"`
+	PerGen int      `json:"perGen"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ncctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ncctl", flag.ContinueOnError)
+	configPath := fs.String("config", "", "deployment JSON (required)")
+	tau := fs.Duration("tau", 10*time.Minute, "shutdown delay for stop")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *configPath == "" {
+		return errors.New("-config is required")
+	}
+	if fs.NArg() != 1 {
+		return errors.New("expected one command: start | stop")
+	}
+	raw, err := os.ReadFile(*configPath)
+	if err != nil {
+		return err
+	}
+	var cfg deployConfig
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		return fmt.Errorf("parse %s: %w", *configPath, err)
+	}
+	switch cmd := fs.Arg(0); cmd {
+	case "start":
+		return start(cfg)
+	case "stop":
+		return stop(cfg, *tau)
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+// parseRole maps a config string to a dataplane role.
+func parseRole(s string) (dataplane.Role, error) {
+	switch s {
+	case "recoder":
+		return dataplane.RoleRecoder, nil
+	case "decoder":
+		return dataplane.RoleDecoder, nil
+	case "forwarder":
+		return dataplane.RoleForwarder, nil
+	default:
+		return 0, fmt.Errorf("unknown role %q", s)
+	}
+}
+
+// push sends messages to one daemon, waiting for per-message acks.
+func push(daemonAddr string, msgs []*controller.Message) error {
+	c, err := net.Dial("tcp", daemonAddr)
+	if err != nil {
+		return fmt.Errorf("dial %s: %w", daemonAddr, err)
+	}
+	defer c.Close()
+	ack := make([]byte, 1)
+	for _, m := range msgs {
+		if err := m.Encode(c); err != nil {
+			return err
+		}
+		if _, err := c.Read(ack); err != nil {
+			return fmt.Errorf("await ack from %s: %w", daemonAddr, err)
+		}
+	}
+	return nil
+}
+
+// nodesOf lists the daemon nodes in deterministic order.
+func nodesOf(cfg deployConfig) []string {
+	nodes := make([]string, 0, len(cfg.Daemons))
+	for n := range cfg.Daemons {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	return nodes
+}
+
+// start pushes settings, peers, tables, and NC_START to every daemon.
+func start(cfg deployConfig) error {
+	for _, node := range nodesOf(cfg) {
+		var msgs []*controller.Message
+		for _, s := range cfg.Sessions {
+			roleName, ok := s.Roles[node]
+			if !ok {
+				continue
+			}
+			role, err := parseRole(roleName)
+			if err != nil {
+				return err
+			}
+			blocks := s.Blocks
+			if blocks == 0 {
+				blocks = rlnc.DefaultGenerationBlocks
+			}
+			blockSize := s.BlockSize
+			if blockSize == 0 {
+				blockSize = rlnc.DefaultBlockSize
+			}
+			msgs = append(msgs, &controller.Message{
+				Signal: controller.NCSettings,
+				Peers:  cfg.Peers,
+				Settings: &dataplane.SessionConfig{
+					ID:         ncproto.SessionID(s.ID),
+					Params:     rlnc.Params{GenerationBlocks: blocks, BlockSize: blockSize},
+					Role:       role,
+					Redundancy: s.Redundancy,
+					InPerGen:   s.InPerGen[node],
+				},
+			})
+			if groups, ok := s.Tables[node]; ok {
+				table := map[ncproto.SessionID][]dataplane.HopGroup{}
+				var hops []dataplane.HopGroup
+				for _, g := range groups {
+					hops = append(hops, dataplane.HopGroup{Addrs: g.Addrs, PerGen: g.PerGen})
+				}
+				table[ncproto.SessionID(s.ID)] = hops
+				msgs = append(msgs, &controller.Message{
+					Signal: controller.NCForwardTab,
+					Table:  table,
+				})
+			}
+		}
+		if len(msgs) == 0 {
+			continue
+		}
+		msgs = append(msgs, &controller.Message{Signal: controller.NCStart})
+		if err := push(cfg.Daemons[node], msgs); err != nil {
+			return fmt.Errorf("node %s: %w", node, err)
+		}
+		fmt.Printf("started %s (%d messages)\n", node, len(msgs))
+	}
+	return nil
+}
+
+// stop sends NC_VNF_END with τ to every daemon.
+func stop(cfg deployConfig, tau time.Duration) error {
+	for _, node := range nodesOf(cfg) {
+		msg := &controller.Message{Signal: controller.NCVNFEnd, ShutdownAfter: tau}
+		if err := push(cfg.Daemons[node], []*controller.Message{msg}); err != nil {
+			return fmt.Errorf("node %s: %w", node, err)
+		}
+		fmt.Printf("stopping %s in %v\n", node, tau)
+	}
+	return nil
+}

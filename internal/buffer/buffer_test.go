@@ -1,0 +1,225 @@
+package buffer
+
+import (
+	"sync"
+	"testing"
+
+	"ncfn/internal/ncproto"
+	"ncfn/internal/rlnc"
+)
+
+func cb(v byte) rlnc.CodedBlock {
+	return rlnc.CodedBlock{Coeffs: []byte{v, 0, 0, 0}, Payload: []byte{v}}
+}
+
+func key(s, g int) GenKey {
+	return GenKey{Session: ncproto.SessionID(s), Generation: ncproto.GenerationID(g)}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	if New(0).Capacity() != DefaultCapacity {
+		t.Fatal("zero capacity should select default")
+	}
+	if New(-5).Capacity() != DefaultCapacity {
+		t.Fatal("negative capacity should select default")
+	}
+	if New(7).Capacity() != 7 {
+		t.Fatal("explicit capacity ignored")
+	}
+}
+
+func TestAddAndBlocks(t *testing.T) {
+	b := New(4)
+	if n := b.Add(key(1, 1), cb(1)); n != 1 {
+		t.Fatalf("first add count = %d", n)
+	}
+	if n := b.Add(key(1, 1), cb(2)); n != 2 {
+		t.Fatalf("second add count = %d", n)
+	}
+	blocks, ok := b.Blocks(key(1, 1))
+	if !ok || len(blocks) != 2 {
+		t.Fatalf("Blocks = %d,%v", len(blocks), ok)
+	}
+	if blocks[0].Payload[0] != 1 || blocks[1].Payload[0] != 2 {
+		t.Fatal("block order wrong")
+	}
+}
+
+func TestBlocksAbsent(t *testing.T) {
+	b := New(4)
+	if _, ok := b.Blocks(key(9, 9)); ok {
+		t.Fatal("absent generation reported present")
+	}
+}
+
+func TestBlocksAreCopies(t *testing.T) {
+	b := New(4)
+	b.Add(key(1, 1), cb(5))
+	blocks, _ := b.Blocks(key(1, 1))
+	blocks[0].Payload[0] = 99
+	again, _ := b.Blocks(key(1, 1))
+	if again[0].Payload[0] != 5 {
+		t.Fatal("Blocks exposed internal storage")
+	}
+}
+
+func TestAddClonesInput(t *testing.T) {
+	b := New(4)
+	block := cb(5)
+	b.Add(key(1, 1), block)
+	block.Payload[0] = 99
+	got, _ := b.Blocks(key(1, 1))
+	if got[0].Payload[0] != 5 {
+		t.Fatal("Add retained caller's slice")
+	}
+}
+
+func TestFIFOEviction(t *testing.T) {
+	b := New(2)
+	b.Add(key(1, 1), cb(1))
+	b.Add(key(1, 2), cb(2))
+	b.Add(key(1, 3), cb(3)) // evicts generation 1
+	if b.Contains(key(1, 1)) {
+		t.Fatal("oldest generation not evicted")
+	}
+	if !b.Contains(key(1, 2)) || !b.Contains(key(1, 3)) {
+		t.Fatal("newer generations evicted")
+	}
+	if b.Evicted() != 1 {
+		t.Fatalf("Evicted = %d, want 1", b.Evicted())
+	}
+	if b.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", b.Len())
+	}
+}
+
+func TestEvictionOrderIsInsertion(t *testing.T) {
+	b := New(3)
+	b.Add(key(1, 10), cb(1))
+	b.Add(key(1, 20), cb(2))
+	b.Add(key(1, 30), cb(3))
+	// Touching generation 10 again must NOT refresh its position (FIFO,
+	// not LRU — the paper discards the oldest packets).
+	b.Add(key(1, 10), cb(4))
+	b.Add(key(1, 40), cb(5))
+	if b.Contains(key(1, 10)) {
+		t.Fatal("FIFO should have evicted generation 10 despite recent add")
+	}
+}
+
+func TestOldest(t *testing.T) {
+	b := New(4)
+	if _, ok := b.Oldest(); ok {
+		t.Fatal("Oldest on empty buffer")
+	}
+	b.Add(key(1, 5), cb(1))
+	b.Add(key(1, 6), cb(2))
+	k, ok := b.Oldest()
+	if !ok || k != key(1, 5) {
+		t.Fatalf("Oldest = %v,%v", k, ok)
+	}
+}
+
+func TestDrop(t *testing.T) {
+	b := New(4)
+	b.Add(key(1, 1), cb(1))
+	if !b.Drop(key(1, 1)) {
+		t.Fatal("Drop returned false for present key")
+	}
+	if b.Drop(key(1, 1)) {
+		t.Fatal("Drop returned true for absent key")
+	}
+	if b.Evicted() != 0 {
+		t.Fatal("Drop must not count as eviction")
+	}
+	if b.Len() != 0 {
+		t.Fatal("Len after drop")
+	}
+}
+
+func TestDropFreesCapacity(t *testing.T) {
+	b := New(2)
+	b.Add(key(1, 1), cb(1))
+	b.Add(key(1, 2), cb(2))
+	b.Drop(key(1, 1))
+	b.Add(key(1, 3), cb(3))
+	if b.Evicted() != 0 {
+		t.Fatal("eviction occurred despite free slot")
+	}
+	if !b.Contains(key(1, 2)) || !b.Contains(key(1, 3)) {
+		t.Fatal("wrong contents after drop+add")
+	}
+}
+
+func TestDropSession(t *testing.T) {
+	b := New(8)
+	b.Add(key(1, 1), cb(1))
+	b.Add(key(1, 2), cb(2))
+	b.Add(key(2, 1), cb(3))
+	if n := b.DropSession(1); n != 2 {
+		t.Fatalf("DropSession removed %d, want 2", n)
+	}
+	if b.Contains(key(1, 1)) || b.Contains(key(1, 2)) {
+		t.Fatal("session 1 generations remain")
+	}
+	if !b.Contains(key(2, 1)) {
+		t.Fatal("session 2 generation removed")
+	}
+}
+
+func TestCount(t *testing.T) {
+	b := New(4)
+	if b.Count(key(1, 1)) != 0 {
+		t.Fatal("Count of absent key")
+	}
+	b.Add(key(1, 1), cb(1))
+	b.Add(key(1, 1), cb(2))
+	if b.Count(key(1, 1)) != 2 {
+		t.Fatal("Count wrong")
+	}
+}
+
+func TestStoredCounter(t *testing.T) {
+	b := New(4)
+	b.Add(key(1, 1), cb(1))
+	b.Add(key(1, 1), cb(2))
+	b.Add(key(2, 1), cb(3))
+	if b.Stored() != 3 {
+		t.Fatalf("Stored = %d, want 3", b.Stored())
+	}
+}
+
+func TestKeyString(t *testing.T) {
+	if key(3, 9).String() != "s3/g9" {
+		t.Fatalf("String = %s", key(3, 9))
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	b := New(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				b.Add(key(g%2, i%32), cb(byte(i)))
+				b.Blocks(key(g%2, i%32))
+				b.Count(key(g%2, i%32))
+				if i%10 == 0 {
+					b.Drop(key(g%2, i%32))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func BenchmarkAdd(b *testing.B) {
+	buf := New(1024)
+	block := rlnc.CodedBlock{Coeffs: make([]byte, 4), Payload: make([]byte, 1460)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Add(key(1, i%2048), block)
+	}
+}

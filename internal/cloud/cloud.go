@@ -1,0 +1,351 @@
+// Package cloud simulates the geo-distributed cloud substrate the paper
+// deploys on: a set of data centers (three Amazon EC2 regions and three
+// Linode regions in the evaluation), VM instances with realistic launch
+// latency, per-VM inbound/outbound bandwidth caps that vary over time
+// (Table I), and region-to-region propagation delays.
+//
+// The controller talks to this package the way the paper's controller talks
+// to the EC2 CLI / Linode API: LaunchInstance, TerminateInstance. A
+// simclock.Clock drives all timing, so the dynamic experiments run under a
+// virtual clock.
+package cloud
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"ncfn/internal/simclock"
+	"ncfn/internal/topology"
+)
+
+// Errors.
+var (
+	ErrUnknownRegion   = errors.New("cloud: unknown region")
+	ErrUnknownInstance = errors.New("cloud: unknown instance")
+)
+
+// DefaultLaunchDelay is the measured average time to launch a new VM
+// instance (Sec. V-C5: 35 s on EC2 Oregon).
+const DefaultLaunchDelay = 35 * time.Second
+
+// DefaultVNFStartDelay is the measured time to start a network coding
+// function on an already-running VM (Sec. V-C5: 376.21 ms).
+const DefaultVNFStartDelay = 376 * time.Millisecond
+
+// Region describes one data center region.
+type Region struct {
+	ID topology.NodeID
+	// Provider is a label ("ec2", "linode").
+	Provider string
+	// BaseInMbps / BaseOutMbps are the nominal per-VM bandwidth caps
+	// (Table I measures ~880–940 Mbps on EC2 c3.xlarge).
+	BaseInMbps, BaseOutMbps float64
+	// LaunchDelay overrides DefaultLaunchDelay when positive.
+	LaunchDelay time.Duration
+}
+
+// InstanceState is a VM lifecycle state.
+type InstanceState int
+
+// Instance states.
+const (
+	StatePending InstanceState = iota + 1
+	StateRunning
+	StateTerminated
+)
+
+// String names the state.
+func (s InstanceState) String() string {
+	switch s {
+	case StatePending:
+		return "pending"
+	case StateRunning:
+		return "running"
+	case StateTerminated:
+		return "terminated"
+	default:
+		return "unknown"
+	}
+}
+
+// Instance is one simulated VM.
+type Instance struct {
+	ID       string
+	Region   topology.NodeID
+	state    InstanceState
+	launched time.Time
+	readyAt  time.Time
+	// terminatedAt is set when the instance stops accruing cost.
+	terminatedAt time.Time
+}
+
+// Cloud is the simulated provider.
+type Cloud struct {
+	clock simclock.Clock
+
+	mu        sync.Mutex
+	regions   map[topology.NodeID]*Region
+	instances map[string]*Instance
+	nextID    int
+	rng       *rand.Rand
+	// bwJitter is the ± fraction applied to bandwidth samples, modeling
+	// the time variation of Table I (~±3%).
+	bwJitter float64
+	// bwScale lets experiments cut a region's bandwidth (Fig. 11's
+	// "cut inbound/outbound bandwidth of all our own VNFs ... by half").
+	bwScale map[topology.NodeID]float64
+	// launches counts LaunchInstance calls per region.
+	launches map[topology.NodeID]int
+}
+
+// New builds a cloud with the given regions.
+func New(clk simclock.Clock, seed int64, regions ...Region) *Cloud {
+	if clk == nil {
+		clk = simclock.Real{}
+	}
+	c := &Cloud{
+		clock:     clk,
+		regions:   make(map[topology.NodeID]*Region, len(regions)),
+		instances: make(map[string]*Instance),
+		rng:       rand.New(rand.NewSource(seed)),
+		bwJitter:  0.03,
+		bwScale:   make(map[topology.NodeID]float64),
+		launches:  make(map[topology.NodeID]int),
+	}
+	for i := range regions {
+		r := regions[i]
+		c.regions[r.ID] = &r
+	}
+	return c
+}
+
+// Regions returns the region IDs, sorted.
+func (c *Cloud) Regions() []topology.NodeID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]topology.NodeID, 0, len(c.regions))
+	for id := range c.regions {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Region returns a region's static description.
+func (c *Cloud) Region(id topology.NodeID) (Region, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.regions[id]
+	if !ok {
+		return Region{}, false
+	}
+	return *r, true
+}
+
+// LaunchInstance starts a new VM in the region. The instance is Pending
+// until the region's launch delay elapses (it becomes Running lazily, based
+// on the clock). Launching is asynchronous, like the EC2 API.
+func (c *Cloud) LaunchInstance(region topology.NodeID) (*Instance, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.regions[region]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownRegion, region)
+	}
+	delay := r.LaunchDelay
+	if delay <= 0 {
+		delay = DefaultLaunchDelay
+	}
+	c.nextID++
+	now := c.clock.Now()
+	inst := &Instance{
+		ID:       fmt.Sprintf("i-%s-%04d", region, c.nextID),
+		Region:   region,
+		state:    StatePending,
+		launched: now,
+		readyAt:  now.Add(delay),
+	}
+	c.instances[inst.ID] = inst
+	c.launches[region]++
+	return inst, nil
+}
+
+// refreshLocked updates an instance's lazy state transition.
+func (c *Cloud) refreshLocked(inst *Instance) {
+	if inst.state == StatePending && !c.clock.Now().Before(inst.readyAt) {
+		inst.state = StateRunning
+	}
+}
+
+// InstanceState returns the instance's current lifecycle state.
+func (c *Cloud) InstanceState(id string) (InstanceState, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	inst, ok := c.instances[id]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownInstance, id)
+	}
+	c.refreshLocked(inst)
+	return inst.state, nil
+}
+
+// ReadyAt returns when the instance becomes (or became) Running.
+func (c *Cloud) ReadyAt(id string) (time.Time, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	inst, ok := c.instances[id]
+	if !ok {
+		return time.Time{}, fmt.Errorf("%w: %s", ErrUnknownInstance, id)
+	}
+	return inst.readyAt, nil
+}
+
+// TerminateInstance shuts a VM down immediately.
+func (c *Cloud) TerminateInstance(id string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	inst, ok := c.instances[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownInstance, id)
+	}
+	if inst.state != StateTerminated {
+		inst.state = StateTerminated
+		inst.terminatedAt = c.clock.Now()
+	}
+	return nil
+}
+
+// RunningInstances returns the Running instance count per region.
+func (c *Cloud) RunningInstances() map[topology.NodeID]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[topology.NodeID]int)
+	for _, inst := range c.instances {
+		c.refreshLocked(inst)
+		if inst.state == StateRunning {
+			out[inst.Region]++
+		}
+	}
+	return out
+}
+
+// Launches returns how many instances were ever launched in the region.
+func (c *Cloud) Launches(region topology.NodeID) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.launches[region]
+}
+
+// SetBandwidthScale multiplies a region's per-VM bandwidth by factor (1 =
+// nominal, 0.5 = Fig. 11's 50% cut).
+func (c *Cloud) SetBandwidthScale(region topology.NodeID, factor float64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.regions[region]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownRegion, region)
+	}
+	c.bwScale[region] = factor
+	return nil
+}
+
+// BandwidthSample is one iperf3-style measurement.
+type BandwidthSample struct {
+	Region          topology.NodeID
+	At              time.Time
+	InMbps, OutMbps float64
+}
+
+// MeasureBandwidth returns the current per-VM in/out bandwidth of a region
+// with the time-varying jitter of Table I applied.
+func (c *Cloud) MeasureBandwidth(region topology.NodeID) (BandwidthSample, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.regions[region]
+	if !ok {
+		return BandwidthSample{}, fmt.Errorf("%w: %s", ErrUnknownRegion, region)
+	}
+	scale, ok := c.bwScale[region]
+	if !ok {
+		scale = 1
+	}
+	jitter := func(base float64) float64 {
+		return base * scale * (1 + c.bwJitter*(2*c.rng.Float64()-1))
+	}
+	return BandwidthSample{
+		Region:  region,
+		At:      c.clock.Now(),
+		InMbps:  jitter(r.BaseInMbps),
+		OutMbps: jitter(r.BaseOutMbps),
+	}, nil
+}
+
+// AccruedVMHours returns the total VM-hours billed so far: every instance
+// accrues from launch until termination (or now, if still running) — the
+// operational-cost metric that α converts into the objective of program
+// (2), and the quantity the τ-reuse ablation trades against relaunch
+// latency.
+func (c *Cloud) AccruedVMHours() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.clock.Now()
+	total := 0.0
+	for _, inst := range c.instances {
+		end := now
+		if inst.state == StateTerminated {
+			end = inst.terminatedAt
+		}
+		if end.After(inst.launched) {
+			total += end.Sub(inst.launched).Hours()
+		}
+	}
+	return total
+}
+
+// PaperRegions returns the six data centers of the evaluation (Sec. V-A):
+// EC2 California, Oregon, Virginia and Linode Texas, Georgia, New Jersey.
+// EC2 c3.xlarge VMs measured ~880–940 Mbps symmetric (Table I); Linode VMs
+// are capped at 40 Gbps in / 125 Mbps out.
+func PaperRegions() []Region {
+	return []Region{
+		{ID: "california", Provider: "ec2", BaseInMbps: 910, BaseOutMbps: 915},
+		{ID: "oregon", Provider: "ec2", BaseInMbps: 912, BaseOutMbps: 910},
+		{ID: "virginia", Provider: "ec2", BaseInMbps: 905, BaseOutMbps: 908},
+		{ID: "texas", Provider: "linode", BaseInMbps: 2000, BaseOutMbps: 125},
+		{ID: "georgia", Provider: "linode", BaseInMbps: 2000, BaseOutMbps: 125},
+		{ID: "newjersey", Provider: "linode", BaseInMbps: 2000, BaseOutMbps: 125},
+	}
+}
+
+// PaperDelays returns representative one-way delays (ms) between the six
+// regions, symmetric, derived from typical North-American inter-region
+// RTTs and consistent with the paper's Table II measurements.
+func PaperDelays() map[[2]topology.NodeID]time.Duration {
+	ms := func(f float64) time.Duration { return time.Duration(f * float64(time.Millisecond)) }
+	pairs := map[[2]topology.NodeID]time.Duration{
+		{"california", "oregon"}:    ms(10),
+		{"california", "virginia"}:  ms(38),
+		{"california", "texas"}:     ms(22),
+		{"california", "georgia"}:   ms(30),
+		{"california", "newjersey"}: ms(36),
+		{"oregon", "virginia"}:      ms(45),
+		{"oregon", "texas"}:         ms(25),
+		{"oregon", "georgia"}:       ms(35),
+		{"oregon", "newjersey"}:     ms(40),
+		{"virginia", "texas"}:       ms(18),
+		{"virginia", "georgia"}:     ms(8),
+		{"virginia", "newjersey"}:   ms(5),
+		{"texas", "georgia"}:        ms(12),
+		{"texas", "newjersey"}:      ms(20),
+		{"georgia", "newjersey"}:    ms(10),
+	}
+	out := make(map[[2]topology.NodeID]time.Duration, 2*len(pairs))
+	for k, v := range pairs {
+		out[k] = v
+		out[[2]topology.NodeID{k[1], k[0]}] = v
+	}
+	return out
+}

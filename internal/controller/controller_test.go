@@ -1,0 +1,492 @@
+package controller
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"ncfn/internal/cloud"
+	"ncfn/internal/ncproto"
+	"ncfn/internal/optimize"
+	"ncfn/internal/simclock"
+	"ncfn/internal/topology"
+)
+
+var epoch = time.Date(2017, 6, 5, 0, 0, 0, 0, time.UTC)
+
+// testEnv builds a controller over the butterfly with a virtual clock.
+func testEnv(alpha float64) (*Controller, *simclock.Virtual, *cloud.Cloud) {
+	g, _, _ := topology.Butterfly()
+	clk := simclock.NewVirtual(epoch)
+	regions := []cloud.Region{
+		{ID: "O1", Provider: "ec2", BaseInMbps: 1000, BaseOutMbps: 1000, LaunchDelay: time.Second},
+		{ID: "C1", Provider: "ec2", BaseInMbps: 1000, BaseOutMbps: 1000, LaunchDelay: time.Second},
+		{ID: "T", Provider: "ec2", BaseInMbps: 1000, BaseOutMbps: 1000, LaunchDelay: time.Second},
+		{ID: "V2", Provider: "ec2", BaseInMbps: 1000, BaseOutMbps: 1000, LaunchDelay: time.Second},
+	}
+	cl := cloud.New(clk, 7, regions...)
+	cfg := Config{
+		Optimize: optimize.Config{
+			Graph: g,
+			DataCenters: []optimize.DataCenter{
+				{ID: "O1", BinMbps: 1000, BoutMbps: 1000, CodeMbps: 500},
+				{ID: "C1", BinMbps: 1000, BoutMbps: 1000, CodeMbps: 500},
+				{ID: "T", BinMbps: 1000, BoutMbps: 1000, CodeMbps: 500},
+				{ID: "V2", BinMbps: 1000, BoutMbps: 1000, CodeMbps: 500},
+			},
+			Alpha:       alpha,
+			MaxPathHops: 4,
+		},
+		Cloud: cl,
+		Clock: clk,
+		Tau:   10 * time.Minute,
+		Tau1:  10 * time.Minute,
+		Tau2:  10 * time.Minute,
+		Rho1:  0.05,
+		Rho2:  0.05,
+	}
+	return New(cfg), clk, cl
+}
+
+func butterflySession(id int) optimize.Session {
+	return optimize.Session{
+		ID:        ncSessionID(id),
+		Source:    "V1",
+		Receivers: []topology.NodeID{"O2", "C2"},
+		MaxDelay:  150 * time.Millisecond,
+	}
+}
+
+func TestAddSessionDeploysAndRates(t *testing.T) {
+	c, _, _ := testEnv(1)
+	if err := c.AddSession(butterflySession(1)); err != nil {
+		t.Fatal(err)
+	}
+	rate, ok := c.SessionRate(1)
+	if !ok || rate < 69 {
+		t.Fatalf("rate = %v, %v; want ~70", rate, ok)
+	}
+	active, idle := c.VNFCounts()
+	if active != 4 || idle != 0 {
+		t.Fatalf("VNFs = %d active, %d idle; want 4, 0", active, idle)
+	}
+}
+
+func TestAddSessionDuplicate(t *testing.T) {
+	c, _, _ := testEnv(1)
+	if err := c.AddSession(butterflySession(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddSession(butterflySession(1)); err == nil {
+		t.Fatal("duplicate session accepted")
+	}
+}
+
+func TestRemoveSessionScalesIn(t *testing.T) {
+	c, clk, cl := testEnv(1)
+	if err := c.AddSession(butterflySession(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RemoveSession(1); err != nil {
+		t.Fatal(err)
+	}
+	active, idle := c.VNFCounts()
+	if active != 0 {
+		t.Fatalf("active = %d after last session removed", active)
+	}
+	if idle != 4 {
+		t.Fatalf("idle = %d, want 4 (waiting out tau)", idle)
+	}
+	// After τ the idle VNFs are terminated.
+	clk.Advance(11 * time.Minute)
+	c.Tick()
+	if _, idle := c.VNFCounts(); idle != 0 {
+		t.Fatalf("idle = %d after tau", idle)
+	}
+	running := cl.RunningInstances()
+	for dc, n := range running {
+		if n != 0 {
+			t.Fatalf("%s still has %d running instances", dc, n)
+		}
+	}
+}
+
+func TestRemoveUnknownSession(t *testing.T) {
+	c, _, _ := testEnv(1)
+	if err := c.RemoveSession(99); err == nil {
+		t.Fatal("unknown session removed")
+	}
+}
+
+func TestTauReuseAvoidsRelaunch(t *testing.T) {
+	c, clk, cl := testEnv(1)
+	c.AddSession(butterflySession(1))
+	launchesBefore := totalLaunches(cl)
+	c.RemoveSession(1)
+	// Demand returns within τ: the idle VNFs must be reused, not
+	// relaunched.
+	clk.Advance(5 * time.Minute)
+	if err := c.AddSession(butterflySession(2)); err != nil {
+		t.Fatal(err)
+	}
+	if got := totalLaunches(cl); got != launchesBefore {
+		t.Fatalf("launches grew %d -> %d despite idle VNFs within tau", launchesBefore, got)
+	}
+	active, _ := c.VNFCounts()
+	if active != 4 {
+		t.Fatalf("active = %d, want 4", active)
+	}
+}
+
+func totalLaunches(cl *cloud.Cloud) int {
+	n := 0
+	for _, dc := range cl.Regions() {
+		n += cl.Launches(dc)
+	}
+	return n
+}
+
+func TestSecondSessionSharesCapacity(t *testing.T) {
+	c, _, _ := testEnv(1)
+	c.AddSession(butterflySession(1))
+	if err := c.AddSession(butterflySession(2)); err != nil {
+		t.Fatal(err)
+	}
+	r1, _ := c.SessionRate(1)
+	r2, _ := c.SessionRate(2)
+	// Session 1's flows are pinned, so session 2 gets leftovers (~0 on
+	// the saturated butterfly).
+	if r1 < 69 {
+		t.Fatalf("pinned session rate dropped to %v", r1)
+	}
+	if r1+r2 > 71 {
+		t.Fatalf("combined rate %v exceeds capacity", r1+r2)
+	}
+}
+
+func TestAddRemoveReceiver(t *testing.T) {
+	c, _, _ := testEnv(1)
+	s := optimize.Session{
+		ID:        1,
+		Source:    "V1",
+		Receivers: []topology.NodeID{"O2"},
+		MaxDelay:  150 * time.Millisecond,
+	}
+	if err := c.AddSession(s); err != nil {
+		t.Fatal(err)
+	}
+	r1, _ := c.SessionRate(1)
+	if err := c.AddReceiver(1, "C2"); err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := c.SessionRate(1)
+	if r2 <= 0 || r2 > r1+1e-3 {
+		t.Fatalf("rate after receiver join = %v (was %v)", r2, r1)
+	}
+	if err := c.RemoveReceiver(1, "C2"); err != nil {
+		t.Fatal(err)
+	}
+	r3, _ := c.SessionRate(1)
+	if r3 < r2-1e-3 {
+		t.Fatalf("rate after receiver leave = %v (was %v)", r3, r2)
+	}
+	if err := c.RemoveReceiver(1, "nope"); err == nil {
+		t.Fatal("unknown receiver removed")
+	}
+	if err := c.AddReceiver(9, "C2"); err == nil {
+		t.Fatal("receiver added to unknown session")
+	}
+}
+
+func TestRemoveLastReceiverEndsSession(t *testing.T) {
+	c, _, _ := testEnv(1)
+	s := optimize.Session{
+		ID: 1, Source: "V1",
+		Receivers: []topology.NodeID{"O2"},
+		MaxDelay:  150 * time.Millisecond,
+	}
+	c.AddSession(s)
+	if err := c.RemoveReceiver(1, "O2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.SessionRate(1); ok {
+		t.Fatal("session survived losing its only receiver")
+	}
+}
+
+func TestBandwidthDropConfirmedAfterTau1(t *testing.T) {
+	c, clk, _ := testEnv(1)
+	c.AddSession(butterflySession(1))
+	before, _ := c.SessionRate(1)
+
+	// A 50% inbound cut at T. First observation: pending only.
+	if err := c.ObserveBandwidth("T", 17, 1000); err != nil {
+		t.Fatal(err)
+	}
+	mid, _ := c.SessionRate(1)
+	if mid != before {
+		t.Fatal("controller reacted before tau1")
+	}
+	// Confirmed after τ1.
+	clk.Advance(11 * time.Minute)
+	if err := c.ObserveBandwidth("T", 17, 1000); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := c.SessionRate(1)
+	// One VNF at T now carries only 17 Mbps inbound; the T->V2 branch is
+	// throttled, so either more VNFs are deployed or the rate drops.
+	if after > before+1e-3 {
+		t.Fatalf("rate rose after bandwidth cut: %v -> %v", before, after)
+	}
+	vnfs := c.ActiveVNFsPerDC()
+	if after >= before-1e-3 && vnfs["T"] < 2 {
+		t.Fatalf("rate kept at %v but T has only %d VNFs", after, vnfs["T"])
+	}
+}
+
+func TestBandwidthSpikeIgnored(t *testing.T) {
+	c, clk, _ := testEnv(1)
+	c.AddSession(butterflySession(1))
+	// Spike: large change observed once, then back to normal.
+	c.ObserveBandwidth("T", 17, 1000)
+	clk.Advance(2 * time.Minute)
+	c.ObserveBandwidth("T", 1000, 1000) // back within ρ of nominal
+	clk.Advance(20 * time.Minute)
+	c.ObserveBandwidth("T", 17, 1000) // new change, pending restarts
+	rate, _ := c.SessionRate(1)
+	if rate < 69 {
+		t.Fatalf("spike caused a reaction: rate %v", rate)
+	}
+}
+
+func TestBandwidthSmallChangeClearsPending(t *testing.T) {
+	c, clk, _ := testEnv(1)
+	c.AddSession(butterflySession(1))
+	c.ObserveBandwidth("T", 900, 1000) // >5% change, pending
+	clk.Advance(11 * time.Minute)
+	c.ObserveBandwidth("T", 990, 1000) // back within 5%: pending cleared
+	clk.Advance(11 * time.Minute)
+	c.ObserveBandwidth("T", 900, 1000) // pending restarts; not confirmed
+	rate, _ := c.SessionRate(1)
+	if rate < 69 {
+		t.Fatalf("unconfirmed change caused reaction: %v", rate)
+	}
+}
+
+func TestObserveBandwidthUnknownDC(t *testing.T) {
+	c, _, _ := testEnv(1)
+	if err := c.ObserveBandwidth("mars", 1, 1); err == nil {
+		t.Fatal("unknown DC accepted")
+	}
+}
+
+func TestDelayIncreaseReroutes(t *testing.T) {
+	c, clk, _ := testEnv(1)
+	c.AddSession(butterflySession(1))
+	before, _ := c.SessionRate(1)
+	// Delay on T->V2 explodes past every session's Lmax, killing the
+	// long branch. Confirm after τ2.
+	c.ObserveDelay("T", "V2", 500*time.Millisecond)
+	clk.Advance(11 * time.Minute)
+	if err := c.ObserveDelay("T", "V2", 500*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := c.SessionRate(1)
+	if after >= before {
+		t.Fatalf("rate did not drop after losing the coded branch: %v -> %v", before, after)
+	}
+	if after < 30 {
+		t.Fatalf("rate %v collapsed; side branches should still carry ~35", after)
+	}
+}
+
+func TestDelayDecreaseOnlyAdoptedIfBetter(t *testing.T) {
+	c, clk, _ := testEnv(1)
+	c.AddSession(butterflySession(1))
+	before, _ := c.SessionRate(1)
+	c.ObserveDelay("T", "V2", 6*time.Millisecond) // faster link
+	clk.Advance(11 * time.Minute)
+	if err := c.ObserveDelay("T", "V2", 6*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := c.SessionRate(1)
+	if after < before-1e-6 {
+		t.Fatalf("delay drop reduced rate: %v -> %v", before, after)
+	}
+}
+
+func TestObserveDelayUnknownLink(t *testing.T) {
+	c, _, _ := testEnv(1)
+	if err := c.ObserveDelay("x", "y", time.Millisecond); err == nil {
+		t.Fatal("unknown link accepted")
+	}
+}
+
+func TestEventsRecorded(t *testing.T) {
+	c, _, _ := testEnv(1)
+	c.AddSession(butterflySession(1))
+	events := c.Events()
+	var sawStart, sawVNFStart bool
+	for _, e := range events {
+		if e.Signal == NCStart {
+			sawStart = true
+		}
+		if e.Signal == NCVNFStart {
+			sawVNFStart = true
+		}
+	}
+	if !sawStart || !sawVNFStart {
+		t.Fatalf("missing signals in event log: %+v", events)
+	}
+}
+
+func TestSignalStrings(t *testing.T) {
+	names := map[Signal]string{
+		NCStart:      "NC_START",
+		NCVNFStart:   "NC_VNF_START",
+		NCVNFEnd:     "NC_VNF_END",
+		NCForwardTab: "NC_FORWARD_TAB",
+		NCSettings:   "NC_SETTINGS",
+		Signal(0):    "NC_UNKNOWN",
+	}
+	for s, want := range names {
+		if s.String() != want {
+			t.Fatalf("%d.String() = %s, want %s", int(s), s, want)
+		}
+	}
+}
+
+func TestMessageEncodeDecode(t *testing.T) {
+	m := &Message{
+		Signal:  NCForwardTab,
+		Session: 4,
+		NumVNFs: 2,
+	}
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Signal != m.Signal || got.Session != m.Session || got.NumVNFs != m.NumVNFs {
+		t.Fatalf("round trip: %+v", got)
+	}
+}
+
+func TestDecodeMessageTruncated(t *testing.T) {
+	if _, err := DecodeMessage(bytes.NewReader([]byte{0, 0})); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+	if _, err := DecodeMessage(bytes.NewReader([]byte{0, 0, 0, 10, 1})); err == nil {
+		t.Fatal("truncated body accepted")
+	}
+}
+
+func TestDecodeMessageOversized(t *testing.T) {
+	if _, err := DecodeMessage(bytes.NewReader([]byte{0xFF, 0xFF, 0xFF, 0xFF})); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+// ncSessionID keeps session ID literals readable in table construction.
+func ncSessionID(id int) ncproto.SessionID { return ncproto.SessionID(id) }
+
+func TestAccessorsAndEffectiveThroughput(t *testing.T) {
+	c, _, _ := testEnv(1)
+	if err := c.AddSession(butterflySession(1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Sessions(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Sessions = %v", got)
+	}
+	if tp := c.TotalThroughput(); tp < 69 {
+		t.Fatalf("TotalThroughput = %v", tp)
+	}
+	if inst := c.Instances("T"); len(inst) != 1 {
+		t.Fatalf("Instances(T) = %v", inst)
+	}
+	if inst := c.Instances("mars"); inst != nil {
+		t.Fatal("unknown DC returned instances")
+	}
+	in, out := c.LoadPerDC()
+	if in["T"] < 30 || out["T"] < 30 {
+		t.Fatalf("LoadPerDC T = %v in / %v out, want ~35", in["T"], out["T"])
+	}
+
+	// With nominal bandwidth the effective rate equals the planned rate.
+	full := c.EffectiveThroughput(func(topology.NodeID) (float64, float64) { return 1000, 1000 })
+	if full < 69 {
+		t.Fatalf("effective at nominal = %v", full)
+	}
+	// Halving T's actual bandwidth below its ~35 Mbps load throttles the
+	// session through it.
+	cut := c.EffectiveThroughput(func(dc topology.NodeID) (float64, float64) {
+		if dc == "T" {
+			return 17, 17
+		}
+		return 1000, 1000
+	})
+	if cut >= full {
+		t.Fatalf("effective with cut %v not below nominal %v", cut, full)
+	}
+	// Zero capacity everywhere floors the estimate at zero.
+	if z := c.EffectiveThroughput(func(topology.NodeID) (float64, float64) { return 0, 0 }); z != 0 {
+		t.Fatalf("effective at zero capacity = %v", z)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	// New must fill every zero threshold with the evaluation defaults.
+	c := New(Config{})
+	if c.cfg.Tau != DefaultTau || c.cfg.Tau1 != DefaultTau || c.cfg.Tau2 != DefaultTau {
+		t.Fatalf("tau defaults: %+v", c.cfg)
+	}
+	if c.cfg.Rho1 != 0.05 || c.cfg.Rho2 != 0.05 {
+		t.Fatalf("rho defaults: %+v", c.cfg)
+	}
+	if c.cfg.Clock == nil {
+		t.Fatal("clock default missing")
+	}
+}
+
+func TestRelChange(t *testing.T) {
+	if relChange(0, 0) != 0 {
+		t.Fatal("0->0 should be no change")
+	}
+	if relChange(0, 5) != 1 {
+		t.Fatal("0->x should be a full change")
+	}
+	if got := relChange(100, 90); got < 0.099 || got > 0.101 {
+		t.Fatalf("relChange(100,90) = %v", got)
+	}
+	if got := relChange(100, 110); got < 0.099 || got > 0.101 {
+		t.Fatalf("relChange(100,110) = %v", got)
+	}
+}
+
+func TestDepartureKeepsRatesWhenRaisingIsWorthless(t *testing.T) {
+	// Two sessions saturate the butterfly; session 2 holds ~0 rate. When
+	// session 2 leaves, raising session 1 is impossible (it already has
+	// the full 70), so the controller takes the g2 branch: retain rates,
+	// keep the minimum deployment.
+	c, _, _ := testEnv(5)
+	c.AddSession(butterflySession(1))
+	c.AddSession(butterflySession(2))
+	before, _ := c.SessionRate(1)
+	if before < 69 {
+		t.Fatalf("session 1 rate = %v, want ~70", before)
+	}
+	if err := c.RemoveSession(2); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := c.SessionRate(1)
+	if after < before-1 {
+		t.Fatalf("survivor's rate dropped: %v -> %v", before, after)
+	}
+	active, _ := c.VNFCounts()
+	if active != 4 {
+		t.Fatalf("active VNFs = %d after departure, want 4", active)
+	}
+}

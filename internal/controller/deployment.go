@@ -1,0 +1,165 @@
+package controller
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ncfn/internal/dataplane"
+	"ncfn/internal/ncproto"
+	"ncfn/internal/optimize"
+	"ncfn/internal/rlnc"
+	"ncfn/internal/topology"
+)
+
+// NodePlan is everything one network node (source, data center VNF, or
+// receiver) needs to participate in the deployed sessions: its per-session
+// settings (NC_SETTINGS) and forwarding table (NC_FORWARD_TAB).
+type NodePlan struct {
+	Node     topology.NodeID
+	Sessions map[ncproto.SessionID]dataplane.SessionConfig
+	Table    map[ncproto.SessionID][]dataplane.HopGroup
+}
+
+// BuildNodePlans converts an optimizer plan into per-node directives. The
+// instancesOf callback maps a data center to the network addresses of its
+// running VNF instances (one hop group dispatches generations across them);
+// sources and receivers resolve to their own node ID as address.
+//
+// Per-hop packet quotas follow the conceptual-flow solution: a link
+// carrying f_m(e) of a session with rate λ_m receives
+// round(k · f_m(e) / λ_m) of the k coded packets of each generation, plus
+// `redundancy` extra coded packets per hop (the NC1/NC2 configurations of
+// Figs. 8 and 9 add one or two redundant packets per coding node).
+func BuildNodePlans(params rlnc.Params, redundancy int, sessions []optimize.Session, plan *optimize.Plan, instancesOf func(topology.NodeID) []string) (map[topology.NodeID]*NodePlan, error) {
+	plans := make(map[topology.NodeID]*NodePlan)
+	get := func(n topology.NodeID) *NodePlan {
+		if p, ok := plans[n]; ok {
+			return p
+		}
+		p := &NodePlan{
+			Node:     n,
+			Sessions: make(map[ncproto.SessionID]dataplane.SessionConfig),
+			Table:    make(map[ncproto.SessionID][]dataplane.HopGroup),
+		}
+		plans[n] = p
+		return p
+	}
+	k := params.GenerationBlocks
+
+	for _, s := range sessions {
+		flows := plan.LinkFlows[s.ID]
+		rate := plan.Rates[s.ID]
+		if rate <= 0 || len(flows) == 0 {
+			continue
+		}
+		recvSet := make(map[topology.NodeID]bool, len(s.Receivers))
+		for _, r := range s.Receivers {
+			recvSet[r] = true
+		}
+		// Group edges by their tail node and compute quotas.
+		outEdges := make(map[topology.NodeID][][2]topology.NodeID)
+		inQuota := make(map[topology.NodeID]int)
+		quota := func(e [2]topology.NodeID) int {
+			q := int(math.Round(float64(k) * flows[e] / rate))
+			if q < 1 {
+				q = 1
+			}
+			if q > k {
+				q = k
+			}
+			return q + redundancy
+		}
+		for e, mbps := range flows {
+			if mbps <= 0 {
+				continue
+			}
+			outEdges[e[0]] = append(outEdges[e[0]], e)
+			inQuota[e[1]] += quota(e)
+		}
+		// Receivers must be able to decode: their inbound quotas need to
+		// cover the generation. The conceptual-flow solution guarantees
+		// Σ f ≥ λ per receiver, so Σ round(k·f/λ) ≥ k up to rounding;
+		// bump the largest in-edge if rounding fell short.
+		// (Handled implicitly: round() of the exact solution sums to ≥ k
+		// in all but pathological cases; validated below.)
+		for _, r := range s.Receivers {
+			if inQuota[r] < k+redundancy {
+				return nil, fmt.Errorf("controller: session %d receiver %s has inbound quota %d < %d; plan too fractional",
+					s.ID, r, inQuota[r], k)
+			}
+		}
+
+		for node, edges := range outEdges {
+			sort.Slice(edges, func(i, j int) bool { return edges[i][1] < edges[j][1] })
+			np := get(node)
+			var hops []dataplane.HopGroup
+			for _, e := range edges {
+				dst := e[1]
+				var addrs []string
+				if recvSet[dst] {
+					addrs = []string{string(dst)}
+				} else {
+					addrs = instancesOf(dst)
+					if len(addrs) == 0 {
+						return nil, fmt.Errorf("controller: session %d routes through %s, but it has no running VNF instances", s.ID, dst)
+					}
+				}
+				hops = append(hops, dataplane.HopGroup{Addrs: addrs, PerGen: quota(e)})
+			}
+			np.Table[s.ID] = hops
+			if node == s.Source {
+				continue // the source encodes; no SessionConfig needed
+			}
+			// A relay with a single incoming flow and no rate compression
+			// can simply forward (Sec. IV-A: "In the case where only one
+			// flow of a session arrives at a data center, direct
+			// forwarding is sufficient and coding is unnecessary").
+			role := dataplane.RoleRecoder
+			inEdges := 0
+			for e := range flows {
+				if e[1] == node {
+					inEdges++
+				}
+			}
+			if inEdges == 1 {
+				compress := false
+				for _, e := range edges {
+					if quota(e) < inQuota[node] {
+						compress = true
+					}
+				}
+				if !compress {
+					role = dataplane.RoleForwarder
+				}
+			}
+			np.Sessions[s.ID] = dataplane.SessionConfig{
+				ID:         s.ID,
+				Params:     params,
+				Role:       role,
+				Redundancy: redundancy,
+				InPerGen:   inQuota[node],
+			}
+		}
+		// Receivers decode.
+		for _, r := range s.Receivers {
+			np := get(r)
+			np.Sessions[s.ID] = dataplane.SessionConfig{
+				ID:     s.ID,
+				Params: params,
+				Role:   dataplane.RoleDecoder,
+			}
+		}
+	}
+	return plans, nil
+}
+
+// SourceHops extracts the hop groups the session's source should use from
+// a node-plan set.
+func SourceHops(plans map[topology.NodeID]*NodePlan, src topology.NodeID, id ncproto.SessionID) []dataplane.HopGroup {
+	np, ok := plans[src]
+	if !ok {
+		return nil
+	}
+	return np.Table[id]
+}

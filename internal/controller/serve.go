@@ -1,0 +1,45 @@
+package controller
+
+import (
+	"fmt"
+	"io"
+	"net"
+
+	"ncfn/internal/emunet"
+)
+
+// ServeControlStream applies a controller's message stream (length-prefixed
+// JSON, as produced by Message.Encode) to a daemon until the stream ends or
+// the daemon shuts down. Peer bindings in messages are registered in the
+// given UDP name registry (nil to ignore them). Each applied message is
+// acknowledged with a single 0x06 byte. cmd/ncd serves every accepted
+// control connection through this function.
+func ServeControlStream(c net.Conn, d *Daemon, registry *emunet.Registry) error {
+	for {
+		msg, err := DecodeMessage(c)
+		if err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		if registry != nil {
+			for peer, addr := range msg.Peers {
+				udpAddr, err := net.ResolveUDPAddr("udp", addr)
+				if err != nil {
+					return fmt.Errorf("controller: resolve peer %s=%s: %w", peer, addr, err)
+				}
+				registry.Register(peer, udpAddr)
+			}
+		}
+		if err := d.Apply(msg); err != nil {
+			return err
+		}
+		if _, err := c.Write([]byte{0x06}); err != nil {
+			return fmt.Errorf("controller: write ack: %w", err)
+		}
+		if d.Closed() {
+			return nil
+		}
+	}
+}

@@ -1,0 +1,419 @@
+// Package core is the top-level orchestration API — the paper's primary
+// contribution assembled into one deployable service. A Service takes an
+// overlay graph of sources, candidate data centers, and receivers, solves
+// the coding-function deployment and routing program (Sec. IV), deploys
+// live coding VNFs onto a packet network (the in-process emulated network,
+// or real UDP sockets), wires up sources and receivers, and moves data with
+// randomized network coding.
+//
+// The examples/ directory shows the intended usage: build a Service,
+// register sessions, Deploy, then Send.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"ncfn/internal/controller"
+	"ncfn/internal/dataplane"
+	"ncfn/internal/emunet"
+	"ncfn/internal/ncproto"
+	"ncfn/internal/optimize"
+	"ncfn/internal/rlnc"
+	"ncfn/internal/topology"
+	"ncfn/internal/transfer"
+)
+
+// Errors.
+var (
+	ErrNotDeployed   = errors.New("core: service not deployed")
+	ErrAlreadyClosed = errors.New("core: service closed")
+)
+
+// Config describes a Service deployment.
+type Config struct {
+	// Graph is the overlay: sources, data centers, receivers, and links
+	// with capacity (Mbps) and delay. Links with zero capacity are
+	// treated as unconstrained.
+	Graph *topology.Graph
+	// DataCenters lists candidate VNF sites and their per-VNF resources.
+	DataCenters []optimize.DataCenter
+	// Alpha is the throughput/cost tradeoff factor of program (2).
+	Alpha float64
+	// Params are the coding parameters (defaults to the paper's 4x1460).
+	Params rlnc.Params
+	// Redundancy is extra coded packets per generation (NC0/NC1/NC2).
+	Redundancy int
+	// MaxPathHops bounds feasible paths (default 4: up to 3 relays, which
+	// covers the butterfly's long branch).
+	MaxPathHops int
+	// BufferGenerations overrides each VNF's generation buffer capacity
+	// (Fig. 5's sweep parameter); zero selects the 1024 default.
+	BufferGenerations int
+	// ForceForwarding turns every relay into a plain forwarder — the
+	// routing-only ("Non-NC") baseline of Fig. 7, which moves packets
+	// through the same relays but never mixes them.
+	ForceForwarding bool
+	// CodingCostBytesPerSec models VNF coding CPU throughput (see
+	// dataplane.WithCodingCost); zero disables the model.
+	CodingCostBytesPerSec float64
+	// Network optionally supplies an existing emulated network whose host
+	// names match the graph's node IDs. When nil, Deploy builds one from
+	// the graph (links inherit capacity and delay).
+	Network *emunet.Network
+	// Seed fixes coding randomness.
+	Seed int64
+}
+
+// Service orchestrates sessions over deployed coding functions.
+type Service struct {
+	cfg Config
+
+	mu        sync.Mutex
+	sessions  []optimize.Session
+	plan      *optimize.Plan
+	net       *emunet.Network
+	ownsNet   bool
+	vnfs      map[topology.NodeID]*dataplane.VNF
+	sources   map[ncproto.SessionID]*dataplane.Source
+	endpoints map[topology.NodeID]*dataplane.MultiReceiver
+	receivers map[ncproto.SessionID]map[topology.NodeID]*dataplane.Receiver
+	closed    bool
+}
+
+// NewService builds an (undeployed) service.
+func NewService(cfg Config) (*Service, error) {
+	if cfg.Graph == nil {
+		return nil, errors.New("core: nil graph")
+	}
+	if cfg.Params.GenerationBlocks == 0 && cfg.Params.BlockSize == 0 {
+		cfg.Params = rlnc.DefaultParams()
+	}
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if cfg.MaxPathHops <= 0 {
+		cfg.MaxPathHops = 4
+	}
+	return &Service{
+		cfg:       cfg,
+		vnfs:      make(map[topology.NodeID]*dataplane.VNF),
+		sources:   make(map[ncproto.SessionID]*dataplane.Source),
+		endpoints: make(map[topology.NodeID]*dataplane.MultiReceiver),
+		receivers: make(map[ncproto.SessionID]map[topology.NodeID]*dataplane.Receiver),
+	}, nil
+}
+
+// AddSession registers a session before deployment.
+func (s *Service) AddSession(sess optimize.Session) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.plan != nil {
+		return errors.New("core: cannot add sessions after Deploy")
+	}
+	for _, have := range s.sessions {
+		if have.ID == sess.ID {
+			return fmt.Errorf("core: duplicate session %d", sess.ID)
+		}
+	}
+	s.sessions = append(s.sessions, sess)
+	return nil
+}
+
+// Plan returns the solved deployment plan (after Deploy).
+func (s *Service) Plan() *optimize.Plan {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.plan
+}
+
+// Deploy solves program (2) for the registered sessions and instantiates
+// the data plane: one coding VNF per data center the plan uses, configured
+// tables with conceptual-flow packet quotas, a Source per session, and a
+// Receiver per destination.
+func (s *Service) Deploy() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrAlreadyClosed
+	}
+	if s.plan != nil {
+		return errors.New("core: already deployed")
+	}
+	if len(s.sessions) == 0 {
+		return errors.New("core: no sessions registered")
+	}
+	ocfg := optimize.Config{
+		Graph:       s.cfg.Graph,
+		DataCenters: s.cfg.DataCenters,
+		Alpha:       s.cfg.Alpha,
+		MaxPathHops: s.cfg.MaxPathHops,
+	}
+	plan, err := optimize.Solve(ocfg, s.sessions)
+	if err != nil {
+		return fmt.Errorf("core: solve deployment: %w", err)
+	}
+	plans, err := controller.BuildNodePlans(s.cfg.Params, s.cfg.Redundancy, s.sessions, plan, func(dc topology.NodeID) []string {
+		// Live mode runs one VNF instance per data center; generation
+		// dispatch across multiple instances is exercised by the
+		// dataplane unit tests.
+		return []string{string(dc)}
+	})
+	if err != nil {
+		return fmt.Errorf("core: build node plans: %w", err)
+	}
+
+	if s.cfg.Network != nil {
+		s.net = s.cfg.Network
+	} else {
+		s.net = buildNetwork(s.cfg.Graph)
+		s.ownsNet = true
+	}
+
+	// Reverse paths for generation ACKs: receiver → source.
+	for _, sess := range s.sessions {
+		for _, r := range sess.Receivers {
+			s.net.SetLink(string(r), string(sess.Source), emunet.LinkConfig{})
+		}
+	}
+
+	// Instantiate VNFs at data centers that appear in the node plans.
+	dcSet := make(map[topology.NodeID]bool, len(s.cfg.DataCenters))
+	for _, dc := range s.cfg.DataCenters {
+		dcSet[dc.ID] = true
+	}
+	for node, np := range plans {
+		if !dcSet[node] {
+			continue
+		}
+		opts := []dataplane.VNFOption{dataplane.WithSeed(s.cfg.Seed + int64(len(s.vnfs)) + 100)}
+		if s.cfg.BufferGenerations > 0 {
+			opts = append(opts, dataplane.WithBufferCapacity(s.cfg.BufferGenerations))
+		}
+		if s.cfg.CodingCostBytesPerSec > 0 {
+			opts = append(opts, dataplane.WithCodingCost(s.cfg.CodingCostBytesPerSec))
+		}
+		vnf := dataplane.NewVNF(s.net.Host(string(node)), opts...)
+		for _, sc := range np.Sessions {
+			if s.cfg.ForceForwarding && sc.Role == dataplane.RoleRecoder {
+				sc.Role = dataplane.RoleForwarder
+			}
+			if err := vnf.Configure(sc); err != nil {
+				vnf.Close()
+				return fmt.Errorf("core: configure VNF at %s: %w", node, err)
+			}
+		}
+		for sid, hops := range np.Table {
+			vnf.Table().Set(sid, hops)
+		}
+		vnf.Start()
+		s.vnfs[node] = vnf
+	}
+
+	// Sources and receivers.
+	for _, sess := range s.sessions {
+		rate := plan.Rates[sess.ID]
+		src, err := dataplane.NewSource(s.net.Host(string(sess.Source)), dataplane.SourceConfig{
+			Session:    sess.ID,
+			Params:     s.cfg.Params,
+			RateMbps:   rate,
+			Redundancy: s.cfg.Redundancy,
+			Systematic: true,
+			Seed:       s.cfg.Seed + int64(sess.ID),
+		})
+		if err != nil {
+			return fmt.Errorf("core: source for session %d: %w", sess.ID, err)
+		}
+		src.SetHops(controller.SourceHops(plans, sess.Source, sess.ID))
+		s.sources[sess.ID] = src
+
+		// One receiving endpoint per node, shared by every session that
+		// terminates there (a node may subscribe to several sessions).
+		s.receivers[sess.ID] = make(map[topology.NodeID]*dataplane.Receiver, len(sess.Receivers))
+		for _, r := range sess.Receivers {
+			ep, ok := s.endpoints[r]
+			if !ok {
+				var ropts []dataplane.VNFOption
+				if s.cfg.CodingCostBytesPerSec > 0 {
+					ropts = append(ropts, dataplane.WithCodingCost(s.cfg.CodingCostBytesPerSec))
+				}
+				ep = dataplane.NewMultiReceiver(s.net.Host(string(r)), nil, ropts...)
+				s.endpoints[r] = ep
+			}
+			if err := ep.AddSession(sess.ID, s.cfg.Params, string(sess.Source)); err != nil {
+				return fmt.Errorf("core: receiver %s for session %d: %w", r, sess.ID, err)
+			}
+			view, err := ep.View(sess.ID)
+			if err != nil {
+				return fmt.Errorf("core: receiver %s for session %d: %w", r, sess.ID, err)
+			}
+			s.receivers[sess.ID][r] = view
+		}
+	}
+	s.plan = plan
+	return nil
+}
+
+// buildNetwork materializes the overlay graph as an emulated network.
+func buildNetwork(g *topology.Graph) *emunet.Network {
+	n := emunet.NewNetwork()
+	for _, node := range g.Nodes() {
+		n.Host(string(node.ID))
+	}
+	for _, l := range g.Links() {
+		cfg := emunet.LinkConfig{Delay: l.Delay, QueuePackets: 512}
+		if l.CapacityMbps > 0 {
+			cfg.RateBps = l.CapacityMbps * 1e6
+		}
+		n.SetLink(string(l.From), string(l.To), cfg)
+	}
+	return n
+}
+
+// Network exposes the underlying packet network (for tests that add
+// impairments after deployment).
+func (s *Service) Network() *emunet.Network {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.net
+}
+
+// Source returns the sender handle of a session.
+func (s *Service) Source(id ncproto.SessionID) (*dataplane.Source, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	src, ok := s.sources[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: session %d", ErrNotDeployed, id)
+	}
+	return src, nil
+}
+
+// Receiver returns the receiver handle of a session at a node.
+func (s *Service) Receiver(id ncproto.SessionID, node topology.NodeID) (*dataplane.Receiver, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	recv, ok := s.receivers[id][node]
+	if !ok {
+		return nil, fmt.Errorf("%w: session %d receiver %s", ErrNotDeployed, id, node)
+	}
+	return recv, nil
+}
+
+// Receivers returns all receiver handles of a session.
+func (s *Service) Receivers(id ncproto.SessionID) []*dataplane.Receiver {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []*dataplane.Receiver
+	for _, r := range s.receivers[id] {
+		out = append(out, r)
+	}
+	return out
+}
+
+// Send reliably multicasts data on a session, blocking until every
+// receiver has acknowledged every generation (or reliability gives up).
+func (s *Service) Send(id ncproto.SessionID, data []byte, timeout time.Duration) (transfer.MulticastStats, error) {
+	s.mu.Lock()
+	src, ok := s.sources[id]
+	var receiverAddrs []string
+	var sess *optimize.Session
+	for i := range s.sessions {
+		if s.sessions[i].ID == id {
+			sess = &s.sessions[i]
+		}
+	}
+	if sess != nil {
+		for _, r := range sess.Receivers {
+			receiverAddrs = append(receiverAddrs, string(r))
+		}
+	}
+	s.mu.Unlock()
+	if !ok || sess == nil {
+		return transfer.MulticastStats{}, fmt.Errorf("%w: session %d", ErrNotDeployed, id)
+	}
+	cfg := transfer.MulticastConfig{Receivers: receiverAddrs}
+	if timeout > 0 {
+		cfg.AckTimeout = timeout
+	}
+	return transfer.Multicast(src, data, cfg)
+}
+
+// NodeStats pairs a data-center node with its VNF's counters.
+type NodeStats struct {
+	Node  topology.NodeID
+	Stats dataplane.Stats
+}
+
+// Report summarizes the deployment's data-plane activity: per-relay packet
+// counters plus per-session delivered generations, for operational
+// visibility after (or during) a run.
+type Report struct {
+	Relays   []NodeStats
+	Sessions map[ncproto.SessionID]SessionReport
+}
+
+// SessionReport aggregates one session's receiver-side progress.
+type SessionReport struct {
+	RateMbps    float64
+	Receivers   int
+	Generations int // minimum across receivers (the multicast's progress)
+	Bytes       int // minimum across receivers
+}
+
+// Stats returns the deployment report.
+func (s *Service) Stats() Report {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rep := Report{Sessions: make(map[ncproto.SessionID]SessionReport, len(s.sessions))}
+	for node, v := range s.vnfs {
+		rep.Relays = append(rep.Relays, NodeStats{Node: node, Stats: v.Stats()})
+	}
+	sort.Slice(rep.Relays, func(i, j int) bool { return rep.Relays[i].Node < rep.Relays[j].Node })
+	for _, sess := range s.sessions {
+		sr := SessionReport{Receivers: len(s.receivers[sess.ID])}
+		if s.plan != nil {
+			sr.RateMbps = s.plan.Rates[sess.ID]
+		}
+		first := true
+		for _, r := range s.receivers[sess.ID] {
+			g, b := r.Generations(), r.Bytes()
+			if first || g < sr.Generations {
+				sr.Generations = g
+			}
+			if first || b < sr.Bytes {
+				sr.Bytes = b
+			}
+			first = false
+		}
+		rep.Sessions[sess.ID] = sr
+	}
+	return rep
+}
+
+// Close tears the deployment down: sources, receivers, VNFs, and (when
+// owned) the network.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	for _, src := range s.sources {
+		src.Close()
+	}
+	for _, ep := range s.endpoints {
+		ep.Close()
+	}
+	for _, v := range s.vnfs {
+		v.Close()
+	}
+	if s.ownsNet && s.net != nil {
+		return s.net.Close()
+	}
+	return nil
+}

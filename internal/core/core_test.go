@@ -1,0 +1,262 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"ncfn/internal/ncproto"
+	"ncfn/internal/optimize"
+	"ncfn/internal/rlnc"
+	"ncfn/internal/topology"
+)
+
+func butterflyService(t *testing.T, redundancy int) *Service {
+	t.Helper()
+	g, src, dsts := topology.Butterfly()
+	svc, err := NewService(Config{
+		Graph: g,
+		DataCenters: []optimize.DataCenter{
+			{ID: "O1", BinMbps: 1000, BoutMbps: 1000, CodeMbps: 500},
+			{ID: "C1", BinMbps: 1000, BoutMbps: 1000, CodeMbps: 500},
+			{ID: "T", BinMbps: 1000, BoutMbps: 1000, CodeMbps: 500},
+			{ID: "V2", BinMbps: 1000, BoutMbps: 1000, CodeMbps: 500},
+		},
+		Alpha:      0.1,
+		Params:     rlnc.Params{GenerationBlocks: 4, BlockSize: 256},
+		Redundancy: redundancy,
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { svc.Close() })
+	if err := svc.AddSession(optimize.Session{
+		ID:        1,
+		Source:    src,
+		Receivers: dsts,
+		MaxDelay:  150 * time.Millisecond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return svc
+}
+
+func TestServiceValidation(t *testing.T) {
+	if _, err := NewService(Config{}); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	g, _, _ := topology.Butterfly()
+	if _, err := NewService(Config{Graph: g, Params: rlnc.Params{GenerationBlocks: -1, BlockSize: 1}}); err == nil {
+		t.Fatal("bad params accepted")
+	}
+}
+
+func TestServiceDefaultParams(t *testing.T) {
+	g, _, _ := topology.Butterfly()
+	svc, err := NewService(Config{Graph: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svc.cfg.Params.BlockSize != rlnc.DefaultBlockSize {
+		t.Fatal("default params not applied")
+	}
+}
+
+func TestServiceLifecycleErrors(t *testing.T) {
+	svc := butterflyService(t, 0)
+	if err := svc.AddSession(optimize.Session{ID: 1}); err == nil {
+		t.Fatal("duplicate session accepted")
+	}
+	if _, err := svc.Source(1); err == nil {
+		t.Fatal("source before deploy")
+	}
+	if _, err := svc.Receiver(1, "O2"); err == nil {
+		t.Fatal("receiver before deploy")
+	}
+	if _, err := svc.Send(1, []byte{1}, 0); err == nil {
+		t.Fatal("send before deploy")
+	}
+	if err := svc.Deploy(); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Deploy(); err == nil {
+		t.Fatal("double deploy accepted")
+	}
+	if err := svc.AddSession(optimize.Session{ID: 2}); err == nil {
+		t.Fatal("session added after deploy")
+	}
+}
+
+func TestServiceDeployNoSessions(t *testing.T) {
+	g, _, _ := topology.Butterfly()
+	svc, _ := NewService(Config{Graph: g})
+	if err := svc.Deploy(); err == nil {
+		t.Fatal("deploy with no sessions accepted")
+	}
+}
+
+func TestServiceButterflyDelivery(t *testing.T) {
+	svc := butterflyService(t, 1)
+	if err := svc.Deploy(); err != nil {
+		t.Fatal(err)
+	}
+	plan := svc.Plan()
+	if plan == nil || plan.Rates[1] < 69 {
+		t.Fatalf("plan rate = %v", plan.Rates)
+	}
+	data := make([]byte, 40*1024)
+	rand.New(rand.NewSource(9)).Read(data)
+	stats, err := svc.Send(1, data, 500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Generations == 0 {
+		t.Fatal("nothing sent")
+	}
+	for _, dst := range []topology.NodeID{"O2", "C2"} {
+		recv, err := svc.Receiver(1, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok := recv.Data(stats.Generations)
+		if !ok {
+			t.Fatalf("%s missing generations", dst)
+		}
+		if !bytes.Equal(got[:len(data)], data) {
+			t.Fatalf("%s data mismatch", dst)
+		}
+	}
+	if len(svc.Receivers(1)) != 2 {
+		t.Fatal("Receivers() wrong")
+	}
+}
+
+func TestServiceSendAfterClose(t *testing.T) {
+	svc := butterflyService(t, 0)
+	if err := svc.Deploy(); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatal("second close errored")
+	}
+}
+
+func TestServiceCloseBeforeDeploy(t *testing.T) {
+	svc := butterflyService(t, 0)
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Deploy(); err == nil {
+		t.Fatal("deploy after close accepted")
+	}
+}
+
+func TestServiceUnknownReceiver(t *testing.T) {
+	svc := butterflyService(t, 0)
+	if err := svc.Deploy(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Receiver(1, "nope"); err == nil {
+		t.Fatal("unknown receiver returned")
+	}
+}
+
+func TestSharedReceiverNodeAcrossSessions(t *testing.T) {
+	// Two sessions terminate at the SAME receiver node; the service must
+	// share one receiving endpoint rather than racing two VNFs over one
+	// socket (regression: packets were being stolen across sessions).
+	g := topology.New()
+	g.AddNode("s1", topology.Source)
+	g.AddNode("s2", topology.Source)
+	g.AddNode("dc", topology.DataCenter)
+	g.AddNode("sink", topology.Destination)
+	for _, l := range []topology.Link{
+		{From: "s1", To: "dc", CapacityMbps: 100, Delay: time.Millisecond},
+		{From: "s2", To: "dc", CapacityMbps: 100, Delay: time.Millisecond},
+		{From: "dc", To: "sink", CapacityMbps: 100, Delay: time.Millisecond},
+	} {
+		if err := g.AddLink(l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	svc, err := NewService(Config{
+		Graph: g,
+		DataCenters: []optimize.DataCenter{
+			{ID: "dc", BinMbps: 1000, BoutMbps: 1000, CodeMbps: 500},
+		},
+		Alpha:  1,
+		Params: rlnc.Params{GenerationBlocks: 4, BlockSize: 128},
+		Seed:   3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	for i, src := range []topology.NodeID{"s1", "s2"} {
+		if err := svc.AddSession(optimize.Session{
+			ID:        ncproto.SessionID(i + 1),
+			Source:    src,
+			Receivers: []topology.NodeID{"sink"},
+			MaxDelay:  100 * time.Millisecond,
+			RateCap:   30, // both sessions must get a share of the 100 Mbps sink link
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := svc.Deploy(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 2; i++ {
+		id := ncproto.SessionID(i)
+		data := make([]byte, 8*1024)
+		rand.New(rand.NewSource(int64(i))).Read(data)
+		stats, err := svc.Send(id, data, 200*time.Millisecond)
+		if err != nil {
+			t.Fatalf("session %d: %v", id, err)
+		}
+		if stats.Rounds > 1 {
+			t.Fatalf("session %d needed %d resend rounds on a perfect network (packet stealing?)", id, stats.Rounds)
+		}
+		recv, err := svc.Receiver(id, "sink")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok := recv.Data(stats.Generations)
+		if !ok || !bytes.Equal(got[:len(data)], data) {
+			t.Fatalf("session %d data mismatch at shared receiver", id)
+		}
+	}
+}
+
+func TestServiceStatsReport(t *testing.T) {
+	svc := butterflyService(t, 1)
+	if err := svc.Deploy(); err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 16*1024)
+	stats, err := svc.Send(1, data, 300*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := svc.Stats()
+	if len(rep.Relays) != 4 {
+		t.Fatalf("relays = %d, want 4", len(rep.Relays))
+	}
+	for _, r := range rep.Relays {
+		if r.Stats.PacketsIn == 0 {
+			t.Fatalf("relay %s saw no packets", r.Node)
+		}
+	}
+	sr := rep.Sessions[1]
+	if sr.Receivers != 2 || sr.Generations != stats.Generations {
+		t.Fatalf("session report = %+v (sent %d generations)", sr, stats.Generations)
+	}
+	if sr.RateMbps < 69 {
+		t.Fatalf("rate = %v", sr.RateMbps)
+	}
+}

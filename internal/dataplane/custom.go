@@ -1,0 +1,75 @@
+package dataplane
+
+import (
+	"ncfn/internal/ncproto"
+)
+
+// This file implements the modular-VNF direction the paper's conclusion
+// proposes: "Modularizing the system design is a possible future direction
+// to explore, so that our system can directly support a broad range of
+// application scenarios beyond network coding, once the network coding
+// related modules are replaced by other application-specific modules."
+//
+// A Function is an application-specific per-session packet module. The VNF
+// keeps providing packet I/O, session configuration, forwarding tables, and
+// the control-plane lifecycle; the Function decides what to emit for each
+// arrival. The built-in recoder/decoder/forwarder roles remain the network
+// coding instances of this idea.
+
+// Emitter sends a packet to one next-hop address.
+type Emitter func(dst string, pkt *ncproto.Packet)
+
+// Function is a pluggable per-session packet module hosted by a VNF.
+// Implementations run under the VNF's processing lock and must not block.
+type Function interface {
+	// OnPacket handles one arriving NC packet. hops are the next-hop
+	// instance addresses selected from the forwarding table for the
+	// packet's generation; emit forwards a (possibly transformed) packet.
+	OnPacket(p *ncproto.Packet, hops []string, emit Emitter)
+}
+
+// RoleCustom marks a session as handled by a custom Function.
+const RoleCustom Role = 99
+
+// ConfigureFunction installs a custom packet function for a session,
+// replacing any prior configuration. The params still describe the wire
+// format (coefficient count) so packets parse.
+func (v *VNF) ConfigureFunction(cfg SessionConfig, fn Function) error {
+	if fn == nil {
+		return errNilFunction
+	}
+	base := cfg
+	base.Role = RoleForwarder // validate with a stock role, then override
+	if err := v.Configure(base); err != nil {
+		return err
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	st := v.sessions[cfg.ID]
+	st.cfg.Role = RoleCustom
+	st.custom = fn
+	return nil
+}
+
+var errNilFunction = errorString("dataplane: nil custom function")
+
+// errorString is a tiny allocation-free error type.
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+// runCustom dispatches one packet to the session's Function.
+func (v *VNF) runCustom(st *sessionState, p *ncproto.Packet) {
+	hops := v.table.NextHops(p.Session, p.Generation)
+	emitted := false
+	st.custom.OnPacket(p, hops, func(dst string, out *ncproto.Packet) {
+		wire := out.Encode(nil)
+		if err := v.conn.Send(dst, wire); err == nil {
+			v.packetsOut.Add(1)
+			emitted = true
+		}
+	})
+	if emitted {
+		v.forwarded.Add(1)
+	}
+}

@@ -1,0 +1,145 @@
+package dataplane
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ncfn/internal/emunet"
+	"ncfn/internal/ncproto"
+)
+
+// countingMirror duplicates every packet to every hop and counts arrivals —
+// a trivially simple "application-specific module" standing in for a
+// non-coding middlebox.
+type countingMirror struct {
+	seen atomic.Int64
+}
+
+func (m *countingMirror) OnPacket(p *ncproto.Packet, hops []string, emit Emitter) {
+	m.seen.Add(1)
+	for _, h := range hops {
+		emit(h, p)
+	}
+}
+
+// dropEven drops packets of even generations (a policy middlebox).
+type dropEven struct{}
+
+func (dropEven) OnPacket(p *ncproto.Packet, hops []string, emit Emitter) {
+	if p.Generation%2 == 0 {
+		return
+	}
+	for _, h := range hops {
+		emit(h, p)
+	}
+}
+
+func TestCustomFunctionMirrors(t *testing.T) {
+	n := emunet.NewNetwork(emunet.AllowDefault())
+	defer n.Close()
+	params := smallParams()
+	v := NewVNF(n.Host("mbox"))
+	mirror := &countingMirror{}
+	if err := v.ConfigureFunction(SessionConfig{ID: 1, Params: params}, mirror); err != nil {
+		t.Fatal(err)
+	}
+	v.Table().Set(1, []HopGroup{{Addrs: []string{"sinkA"}}, {Addrs: []string{"sinkB"}}})
+	v.Start()
+	defer v.Close()
+	sinkA, sinkB := n.Host("sinkA"), n.Host("sinkB")
+
+	p := &ncproto.Packet{Session: 1, Generation: 3, Coeffs: make([]byte, 4), Payload: make([]byte, params.BlockSize)}
+	n.Host("src").Send("mbox", p.Encode(nil))
+
+	for _, sink := range []*emunet.Host{sinkA, sinkB} {
+		got, _, err := sink.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := ncproto.Decode(got, 4)
+		if err != nil || out.Generation != 3 {
+			t.Fatalf("mirrored packet wrong: %v %v", out, err)
+		}
+	}
+	if mirror.seen.Load() != 1 {
+		t.Fatalf("seen = %d", mirror.seen.Load())
+	}
+	if v.Stats().PacketsOut != 2 {
+		t.Fatalf("PacketsOut = %d, want 2", v.Stats().PacketsOut)
+	}
+}
+
+func TestCustomFunctionPolicyDrop(t *testing.T) {
+	n := emunet.NewNetwork(emunet.AllowDefault())
+	defer n.Close()
+	params := smallParams()
+	v := NewVNF(n.Host("mbox"))
+	if err := v.ConfigureFunction(SessionConfig{ID: 1, Params: params}, dropEven{}); err != nil {
+		t.Fatal(err)
+	}
+	v.Table().Set(1, []HopGroup{{Addrs: []string{"sink"}}})
+	v.Start()
+	defer v.Close()
+	sink := n.Host("sink")
+	src := n.Host("src")
+
+	for g := 0; g < 4; g++ {
+		p := &ncproto.Packet{Session: 1, Generation: ncproto.GenerationID(g), Coeffs: make([]byte, 4), Payload: make([]byte, params.BlockSize)}
+		src.Send("mbox", p.Encode(nil))
+	}
+	var got []ncproto.GenerationID
+	timeout := time.After(5 * time.Second)
+	for len(got) < 2 {
+		done := make(chan *ncproto.Packet, 1)
+		go func() {
+			pkt, _, err := sink.Recv()
+			if err != nil {
+				done <- nil
+				return
+			}
+			p, _ := ncproto.Decode(pkt, 4)
+			done <- p
+		}()
+		select {
+		case p := <-done:
+			if p != nil {
+				got = append(got, p.Generation)
+			}
+		case <-timeout:
+			t.Fatalf("received %v before timeout", got)
+		}
+	}
+	for _, g := range got {
+		if g%2 == 0 {
+			t.Fatalf("even generation %d leaked through the policy", g)
+		}
+	}
+	if !waitFor(t, 2*time.Second, func() bool { return v.Stats().PacketsIn == 4 }) {
+		t.Fatalf("PacketsIn = %d", v.Stats().PacketsIn)
+	}
+}
+
+func TestConfigureFunctionNil(t *testing.T) {
+	n := emunet.NewNetwork(emunet.AllowDefault())
+	defer n.Close()
+	v := NewVNF(n.Host("v"))
+	if err := v.ConfigureFunction(SessionConfig{ID: 1, Params: smallParams()}, nil); err == nil {
+		t.Fatal("nil function accepted")
+	}
+}
+
+func TestConfigureFunctionBadParams(t *testing.T) {
+	n := emunet.NewNetwork(emunet.AllowDefault())
+	defer n.Close()
+	v := NewVNF(n.Host("v"))
+	if err := v.ConfigureFunction(SessionConfig{ID: 1}, dropEven{}); err == nil {
+		t.Fatal("bad params accepted")
+	}
+}
+
+func TestRoleCustomString(t *testing.T) {
+	if RoleCustom.String() != "custom" {
+		t.Fatalf("RoleCustom.String() = %s", RoleCustom)
+	}
+}

@@ -1,0 +1,294 @@
+package dataplane
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"ncfn/internal/emunet"
+	"ncfn/internal/ncproto"
+	"ncfn/internal/rlnc"
+	"ncfn/internal/simclock"
+)
+
+// MultiReceiver is a receiving endpoint that decodes any number of
+// sessions arriving on one network address — the situation at a node that
+// subscribes to several multicast sessions at once (e.g. a conference
+// participant listening to every other speaker). It reassembles each
+// session's byte stream in generation order, measures per-session goodput,
+// and acknowledges each decoded generation directly back to that session's
+// source (Sec. V-B2).
+type MultiReceiver struct {
+	vnf   *VNF
+	clock simclock.Clock
+
+	mu       sync.Mutex
+	sessions map[ncproto.SessionID]*recvSession
+
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+	done      chan struct{}
+}
+
+// recvSession is one session's reassembly state.
+type recvSession struct {
+	params     rlnc.Params
+	srcAddr    string
+	got        map[ncproto.GenerationID][]byte
+	bytesDone  int
+	firstReady *time.Time
+	lastReady  *time.Time
+}
+
+// NewMultiReceiver builds a receiving endpoint on conn. Register sessions
+// with AddSession before (or while) traffic flows.
+func NewMultiReceiver(conn emunet.PacketConn, clk simclock.Clock, opts ...VNFOption) *MultiReceiver {
+	if clk == nil {
+		clk = simclock.Real{}
+	}
+	m := &MultiReceiver{
+		vnf:      NewVNF(conn, opts...),
+		clock:    clk,
+		sessions: make(map[ncproto.SessionID]*recvSession),
+		done:     make(chan struct{}),
+	}
+	m.vnf.Start()
+	m.wg.Add(1)
+	go m.collect()
+	return m
+}
+
+// AddSession registers a session to decode. srcAddr, when non-empty, is
+// where generation ACKs for the session are sent.
+func (m *MultiReceiver) AddSession(id ncproto.SessionID, params rlnc.Params, srcAddr string) error {
+	if err := m.vnf.Configure(SessionConfig{ID: id, Params: params, Role: RoleDecoder}); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.sessions[id]; dup {
+		return fmt.Errorf("dataplane: receiver already has session %d", id)
+	}
+	m.sessions[id] = &recvSession{
+		params:  params,
+		srcAddr: srcAddr,
+		got:     make(map[ncproto.GenerationID][]byte),
+	}
+	return nil
+}
+
+// Addr returns the endpoint's network address.
+func (m *MultiReceiver) Addr() string { return m.vnf.Addr() }
+
+// VNF exposes the underlying decoder VNF (for stats).
+func (m *MultiReceiver) VNF() *VNF { return m.vnf }
+
+// collect drains decoded generations from the VNF into session state.
+func (m *MultiReceiver) collect() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.done:
+			return
+		case d := <-m.vnf.Deliveries():
+			now := m.clock.Now()
+			m.mu.Lock()
+			rs := m.sessions[d.Session]
+			var srcAddr string
+			if rs != nil {
+				if _, dup := rs.got[d.Generation]; !dup {
+					rs.got[d.Generation] = d.Data
+					rs.bytesDone += len(d.Data)
+					if rs.firstReady == nil {
+						t := now
+						rs.firstReady = &t
+					}
+					t := now
+					rs.lastReady = &t
+				}
+				srcAddr = rs.srcAddr
+			}
+			m.mu.Unlock()
+			if srcAddr != "" {
+				ack := ncproto.EncodeAck(ncproto.Ack{Session: d.Session, Generation: d.Generation})
+				// Best effort; ACK loss only delays reliability logic.
+				_ = m.vnf.conn.Send(srcAddr, ack)
+			}
+		}
+	}
+}
+
+// session fetches a session's state.
+func (m *MultiReceiver) session(id ncproto.SessionID) *recvSession {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sessions[id]
+}
+
+// Generations returns how many distinct generations of the session have
+// been decoded.
+func (m *MultiReceiver) Generations(id ncproto.SessionID) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rs := m.sessions[id]
+	if rs == nil {
+		return 0
+	}
+	return len(rs.got)
+}
+
+// Bytes returns the session's decoded payload byte count.
+func (m *MultiReceiver) Bytes(id ncproto.SessionID) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rs := m.sessions[id]
+	if rs == nil {
+		return 0
+	}
+	return rs.bytesDone
+}
+
+// Data reassembles the session's generations 0..n-1 into a contiguous byte
+// stream; it returns false if any generation in the range is missing.
+func (m *MultiReceiver) Data(id ncproto.SessionID, n int) ([]byte, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rs := m.sessions[id]
+	if rs == nil {
+		return nil, false
+	}
+	out := make([]byte, 0, n*rs.params.GenerationBytes())
+	for g := 0; g < n; g++ {
+		d, ok := rs.got[ncproto.GenerationID(g)]
+		if !ok {
+			return nil, false
+		}
+		out = append(out, d...)
+	}
+	return out, true
+}
+
+// GenerationData returns the decoded payload of one generation, if
+// complete.
+func (m *MultiReceiver) GenerationData(id ncproto.SessionID, g ncproto.GenerationID) ([]byte, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rs := m.sessions[id]
+	if rs == nil {
+		return nil, false
+	}
+	d, ok := rs.got[g]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), d...), true
+}
+
+// MissingBelow lists the session's generations in [0, n) not yet decoded.
+func (m *MultiReceiver) MissingBelow(id ncproto.SessionID, n int) []ncproto.GenerationID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rs := m.sessions[id]
+	var out []ncproto.GenerationID
+	for g := 0; g < n; g++ {
+		if rs == nil {
+			out = append(out, ncproto.GenerationID(g))
+			continue
+		}
+		if _, ok := rs.got[ncproto.GenerationID(g)]; !ok {
+			out = append(out, ncproto.GenerationID(g))
+		}
+	}
+	return out
+}
+
+// GoodputMbps returns the session's decoded payload throughput between its
+// first and last completed generation.
+func (m *MultiReceiver) GoodputMbps(id ncproto.SessionID) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rs := m.sessions[id]
+	if rs == nil || rs.firstReady == nil || rs.lastReady == nil {
+		return 0
+	}
+	dt := rs.lastReady.Sub(*rs.firstReady).Seconds()
+	if dt <= 0 {
+		return 0
+	}
+	return float64(rs.bytesDone) * 8 / dt / 1e6
+}
+
+// Close stops the endpoint.
+func (m *MultiReceiver) Close() error {
+	var err error
+	m.closeOnce.Do(func() {
+		close(m.done)
+		err = m.vnf.Close()
+		m.wg.Wait()
+	})
+	return err
+}
+
+// Receiver is the single-session receiving endpoint: a view over a
+// MultiReceiver carrying exactly one session. It remains the convenient
+// handle for the common one-session-per-node case.
+type Receiver struct {
+	m  *MultiReceiver
+	id ncproto.SessionID
+}
+
+// NewReceiver builds a receiver for one session on conn. srcAddr, when
+// non-empty, is where generation ACKs are sent.
+func NewReceiver(conn emunet.PacketConn, session ncproto.SessionID, params rlnc.Params, srcAddr string, clk simclock.Clock, opts ...VNFOption) (*Receiver, error) {
+	m := NewMultiReceiver(conn, clk, opts...)
+	if err := m.AddSession(session, params, srcAddr); err != nil {
+		m.Close()
+		return nil, err
+	}
+	return &Receiver{m: m, id: session}, nil
+}
+
+// View returns a single-session handle over a shared MultiReceiver. The
+// session must already be registered. Closing a view closes the shared
+// endpoint.
+func (m *MultiReceiver) View(id ncproto.SessionID) (*Receiver, error) {
+	if m.session(id) == nil {
+		return nil, fmt.Errorf("dataplane: receiver has no session %d", id)
+	}
+	return &Receiver{m: m, id: id}, nil
+}
+
+// Addr returns the receiver's network address.
+func (r *Receiver) Addr() string { return r.m.Addr() }
+
+// VNF exposes the underlying decoder VNF (for stats).
+func (r *Receiver) VNF() *VNF { return r.m.VNF() }
+
+// Generations returns how many distinct generations have been decoded.
+func (r *Receiver) Generations() int { return r.m.Generations(r.id) }
+
+// Bytes returns the total decoded payload bytes.
+func (r *Receiver) Bytes() int { return r.m.Bytes(r.id) }
+
+// Data reassembles generations 0..n-1 into a contiguous byte stream; it
+// returns false if any generation in the range is missing.
+func (r *Receiver) Data(n int) ([]byte, bool) { return r.m.Data(r.id, n) }
+
+// GenerationData returns the decoded payload of one generation, if
+// complete.
+func (r *Receiver) GenerationData(g ncproto.GenerationID) ([]byte, bool) {
+	return r.m.GenerationData(r.id, g)
+}
+
+// MissingBelow lists the generations in [0, n) not yet decoded.
+func (r *Receiver) MissingBelow(n int) []ncproto.GenerationID {
+	return r.m.MissingBelow(r.id, n)
+}
+
+// GoodputMbps returns decoded payload throughput between the first and
+// last completed generation.
+func (r *Receiver) GoodputMbps() float64 { return r.m.GoodputMbps(r.id) }
+
+// Close stops the receiver (and the shared endpoint, if this receiver is a
+// view over one).
+func (r *Receiver) Close() error { return r.m.Close() }

@@ -1,0 +1,271 @@
+package dataplane
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ncfn/internal/emunet"
+	"ncfn/internal/ncproto"
+	"ncfn/internal/rlnc"
+	"ncfn/internal/simclock"
+)
+
+// SourceConfig configures a session sender.
+type SourceConfig struct {
+	Session ncproto.SessionID
+	Params  rlnc.Params
+	// RateMbps paces the payload emission rate; zero sends as fast as the
+	// conn accepts (the emulated links then shape the traffic).
+	RateMbps float64
+	// Redundancy is the number of extra coded packets per generation
+	// (NC0/NC1/NC2).
+	Redundancy int
+	// Systematic emits the generation's source blocks uncoded before the
+	// redundant coded packets, letting downstream nodes forward the first
+	// packet of each generation without coding.
+	Systematic bool
+	// Seed fixes the coding randomness.
+	Seed int64
+	// Clock defaults to the real clock.
+	Clock simclock.Clock
+}
+
+// Source is a session sender: it splits application data into generations,
+// encodes, and emits paced packets to its next hops.
+type Source struct {
+	conn  emunet.PacketConn
+	cfg   SourceConfig
+	table *ForwardingTable
+
+	mu      sync.Mutex
+	nextGen ncproto.GenerationID
+
+	acks      chan AckFrom
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+	done      chan struct{}
+}
+
+// NewSource builds a Source over conn. Call Close to release the receive
+// goroutine that collects generation ACKs.
+func NewSource(conn emunet.PacketConn, cfg SourceConfig) (*Source, error) {
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, fmt.Errorf("dataplane: source: %w", err)
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = simclock.Real{}
+	}
+	s := &Source{
+		conn:  conn,
+		cfg:   cfg,
+		table: NewForwardingTable(),
+		acks:  make(chan AckFrom, 4096),
+		done:  make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.recvLoop()
+	return s, nil
+}
+
+// SetHops installs the source's next-hop groups for its session.
+func (s *Source) SetHops(hops []HopGroup) {
+	s.table.Set(s.cfg.Session, hops)
+}
+
+// AckFrom is a generation acknowledgement tagged with the acknowledging
+// receiver's address, so multicast senders can track per-receiver progress.
+type AckFrom struct {
+	ncproto.Ack
+	From string
+}
+
+// Acks returns the channel of generation acknowledgements flowing back
+// from receivers.
+func (s *Source) Acks() <-chan AckFrom { return s.acks }
+
+// Addr returns the source's network address.
+func (s *Source) Addr() string { return s.conn.LocalAddr() }
+
+// Params returns the source's coding parameters.
+func (s *Source) Params() rlnc.Params { return s.cfg.Params }
+
+// recvLoop collects ACK control packets.
+func (s *Source) recvLoop() {
+	defer s.wg.Done()
+	for {
+		pkt, src, err := s.conn.Recv()
+		if err != nil {
+			if errors.Is(err, emunet.ErrClosed) {
+				return
+			}
+			select {
+			case <-s.done:
+				return
+			default:
+				continue
+			}
+		}
+		if ack, err := ncproto.DecodeAck(pkt); err == nil {
+			select {
+			case s.acks <- AckFrom{Ack: ack, From: src}:
+			default:
+			}
+		}
+	}
+}
+
+// Close stops the source.
+func (s *Source) Close() error {
+	var err error
+	s.closeOnce.Do(func() {
+		close(s.done)
+		err = s.conn.Close()
+		s.wg.Wait()
+	})
+	return err
+}
+
+// SendData splits data into generations and sends them all, pacing at the
+// configured rate. It returns the ID of the first generation sent and the
+// number of generations.
+func (s *Source) SendData(data []byte) (ncproto.GenerationID, int, error) {
+	gens := rlnc.SplitGenerations(s.cfg.Params, data)
+	if len(gens) == 0 {
+		return 0, 0, nil
+	}
+	var first ncproto.GenerationID
+	genBytes := float64(s.cfg.Params.GenerationBytes())
+	var interval time.Duration
+	if s.cfg.RateMbps > 0 {
+		interval = time.Duration(genBytes * 8 / (s.cfg.RateMbps * 1e6) * float64(time.Second))
+	}
+	start := s.cfg.Clock.Now()
+	for i, gen := range gens {
+		last := i == len(gens)-1
+		gid, err := s.SendGeneration(gen, last)
+		if err != nil {
+			return first, i, err
+		}
+		if i == 0 {
+			first = gid
+		}
+		if interval > 0 && !last {
+			// Absolute pacing: sleep to the schedule, not by increments,
+			// so encoding time does not accumulate drift.
+			next := start.Add(time.Duration(i+1) * interval)
+			if d := next.Sub(s.cfg.Clock.Now()); d > 0 {
+				s.cfg.Clock.Sleep(d)
+			}
+		}
+	}
+	return first, len(gens), nil
+}
+
+// SendGeneration encodes and emits a single generation (at most
+// GenerationBytes of data) and returns its generation ID. If last is true
+// the packets carry the end-of-session flag.
+func (s *Source) SendGeneration(data []byte, last bool) (ncproto.GenerationID, error) {
+	s.mu.Lock()
+	gid := s.nextGen
+	s.nextGen++
+	s.mu.Unlock()
+	if err := s.sendGenerationAs(gid, data, last); err != nil {
+		return gid, err
+	}
+	return gid, nil
+}
+
+// ResendGeneration re-encodes and re-sends an already-sent generation with
+// fresh random combinations (the reliability path when a generation times
+// out without an ACK).
+func (s *Source) ResendGeneration(gid ncproto.GenerationID, data []byte, extra int) error {
+	enc, err := rlnc.NewEncoder(s.cfg.Params, data, s.cfg.Seed+int64(gid)+77)
+	if err != nil {
+		return err
+	}
+	groups := s.table.Groups(s.cfg.Session)
+	if len(groups) == 0 {
+		return fmt.Errorf("dataplane: source has no next hops")
+	}
+	for _, h := range groups {
+		dst := h.Pick(s.cfg.Session, gid)
+		if dst == "" {
+			continue
+		}
+		for i := 0; i < extra; i++ {
+			if err := s.emit(gid, enc.Coded(), false, false, dst); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// sendGenerationAs encodes one generation and distributes packets across
+// the hop groups. Each group receives its own quota of *distinct* packets
+// (the conceptual-flow split that lets the multicast rate exceed any single
+// link's capacity); a group with PerGen == 0 receives the full default
+// budget of generation size + redundancy.
+func (s *Source) sendGenerationAs(gid ncproto.GenerationID, data []byte, last bool) error {
+	enc, err := rlnc.NewEncoder(s.cfg.Params, data, s.cfg.Seed+int64(gid))
+	if err != nil {
+		return err
+	}
+	groups := s.table.Groups(s.cfg.Session)
+	if len(groups) == 0 {
+		return fmt.Errorf("dataplane: source has no next hops")
+	}
+	k := s.cfg.Params.GenerationBlocks
+	def := k + s.cfg.Redundancy
+	emittedTotal := 0
+	for _, h := range groups {
+		dst := h.Pick(s.cfg.Session, gid)
+		if dst == "" {
+			continue
+		}
+		quota := h.quota(def)
+		for i := 0; i < quota; i++ {
+			var cb rlnc.CodedBlock
+			systematic := false
+			if s.cfg.Systematic && emittedTotal < k {
+				var ok bool
+				cb, ok = enc.Systematic()
+				systematic = ok
+				if !ok {
+					cb = enc.Coded()
+				}
+			} else {
+				cb = enc.Coded()
+			}
+			emittedTotal++
+			if err := s.emit(gid, cb, systematic, last, dst); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// emit sends one coded block to one destination.
+func (s *Source) emit(gid ncproto.GenerationID, cb rlnc.CodedBlock, systematic, last bool, dst string) error {
+	var flags byte
+	if systematic {
+		flags |= ncproto.FlagSystematic
+	}
+	if last {
+		flags |= ncproto.FlagEndOfSession
+	}
+	wire := (&ncproto.Packet{
+		Flags:      flags,
+		Session:    s.cfg.Session,
+		Generation: gid,
+		Coeffs:     cb.Coeffs,
+		Payload:    cb.Payload,
+	}).Encode(nil)
+	if err := s.conn.Send(dst, wire); err != nil {
+		return fmt.Errorf("dataplane: emit to %s: %w", dst, err)
+	}
+	return nil
+}

@@ -1,0 +1,274 @@
+// Package dataplane implements the network coding VNF of Sec. III: the
+// packet-processing function that receives coded UDP datagrams, buffers
+// them by (session, generation), recodes in a pipelined fashion, and
+// forwards along the session's next hops. The same code runs in four roles:
+//
+//   - Encoder: a source-side function that splits application data into
+//     generations and emits systematic + redundant coded packets.
+//   - Recoder: an intermediate VNF. The first packet of a generation is
+//     simply forwarded; every later arrival triggers emission of a fresh
+//     recoded packet ("pipelined fashion", Sec. III-B2).
+//   - Decoder: recovers generations by progressive Gaussian elimination and
+//     delivers payload to the application (and ACKs the source).
+//   - Forwarder: relays packets unchanged (the routing-only baseline and
+//     the single-input-flow case where "direct forwarding is sufficient").
+//
+// VNFs are substrate-agnostic: they run over an emunet.PacketConn, which is
+// backed either by the in-process emulated network or by real UDP sockets.
+package dataplane
+
+import (
+	"bufio"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+
+	"ncfn/internal/ncproto"
+)
+
+// HopGroup is one logical next hop: a set of VNF instances in the same data
+// center. Packets are dispatched across the instances by (session,
+// generation) hash so that all packets of a generation reach the same
+// instance (Sec. IV-A: "Packets belonging to the same generation are
+// dispatched to the same VNF instance").
+//
+// PerGen is the hop's packet quota per generation, derived by the
+// controller from the session's actual flow f_m(e) on the corresponding
+// link: a link carrying f_m(e) of a session with rate λ_m and k blocks per
+// generation receives ⌈k·f_m(e)/λ_m⌉ distinct coded packets per generation.
+// Zero means "every packet" (simple replication, the unicast/forwarding
+// case).
+type HopGroup struct {
+	Addrs  []string
+	PerGen int
+}
+
+// quota resolves the hop's per-generation packet budget given the session
+// default (generation size + redundancy).
+func (h HopGroup) quota(def int) int {
+	if h.PerGen > 0 {
+		return h.PerGen
+	}
+	return def
+}
+
+// Pick selects the instance for a generation.
+func (h HopGroup) Pick(s ncproto.SessionID, g ncproto.GenerationID) string {
+	if len(h.Addrs) == 0 {
+		return ""
+	}
+	if len(h.Addrs) == 1 {
+		return h.Addrs[0]
+	}
+	hash := fnv.New32a()
+	var b [6]byte
+	b[0] = byte(s >> 8)
+	b[1] = byte(s)
+	b[2] = byte(g >> 24)
+	b[3] = byte(g >> 16)
+	b[4] = byte(g >> 8)
+	b[5] = byte(g)
+	hash.Write(b[:])
+	return h.Addrs[int(hash.Sum32())%len(h.Addrs)]
+}
+
+// ForwardingTable maps each session to its next-hop groups. The paper
+// stores it as a text file pushed by the controller (NC_FORWARD_TAB) and
+// reloaded on SIGUSR1; Load/Save implement that format, and the VNF's
+// UpdateTable implements the pause-swap-resume cycle.
+type ForwardingTable struct {
+	mu      sync.RWMutex
+	entries map[ncproto.SessionID][]HopGroup
+}
+
+// NewForwardingTable returns an empty table.
+func NewForwardingTable() *ForwardingTable {
+	return &ForwardingTable{entries: make(map[ncproto.SessionID][]HopGroup)}
+}
+
+// Set replaces the hop groups for a session.
+func (t *ForwardingTable) Set(s ncproto.SessionID, hops []HopGroup) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cp := make([]HopGroup, len(hops))
+	for i, h := range hops {
+		cp[i] = HopGroup{Addrs: append([]string(nil), h.Addrs...), PerGen: h.PerGen}
+	}
+	t.entries[s] = cp
+}
+
+// Delete removes a session's entry.
+func (t *ForwardingTable) Delete(s ncproto.SessionID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.entries, s)
+}
+
+// NextHops returns the instance addresses to forward a packet of (s, g) to:
+// one instance per hop group.
+func (t *ForwardingTable) NextHops(s ncproto.SessionID, g ncproto.GenerationID) []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	groups := t.entries[s]
+	if len(groups) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(groups))
+	for _, h := range groups {
+		if a := h.Pick(s, g); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Groups returns a copy of the hop groups for a session.
+func (t *ForwardingTable) Groups(s ncproto.SessionID) []HopGroup {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	groups := t.entries[s]
+	out := make([]HopGroup, len(groups))
+	for i, h := range groups {
+		out[i] = HopGroup{Addrs: append([]string(nil), h.Addrs...), PerGen: h.PerGen}
+	}
+	return out
+}
+
+// Sessions returns the sessions with entries, sorted.
+func (t *ForwardingTable) Sessions() []ncproto.SessionID {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]ncproto.SessionID, 0, len(t.entries))
+	for s := range t.entries {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Len returns the number of session entries.
+func (t *ForwardingTable) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.entries)
+}
+
+// Snapshot returns a deep copy of the table contents.
+func (t *ForwardingTable) Snapshot() map[ncproto.SessionID][]HopGroup {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make(map[ncproto.SessionID][]HopGroup, len(t.entries))
+	for s, groups := range t.entries {
+		cp := make([]HopGroup, len(groups))
+		for i, h := range groups {
+			cp[i] = HopGroup{Addrs: append([]string(nil), h.Addrs...), PerGen: h.PerGen}
+		}
+		out[s] = cp
+	}
+	return out
+}
+
+// ReplaceAll swaps in a whole new table content atomically.
+func (t *ForwardingTable) ReplaceAll(entries map[ncproto.SessionID][]HopGroup) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.entries = make(map[ncproto.SessionID][]HopGroup, len(entries))
+	for s, groups := range entries {
+		cp := make([]HopGroup, len(groups))
+		for i, h := range groups {
+			cp[i] = HopGroup{Addrs: append([]string(nil), h.Addrs...), PerGen: h.PerGen}
+		}
+		t.entries[s] = cp
+	}
+}
+
+// Save writes the table in the paper's text format: one line per session,
+// "session <id>: addr1,addr2|addr3" where '|' separates hop groups and ','
+// separates instances within a group.
+func (t *ForwardingTable) Save(path string) error {
+	t.mu.RLock()
+	snapshot := make(map[ncproto.SessionID][]HopGroup, len(t.entries))
+	for s, g := range t.entries {
+		snapshot[s] = g
+	}
+	t.mu.RUnlock()
+
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataplane: save table: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	ids := make([]ncproto.SessionID, 0, len(snapshot))
+	for s := range snapshot {
+		ids = append(ids, s)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, s := range ids {
+		var groups []string
+		for _, h := range snapshot[s] {
+			g := strings.Join(h.Addrs, ",")
+			if h.PerGen > 0 {
+				g = fmt.Sprintf("%s@%d", g, h.PerGen)
+			}
+			groups = append(groups, g)
+		}
+		fmt.Fprintf(w, "session %d: %s\n", s, strings.Join(groups, "|"))
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("dataplane: save table: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("dataplane: save table: %w", err)
+	}
+	return nil
+}
+
+// LoadTable parses a table file written by Save.
+func LoadTable(path string) (*ForwardingTable, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataplane: load table: %w", err)
+	}
+	defer f.Close()
+	t := NewForwardingTable()
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		var id int
+		rest := ""
+		if _, err := fmt.Sscanf(text, "session %d: %s", &id, &rest); err != nil {
+			// Allow empty hop lists: "session 3:".
+			if _, err2 := fmt.Sscanf(text, "session %d:", &id); err2 != nil {
+				return nil, fmt.Errorf("dataplane: load table: line %d: %q", line, text)
+			}
+		}
+		var hops []HopGroup
+		if rest != "" {
+			for _, group := range strings.Split(rest, "|") {
+				perGen := 0
+				if at := strings.LastIndex(group, "@"); at >= 0 {
+					if _, err := fmt.Sscanf(group[at+1:], "%d", &perGen); err != nil {
+						return nil, fmt.Errorf("dataplane: load table: line %d: bad quota %q", line, group)
+					}
+					group = group[:at]
+				}
+				addrs := strings.Split(group, ",")
+				hops = append(hops, HopGroup{Addrs: addrs, PerGen: perGen})
+			}
+		}
+		t.Set(ncproto.SessionID(id), hops)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataplane: load table: %w", err)
+	}
+	return t, nil
+}

@@ -1,0 +1,613 @@
+package dataplane
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ncfn/internal/buffer"
+	"ncfn/internal/emunet"
+	"ncfn/internal/ncproto"
+	"ncfn/internal/rlnc"
+)
+
+// Role is a VNF's function for one session (NC_SETTINGS assigns "VNF roles
+// (encoder or decoder) associated with different sessions").
+type Role int
+
+// Roles.
+const (
+	// RoleRecoder mixes buffered packets into fresh coded packets.
+	RoleRecoder Role = iota + 1
+	// RoleDecoder recovers generations and delivers them.
+	RoleDecoder
+	// RoleForwarder relays packets unchanged.
+	RoleForwarder
+)
+
+// String names the role.
+func (r Role) String() string {
+	switch r {
+	case RoleRecoder:
+		return "recoder"
+	case RoleDecoder:
+		return "decoder"
+	case RoleForwarder:
+		return "forwarder"
+	case RoleCustom:
+		return "custom"
+	default:
+		return "unknown"
+	}
+}
+
+// SessionConfig is the per-session configuration a VNF receives in its
+// NC_SETTINGS message.
+type SessionConfig struct {
+	ID     ncproto.SessionID
+	Params rlnc.Params
+	Role   Role
+	// Redundancy is the number of extra coded packets emitted per
+	// generation beyond the generation size (NC0 = 0, NC1 = 1, NC2 = 2 in
+	// Fig. 8/9).
+	Redundancy int
+	// InPerGen is the number of packets this node expects to receive per
+	// generation (its inbound conceptual-flow allocation); zero means the
+	// full generation size. Recoders pace their per-hop emission quotas
+	// against it.
+	InPerGen int
+}
+
+// Delivery is one decoded generation handed to the application layer.
+type Delivery struct {
+	Session    ncproto.SessionID
+	Generation ncproto.GenerationID
+	Data       []byte
+}
+
+// Stats are cumulative VNF counters.
+type Stats struct {
+	PacketsIn        uint64
+	PacketsOut       uint64
+	PacketsDropped   uint64 // malformed or unknown-session packets
+	GenerationsDone  uint64 // decoder only
+	RecodedEmissions uint64
+	Forwarded        uint64
+}
+
+// VNF is one network coding function instance.
+type VNF struct {
+	conn  emunet.PacketConn
+	table *ForwardingTable
+	buf   *buffer.Buffer
+	seed  int64
+
+	// codingBytesPerSec, when positive, models coding CPU cost (see
+	// WithCodingCost).
+	codingBytesPerSec float64
+	costMu            sync.Mutex
+	costDebt          time.Duration
+
+	mu       sync.RWMutex
+	sessions map[ncproto.SessionID]*sessionState
+
+	// pauseMu serializes packet processing against forwarding-table
+	// updates (the SIGUSR1 pause/resume cycle of Sec. III-A).
+	pauseMu sync.Mutex
+
+	packetsIn        atomic.Uint64
+	packetsOut       atomic.Uint64
+	packetsDropped   atomic.Uint64
+	generationsDone  atomic.Uint64
+	recodedEmissions atomic.Uint64
+	forwarded        atomic.Uint64
+
+	deliveries chan Delivery
+	acks       chan ncproto.Ack
+
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+	done      chan struct{}
+}
+
+type sessionState struct {
+	cfg SessionConfig
+
+	// Per-session wire counters (atomic; read by SessionStats).
+	pktsIn  atomic.Uint64
+	pktsOut atomic.Uint64
+	done    atomic.Uint64
+
+	mu sync.Mutex
+	// emitted counts packets sent per generation per hop-group index
+	// (recoder role).
+	emitted map[ncproto.GenerationID][]int
+	// received counts packets received per generation (recoder role).
+	received map[ncproto.GenerationID]int
+	recoders map[ncproto.GenerationID]*rlnc.Recoder
+	decoders map[ncproto.GenerationID]*rlnc.Decoder
+	// delivered marks generations already handed to the application.
+	delivered map[ncproto.GenerationID]bool
+	nextSeed  int64
+	// custom is the pluggable packet module for RoleCustom sessions.
+	custom Function
+}
+
+// Option configures a VNF.
+type VNFOption func(*VNF)
+
+// WithBufferCapacity overrides the generation buffer capacity (Fig. 5's
+// sweep parameter); the default is buffer.DefaultCapacity (1024).
+func WithBufferCapacity(generations int) VNFOption {
+	return func(v *VNF) { v.buf = buffer.New(generations) }
+}
+
+// WithSeed fixes the VNF's coding randomness for reproducible tests.
+func WithSeed(seed int64) VNFOption {
+	return func(v *VNF) { v.seed = seed }
+}
+
+// WithCodingCost models the CPU cost of GF(2^8) coding at the given
+// effective rate (bytes of generation data combined per second). Encoding
+// or decoding one packet of a k-block generation touches k·blockSize
+// bytes, so large generations throttle a VNF's packet rate — the
+// "encoding and decoding complexity is high" effect behind Fig. 4's
+// throughput plunge. Zero (the default) disables the model; the experiment
+// harness calibrates it to the paper's VM class.
+func WithCodingCost(bytesPerSecond float64) VNFOption {
+	return func(v *VNF) { v.codingBytesPerSec = bytesPerSecond }
+}
+
+// chargeCodingCost accumulates coding work and sleeps whenever the debt
+// exceeds a scheduling-friendly quantum.
+func (v *VNF) chargeCodingCost(workBytes int) {
+	if v.codingBytesPerSec <= 0 {
+		return
+	}
+	v.costMu.Lock()
+	v.costDebt += time.Duration(float64(workBytes) / v.codingBytesPerSec * float64(time.Second))
+	debt := v.costDebt
+	if debt < time.Millisecond {
+		v.costMu.Unlock()
+		return
+	}
+	v.costDebt = 0
+	v.costMu.Unlock()
+	time.Sleep(debt)
+}
+
+// NewVNF constructs a VNF on the given conn. Call Start to begin packet
+// processing and Close to stop it.
+func NewVNF(conn emunet.PacketConn, opts ...VNFOption) *VNF {
+	v := &VNF{
+		conn:       conn,
+		table:      NewForwardingTable(),
+		buf:        buffer.New(0),
+		seed:       1,
+		sessions:   make(map[ncproto.SessionID]*sessionState),
+		deliveries: make(chan Delivery, 1024),
+		acks:       make(chan ncproto.Ack, 1024),
+		done:       make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(v)
+	}
+	return v
+}
+
+// Addr returns the VNF's network address.
+func (v *VNF) Addr() string { return v.conn.LocalAddr() }
+
+// Table returns the VNF's forwarding table.
+func (v *VNF) Table() *ForwardingTable { return v.table }
+
+// Deliveries returns the channel of decoded generations (decoder role).
+func (v *VNF) Deliveries() <-chan Delivery { return v.deliveries }
+
+// Acks returns the channel of received generation acknowledgements
+// (sources consume these for reliability and delay measurement).
+func (v *VNF) Acks() <-chan ncproto.Ack { return v.acks }
+
+// Configure installs (or replaces) a session configuration, as NC_SETTINGS
+// does on a freshly started VNF.
+func (v *VNF) Configure(cfg SessionConfig) error {
+	if err := cfg.Params.Validate(); err != nil {
+		return fmt.Errorf("dataplane: configure session %d: %w", cfg.ID, err)
+	}
+	switch cfg.Role {
+	case RoleRecoder, RoleDecoder, RoleForwarder:
+	default:
+		return fmt.Errorf("dataplane: configure session %d: invalid role %d", cfg.ID, int(cfg.Role))
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.sessions[cfg.ID] = &sessionState{
+		cfg:       cfg,
+		emitted:   make(map[ncproto.GenerationID][]int),
+		received:  make(map[ncproto.GenerationID]int),
+		recoders:  make(map[ncproto.GenerationID]*rlnc.Recoder),
+		decoders:  make(map[ncproto.GenerationID]*rlnc.Decoder),
+		delivered: make(map[ncproto.GenerationID]bool),
+		nextSeed:  v.seed,
+	}
+	return nil
+}
+
+// EndSession drops a session's configuration and buffered state (sent on
+// session termination before NC_VNF_END).
+func (v *VNF) EndSession(id ncproto.SessionID) {
+	v.mu.Lock()
+	delete(v.sessions, id)
+	v.mu.Unlock()
+	v.buf.DropSession(id)
+	v.table.Delete(id)
+}
+
+// Start launches the receive/process loop. It returns immediately.
+func (v *VNF) Start() {
+	v.wg.Add(1)
+	go v.run()
+}
+
+// Close stops the VNF and joins its goroutines.
+func (v *VNF) Close() error {
+	var err error
+	v.closeOnce.Do(func() {
+		close(v.done)
+		err = v.conn.Close()
+		v.wg.Wait()
+	})
+	return err
+}
+
+// Stats returns a snapshot of the VNF's counters.
+func (v *VNF) Stats() Stats {
+	return Stats{
+		PacketsIn:        v.packetsIn.Load(),
+		PacketsOut:       v.packetsOut.Load(),
+		PacketsDropped:   v.packetsDropped.Load(),
+		GenerationsDone:  v.generationsDone.Load(),
+		RecodedEmissions: v.recodedEmissions.Load(),
+		Forwarded:        v.forwarded.Load(),
+	}
+}
+
+// SessionStats reports one session's counters at this VNF.
+type SessionStats struct {
+	// PacketsIn counts well-formed data packets received for the session.
+	PacketsIn uint64
+	// PacketsOut counts recoded emissions (recoder role).
+	PacketsOut uint64
+	// GenerationsDone counts delivered generations (decoder role).
+	GenerationsDone uint64
+	// GenerationsActive counts generations with live coding state.
+	GenerationsActive int
+	Role              Role
+}
+
+// SessionStatsFor returns per-session counters, or false if the session is
+// not configured on this VNF.
+func (v *VNF) SessionStatsFor(id ncproto.SessionID) (SessionStats, bool) {
+	v.mu.RLock()
+	st := v.sessions[id]
+	v.mu.RUnlock()
+	if st == nil {
+		return SessionStats{}, false
+	}
+	st.mu.Lock()
+	active := len(st.recoders) + len(st.decoders)
+	st.mu.Unlock()
+	return SessionStats{
+		PacketsIn:         st.pktsIn.Load(),
+		PacketsOut:        st.pktsOut.Load(),
+		GenerationsDone:   st.done.Load(),
+		GenerationsActive: active,
+		Role:              st.cfg.Role,
+	}, true
+}
+
+// UpdateTable atomically replaces forwarding entries while packet
+// processing is paused, mirroring the daemon's SIGUSR1 pause → reload →
+// resume cycle. It returns once processing has resumed.
+func (v *VNF) UpdateTable(entries map[ncproto.SessionID][]HopGroup) {
+	v.pauseMu.Lock()
+	defer v.pauseMu.Unlock()
+	for s, hops := range entries {
+		if hops == nil {
+			v.table.Delete(s)
+			continue
+		}
+		v.table.Set(s, hops)
+	}
+}
+
+// ReloadTableFile pauses processing, loads a table file pushed by the
+// controller, swaps it in, and resumes — the full NC_FORWARD_TAB handling
+// path whose latency Table III reports.
+func (v *VNF) ReloadTableFile(path string) error {
+	t, err := LoadTable(path)
+	if err != nil {
+		return err
+	}
+	v.pauseMu.Lock()
+	defer v.pauseMu.Unlock()
+	v.table.ReplaceAll(t.Snapshot())
+	return nil
+}
+
+// run is the poll-mode packet loop.
+func (v *VNF) run() {
+	defer v.wg.Done()
+	for {
+		pkt, src, err := v.conn.Recv()
+		if err != nil {
+			if errors.Is(err, emunet.ErrClosed) {
+				return
+			}
+			select {
+			case <-v.done:
+				return
+			default:
+				continue
+			}
+		}
+		v.handlePacket(pkt, src)
+	}
+}
+
+// handlePacket processes one datagram.
+func (v *VNF) handlePacket(pkt []byte, _ string) {
+	v.pauseMu.Lock()
+	defer v.pauseMu.Unlock()
+
+	v.packetsIn.Add(1)
+	if !ncproto.IsNC(pkt) {
+		v.packetsDropped.Add(1)
+		return
+	}
+	// Control packets (generation ACKs) surface to the application.
+	if probe, err := ncproto.Decode(pkt, 0); err == nil && probe.Control() {
+		if ack, err := ncproto.DecodeAck(pkt); err == nil {
+			select {
+			case v.acks <- ack:
+			default:
+			}
+			return
+		}
+	}
+	// Need the session config to know the coefficient count.
+	probe, err := ncproto.Decode(pkt, 0)
+	if err != nil {
+		v.packetsDropped.Add(1)
+		return
+	}
+	v.mu.RLock()
+	st := v.sessions[probe.Session]
+	v.mu.RUnlock()
+	if st == nil {
+		v.packetsDropped.Add(1)
+		return
+	}
+	k := st.cfg.Params.GenerationBlocks
+	p, err := ncproto.Decode(pkt, k)
+	if err != nil || len(p.Payload) != st.cfg.Params.BlockSize {
+		v.packetsDropped.Add(1)
+		return
+	}
+	st.pktsIn.Add(1)
+
+	switch st.cfg.Role {
+	case RoleForwarder:
+		v.forward(p)
+	case RoleRecoder:
+		v.recode(st, p)
+	case RoleDecoder:
+		v.decode(st, p)
+	case RoleCustom:
+		v.runCustom(st, p)
+	}
+}
+
+// forward relays the packet unchanged to all next hops.
+func (v *VNF) forward(p *ncproto.Packet) {
+	hops := v.table.NextHops(p.Session, p.Generation)
+	if len(hops) == 0 {
+		return
+	}
+	buf := p.Encode(nil)
+	for _, h := range hops {
+		if err := v.conn.Send(h, buf); err == nil {
+			v.packetsOut.Add(1)
+			v.forwarded.Add(1)
+		}
+	}
+}
+
+// recode implements the pipelined intermediate VNF of Sec. III-B2.
+func (v *VNF) recode(st *sessionState, p *ncproto.Packet) {
+	key := buffer.GenKey{Session: p.Session, Generation: p.Generation}
+	cb := rlnc.CodedBlock{Coeffs: p.Coeffs, Payload: p.Payload}
+
+	st.mu.Lock()
+	rec, ok := st.recoders[p.Generation]
+	if !ok {
+		var err error
+		rec, err = rlnc.NewRecoder(st.cfg.Params, st.nextSeed)
+		st.nextSeed++
+		if err != nil {
+			st.mu.Unlock()
+			v.packetsDropped.Add(1)
+			return
+		}
+		st.recoders[p.Generation] = rec
+	}
+	if err := rec.Add(cb); err != nil {
+		st.mu.Unlock()
+		v.packetsDropped.Add(1)
+		return
+	}
+	// Track the shared buffer alongside the recoder: the buffer provides
+	// FIFO capacity management; when it evicts a generation we drop the
+	// recoder state too.
+	count := v.buf.Add(key, cb)
+	for gid := range st.recoders {
+		gk := buffer.GenKey{Session: p.Session, Generation: gid}
+		if !v.buf.Contains(gk) {
+			delete(st.recoders, gid)
+			delete(st.emitted, gid)
+			delete(st.received, gid)
+		}
+	}
+
+	st.received[p.Generation]++
+	n := st.received[p.Generation]
+	k := st.cfg.Params.GenerationBlocks
+	inPerGen := st.cfg.InPerGen
+	if inPerGen <= 0 {
+		inPerGen = k
+	}
+	def := k + st.cfg.Redundancy
+
+	groups := v.table.Groups(p.Session)
+	if len(groups) == 0 {
+		st.mu.Unlock()
+		return
+	}
+	counters := st.emitted[p.Generation]
+	if len(counters) != len(groups) {
+		// Table changed shape (controller update); restart pacing state.
+		counters = make([]int, len(groups))
+	}
+
+	// Pipelined per-hop emission: packets are emitted immediately as
+	// arrivals come in, paced so a full generation's worth of arrivals
+	// produces exactly quota_h packets on hop h.
+	//
+	// The pacing schedule depends on whether the hop compresses or
+	// amplifies the flow. A compressing hop (quota < inbound — a merge
+	// node like T in the butterfly, which folds two branches into one
+	// link) must back-load its emissions: an early emission could only mix
+	// packets of whichever branch happened to arrive first and would carry
+	// no innovation for the receiver behind that branch. An amplifying or
+	// neutral hop emits proportionally, i.e. on every arrival.
+	type emission struct {
+		dst string
+		cb  rlnc.CodedBlock
+	}
+	var out []emission
+	firstUsed := false
+	for gi, h := range groups {
+		dst := h.Pick(p.Session, p.Generation)
+		if dst == "" {
+			continue
+		}
+		quota := h.quota(def)
+		var target int
+		if quota <= inPerGen {
+			target = n - (inPerGen - quota)
+			if target < 0 {
+				target = 0
+			}
+		} else {
+			target = n * quota / inPerGen
+		}
+		if target > counters[gi] {
+			for i := counters[gi]; i < target; i++ {
+				if count == 1 && !firstUsed {
+					// First packet of its generation: forward as-is
+					// (Sec. III-B2).
+					firstUsed = true
+					out = append(out, emission{dst: dst, cb: cb.Clone()})
+					continue
+				}
+				if recoded, ok := rec.Recode(); ok {
+					out = append(out, emission{dst: dst, cb: recoded})
+				}
+			}
+			counters[gi] = target
+		}
+	}
+	st.emitted[p.Generation] = counters
+	st.mu.Unlock()
+
+	if len(out) > 0 {
+		v.chargeCodingCost(len(out) * st.cfg.Params.GenerationBlocks * st.cfg.Params.BlockSize)
+	}
+	for _, em := range out {
+		wire := (&ncproto.Packet{
+			Session:    p.Session,
+			Generation: p.Generation,
+			Coeffs:     em.cb.Coeffs,
+			Payload:    em.cb.Payload,
+		}).Encode(nil)
+		if err := v.conn.Send(em.dst, wire); err == nil {
+			v.packetsOut.Add(1)
+			v.recodedEmissions.Add(1)
+			st.pktsOut.Add(1)
+		}
+	}
+}
+
+// decode implements the receiver-side function.
+func (v *VNF) decode(st *sessionState, p *ncproto.Packet) {
+	st.mu.Lock()
+	if st.delivered[p.Generation] {
+		st.mu.Unlock()
+		return
+	}
+	dec, ok := st.decoders[p.Generation]
+	if !ok {
+		var err error
+		dec, err = rlnc.NewDecoder(st.cfg.Params)
+		if err != nil {
+			st.mu.Unlock()
+			v.packetsDropped.Add(1)
+			return
+		}
+		st.decoders[p.Generation] = dec
+	}
+	if _, err := dec.Add(rlnc.CodedBlock{Coeffs: p.Coeffs, Payload: p.Payload}); err != nil {
+		st.mu.Unlock()
+		v.packetsDropped.Add(1)
+		return
+	}
+	v.chargeCodingCost(st.cfg.Params.GenerationBlocks * st.cfg.Params.BlockSize)
+	if !dec.Complete() {
+		st.mu.Unlock()
+		return
+	}
+	data, err := dec.Generation()
+	if err != nil {
+		st.mu.Unlock()
+		return
+	}
+	st.delivered[p.Generation] = true
+	delete(st.decoders, p.Generation)
+	// Prune stale decoder state: generations far behind the newest one
+	// will never complete (their packets are gone), and the delivered set
+	// only needs to cover the reordering window.
+	const window = 4096
+	if len(st.delivered) > 2*window || len(st.decoders) > 2*window {
+		for gid := range st.delivered {
+			if gid+window < p.Generation {
+				delete(st.delivered, gid)
+			}
+		}
+		for gid := range st.decoders {
+			if gid+window < p.Generation {
+				delete(st.decoders, gid)
+			}
+		}
+	}
+	st.mu.Unlock()
+
+	v.generationsDone.Add(1)
+	st.done.Add(1)
+	select {
+	case v.deliveries <- Delivery{Session: p.Session, Generation: p.Generation, Data: data}:
+	default:
+		// Application not draining; drop oldest behavior is up to it.
+	}
+}

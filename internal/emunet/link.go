@@ -1,0 +1,232 @@
+// Package emunet is the in-process network substrate that stands in for the
+// paper's EC2/Linode deployment plus netem. It emulates point-to-point links
+// with configurable rate (token-bucket serialization), propagation delay,
+// bounded queues (tail drop), and the two loss models the paper evaluates:
+// i.i.d. uniform loss (Fig. 8) and the bursty process P_n = 25%·P_{n-1} + P
+// (Fig. 9).
+//
+// Hosts exchange datagrams through PacketConn, the same interface the data
+// plane uses over real UDP sockets (see package udp counterpart in this
+// package), so the identical VNF code runs on both substrates.
+package emunet
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// LossModel decides the fate of each transmitted packet. Implementations
+// are driven from a single goroutine per link and need not be thread-safe.
+type LossModel interface {
+	// Drop reports whether the next packet is lost.
+	Drop() bool
+}
+
+// NoLoss is a LossModel that never drops.
+type NoLoss struct{}
+
+// Drop implements LossModel.
+func (NoLoss) Drop() bool { return false }
+
+// UniformLoss drops each packet independently with probability P.
+type UniformLoss struct {
+	P   float64
+	rng *rand.Rand
+	mu  sync.Mutex
+}
+
+// NewUniformLoss returns an i.i.d. loss model with drop probability p.
+func NewUniformLoss(p float64, seed int64) *UniformLoss {
+	return &UniformLoss{P: p, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Drop implements LossModel.
+func (u *UniformLoss) Drop() bool {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.rng.Float64() < u.P
+}
+
+// BurstLoss implements the paper's bursty loss process for Fig. 9: "the
+// loss rate of the n-th packet is P_n = 25% × P_{n−1} + P, P_0 = 0". We
+// follow the standard (netem-style) reading in which the correlation term
+// feeds back the realized outcome of the previous packet: after a loss the
+// next packet is dropped with probability 0.25 + P, after a delivery with
+// probability P, producing loss bursts whose stationary rate is
+// P / (1 − 0.25) for small P.
+type BurstLoss struct {
+	// P is the base loss probability added each step.
+	P float64
+	// Corr is the contribution of a realized previous loss (0.25 in the
+	// paper).
+	Corr float64
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	prevLost bool
+}
+
+// NewBurstLoss returns the paper's burst model with correlation 0.25.
+func NewBurstLoss(p float64, seed int64) *BurstLoss {
+	return &BurstLoss{P: p, Corr: 0.25, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Drop implements LossModel.
+func (b *BurstLoss) Drop() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	p := b.P
+	if b.prevLost {
+		p += b.Corr
+	}
+	if p > 1 {
+		p = 1
+	}
+	lost := b.rng.Float64() < p
+	b.prevLost = lost
+	return lost
+}
+
+// LinkConfig describes one directed link.
+type LinkConfig struct {
+	// RateBps is the serialization rate in bits per second; zero means
+	// unconstrained.
+	RateBps float64
+	// Delay is the one-way propagation delay.
+	Delay time.Duration
+	// Jitter adds a uniform random extra delay in [0, Jitter) per packet
+	// (netem's delay variance). Nonzero jitter reorders packets — which
+	// RLNC absorbs, since any sufficient set of coded packets decodes
+	// regardless of arrival order.
+	Jitter time.Duration
+	// Loss is the loss process; nil means no loss.
+	Loss LossModel
+	// DuplicateProb duplicates each delivered packet with this probability
+	// (netem's duplication impairment). RLNC receivers absorb duplicates:
+	// a repeated coded packet is simply not innovative.
+	DuplicateProb float64
+	// QueuePackets bounds the sender-side queue; packets arriving at a
+	// full queue are tail-dropped. Zero selects DefaultQueuePackets.
+	QueuePackets int
+}
+
+// DefaultQueuePackets is the default per-link queue bound, roughly a
+// bandwidth-delay product of a fast WAN path at MTU packets.
+const DefaultQueuePackets = 256
+
+// link is the runtime state of one directed link.
+type link struct {
+	mu      sync.Mutex
+	cfg     LinkConfig
+	nextTx  time.Time // when the serializer is next free
+	queued  int       // packets accepted but not yet delivered
+	dropped uint64    // tail drops + loss-model drops
+	sent    uint64
+	jrng    *rand.Rand
+}
+
+// setConfig atomically replaces the link configuration (used by the
+// bandwidth-variation experiments to cut a link's rate at runtime).
+func (l *link) setConfig(cfg LinkConfig) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.cfg = cfg
+}
+
+func (l *link) config() LinkConfig {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.cfg
+}
+
+// queueLimit returns the effective queue bound.
+func (c LinkConfig) queueLimit() int {
+	if c.QueuePackets > 0 {
+		return c.QueuePackets
+	}
+	return DefaultQueuePackets
+}
+
+// admit runs the link's ingress decision for a packet of n bytes at time
+// now. It returns the arrival time at the far end and true, or false if the
+// packet is dropped (queue overflow or loss process).
+func (l *link) admit(now time.Time, n int) (time.Time, bool) {
+	l.mu.Lock()
+	cfg := l.cfg
+	if l.queued >= cfg.queueLimit() {
+		l.dropped++
+		l.mu.Unlock()
+		return time.Time{}, false
+	}
+	var depart time.Time
+	if cfg.RateBps > 0 {
+		txDur := time.Duration(float64(n*8) / cfg.RateBps * float64(time.Second))
+		if l.nextTx.Before(now) {
+			l.nextTx = now
+		}
+		depart = l.nextTx.Add(txDur)
+		l.nextTx = depart
+	} else {
+		depart = now
+	}
+	l.queued++
+	l.mu.Unlock()
+
+	// The loss process applies after serialization (a corrupted packet
+	// still consumed the link). Loss models are internally synchronized.
+	if cfg.Loss != nil && cfg.Loss.Drop() {
+		l.mu.Lock()
+		l.queued--
+		l.dropped++
+		l.mu.Unlock()
+		return time.Time{}, false
+	}
+	l.mu.Lock()
+	l.sent++
+	extra := time.Duration(0)
+	if cfg.Jitter > 0 || cfg.DuplicateProb > 0 {
+		if l.jrng == nil {
+			l.jrng = rand.New(rand.NewSource(int64(l.sent) + 12345))
+		}
+	}
+	if cfg.Jitter > 0 {
+		extra = time.Duration(l.jrng.Int63n(int64(cfg.Jitter)))
+	}
+	l.mu.Unlock()
+	return depart.Add(cfg.Delay + extra), true
+}
+
+// duplicate reports whether the just-admitted packet should also be
+// delivered a second time.
+func (l *link) duplicate() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.cfg.DuplicateProb <= 0 {
+		return false
+	}
+	if l.jrng == nil {
+		l.jrng = rand.New(rand.NewSource(int64(l.sent) + 12345))
+	}
+	return l.jrng.Float64() < l.cfg.DuplicateProb
+}
+
+// release is called when a packet departs the queue (delivered).
+func (l *link) release() {
+	l.mu.Lock()
+	l.queued--
+	l.mu.Unlock()
+}
+
+// Stats reports cumulative link counters.
+type Stats struct {
+	Sent    uint64
+	Dropped uint64
+	Queued  int
+}
+
+func (l *link) stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{Sent: l.sent, Dropped: l.dropped, Queued: l.queued}
+}

@@ -1,0 +1,280 @@
+package emunet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Common errors.
+var (
+	// ErrClosed is returned by operations on a closed conn or network.
+	ErrClosed = errors.New("emunet: closed")
+	// ErrNoRoute is returned when sending to an address with no host.
+	ErrNoRoute = errors.New("emunet: no such host")
+)
+
+// PacketConn is the datagram interface the data plane runs on. It is
+// implemented both by emulated hosts (this package) and by UDP sockets
+// (ncfn/internal/emunet UDPConn), so the VNF code is substrate-agnostic.
+type PacketConn interface {
+	// Send transmits one datagram to dst. It never blocks on the network;
+	// packets the link cannot accept are dropped, like UDP.
+	Send(dst string, pkt []byte) error
+	// Recv blocks until a datagram arrives and returns it with the
+	// sender's address. It returns ErrClosed after Close.
+	Recv() ([]byte, string, error)
+	// LocalAddr returns this endpoint's address.
+	LocalAddr() string
+	// Close releases the endpoint and unblocks pending Recv calls.
+	Close() error
+}
+
+// Network is an in-process datagram network. Hosts are identified by
+// string addresses; directed links between hosts carry the impairments of
+// their LinkConfig. A link must be configured (SetLink) before traffic can
+// flow between two hosts unless AllowDefault is set.
+type Network struct {
+	mu    sync.Mutex
+	hosts map[string]*Host
+	links map[[2]string]*link
+	// allowDefault, when true, lets unconfigured pairs communicate over a
+	// perfect link. Tests use it; experiments configure links explicitly.
+	allowDefault bool
+	closed       bool
+	wg           sync.WaitGroup
+	timers       map[*time.Timer]struct{}
+}
+
+// Option configures a Network.
+type Option func(*Network)
+
+// AllowDefault lets hosts without an explicit link exchange packets over a
+// perfect (infinite-rate, zero-delay, lossless) link.
+func AllowDefault() Option {
+	return func(n *Network) { n.allowDefault = true }
+}
+
+// NewNetwork returns an empty network.
+func NewNetwork(opts ...Option) *Network {
+	n := &Network{
+		hosts:  make(map[string]*Host),
+		links:  make(map[[2]string]*link),
+		timers: make(map[*time.Timer]struct{}),
+	}
+	for _, o := range opts {
+		o(n)
+	}
+	return n
+}
+
+// Host registers (or returns the existing) host with the given address.
+func (n *Network) Host(addr string) *Host {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if h, ok := n.hosts[addr]; ok {
+		return h
+	}
+	h := &Host{
+		net:   n,
+		addr:  addr,
+		inbox: make(chan datagram, 4096),
+		done:  make(chan struct{}),
+	}
+	n.hosts[addr] = h
+	return h
+}
+
+// SetLink installs or replaces the directed link from src to dst.
+func (n *Network) SetLink(src, dst string, cfg LinkConfig) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	key := [2]string{src, dst}
+	if l, ok := n.links[key]; ok {
+		l.setConfig(cfg)
+		return
+	}
+	n.links[key] = &link{cfg: cfg}
+}
+
+// SetDuplexLink installs the same configuration in both directions. Loss
+// models are stateful, so each direction gets its own copy only if the
+// caller passes a fresh model; for stateless configs this is safe to share.
+func (n *Network) SetDuplexLink(a, b string, cfg LinkConfig) {
+	n.SetLink(a, b, cfg)
+	n.SetLink(b, a, cfg)
+}
+
+// LinkStats returns counters for the directed link, or false if none.
+func (n *Network) LinkStats(src, dst string) (Stats, bool) {
+	n.mu.Lock()
+	l, ok := n.links[[2]string{src, dst}]
+	n.mu.Unlock()
+	if !ok {
+		return Stats{}, false
+	}
+	return l.stats(), true
+}
+
+// LinkConfigOf returns the directed link's configuration, or false.
+func (n *Network) LinkConfigOf(src, dst string) (LinkConfig, bool) {
+	n.mu.Lock()
+	l, ok := n.links[[2]string{src, dst}]
+	n.mu.Unlock()
+	if !ok {
+		return LinkConfig{}, false
+	}
+	return l.config(), true
+}
+
+// Close shuts the network down: all hosts' Recv calls unblock and pending
+// deliveries are cancelled. Close blocks until in-flight delivery timers
+// have been reaped.
+func (n *Network) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	hosts := make([]*Host, 0, len(n.hosts))
+	for _, h := range n.hosts {
+		hosts = append(hosts, h)
+	}
+	timers := make([]*time.Timer, 0, len(n.timers))
+	for t := range n.timers {
+		timers = append(timers, t)
+	}
+	n.mu.Unlock()
+	for _, t := range timers {
+		if t.Stop() {
+			// The delivery callback will never run; settle its wg slot.
+			n.wg.Done()
+		}
+	}
+	for _, h := range hosts {
+		h.Close()
+	}
+	n.wg.Wait()
+	return nil
+}
+
+type datagram struct {
+	src string
+	pkt []byte
+}
+
+// Host is one endpoint of the emulated network.
+type Host struct {
+	net   *Network
+	addr  string
+	inbox chan datagram
+
+	closeOnce sync.Once
+	done      chan struct{}
+}
+
+var _ PacketConn = (*Host)(nil)
+
+// LocalAddr implements PacketConn.
+func (h *Host) LocalAddr() string { return h.addr }
+
+// Send implements PacketConn. The packet is copied; the caller may reuse
+// the buffer immediately.
+func (h *Host) Send(dst string, pkt []byte) error {
+	n := h.net
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
+	}
+	peer, ok := n.hosts[dst]
+	if !ok {
+		n.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNoRoute, dst)
+	}
+	l, ok := n.links[[2]string{h.addr, dst}]
+	if !ok {
+		if !n.allowDefault {
+			n.mu.Unlock()
+			return fmt.Errorf("%w: no link %s->%s", ErrNoRoute, h.addr, dst)
+		}
+		l = &link{}
+		n.links[[2]string{h.addr, dst}] = l
+	}
+	n.mu.Unlock()
+
+	now := time.Now()
+	arrival, ok := l.admit(now, len(pkt))
+	if !ok {
+		return nil // dropped, like UDP: no error to the sender
+	}
+	copies := 1
+	if l.duplicate() {
+		copies = 2
+	}
+	buf := append([]byte(nil), pkt...)
+	wait := arrival.Sub(now)
+	if wait <= 0 {
+		l.release()
+		for c := 0; c < copies; c++ {
+			peer.deliver(datagram{src: h.addr, pkt: buf})
+		}
+		return nil
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		l.release()
+		return ErrClosed
+	}
+	n.wg.Add(1)
+	var timer *time.Timer
+	timer = time.AfterFunc(wait, func() {
+		defer n.wg.Done()
+		l.release()
+		for c := 0; c < copies; c++ {
+			peer.deliver(datagram{src: h.addr, pkt: buf})
+		}
+		n.mu.Lock()
+		delete(n.timers, timer)
+		n.mu.Unlock()
+	})
+	n.timers[timer] = struct{}{}
+	n.mu.Unlock()
+	return nil
+}
+
+// deliver places a datagram in the host's inbox, dropping it if the inbox
+// is full (receiver-side buffer overflow) or the host is closed.
+func (h *Host) deliver(d datagram) {
+	select {
+	case <-h.done:
+	case h.inbox <- d:
+	default:
+		// Inbox full: receiver too slow; drop like a kernel socket buffer.
+	}
+}
+
+// Recv implements PacketConn.
+func (h *Host) Recv() ([]byte, string, error) {
+	select {
+	case <-h.done:
+		// Drain packets already queued before reporting closure.
+		select {
+		case d := <-h.inbox:
+			return d.pkt, d.src, nil
+		default:
+			return nil, "", ErrClosed
+		}
+	case d := <-h.inbox:
+		return d.pkt, d.src, nil
+	}
+}
+
+// Close implements PacketConn.
+func (h *Host) Close() error {
+	h.closeOnce.Do(func() { close(h.done) })
+	return nil
+}

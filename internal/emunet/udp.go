@@ -1,0 +1,172 @@
+package emunet
+
+import (
+	"fmt"
+	"net"
+	"sync"
+)
+
+// UDPConn adapts a real UDP socket to the PacketConn interface, so the same
+// data-plane code that runs on the emulated network can be deployed over
+// the loopback interface or a real network. Addresses are logical names
+// resolved through a shared registry (the deployment's "forwarding table of
+// IP addresses" in paper terms).
+//
+// The receive path mimics the paper's DPDK poll-mode design as closely as a
+// kernel socket allows: a dedicated goroutine blocks in ReadFromUDP in a
+// tight loop and hands packets to the consumer over a buffered channel,
+// keeping the socket drained.
+type UDPConn struct {
+	name     string
+	conn     *net.UDPConn
+	registry *Registry
+	inbox    chan datagram
+
+	closeOnce sync.Once
+	done      chan struct{}
+	readerWG  sync.WaitGroup
+}
+
+var _ PacketConn = (*UDPConn)(nil)
+
+// Registry maps logical node names to UDP addresses. It is safe for
+// concurrent use.
+type Registry struct {
+	mu    sync.RWMutex
+	addrs map[string]*net.UDPAddr
+}
+
+// NewRegistry returns an empty name registry.
+func NewRegistry() *Registry {
+	return &Registry{addrs: make(map[string]*net.UDPAddr)}
+}
+
+// Register associates a logical name with a UDP address.
+func (r *Registry) Register(name string, addr *net.UDPAddr) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.addrs[name] = addr
+}
+
+// Lookup resolves a logical name.
+func (r *Registry) Lookup(name string) (*net.UDPAddr, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	a, ok := r.addrs[name]
+	return a, ok
+}
+
+// reverse finds the logical name for a UDP address (linear scan; registry
+// sizes are small — one entry per node).
+func (r *Registry) reverse(addr *net.UDPAddr) string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for name, a := range r.addrs {
+		if a.IP.Equal(addr.IP) && a.Port == addr.Port {
+			return name
+		}
+	}
+	return addr.String()
+}
+
+// ListenUDP opens a UDP socket on addr (e.g. "127.0.0.1:0"), registers it
+// under name, and returns the PacketConn.
+func ListenUDP(name, addr string, registry *Registry) (*UDPConn, error) {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("emunet: resolve %q: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("emunet: listen %q: %w", addr, err)
+	}
+	local, ok := conn.LocalAddr().(*net.UDPAddr)
+	if !ok {
+		conn.Close()
+		return nil, fmt.Errorf("emunet: unexpected local address type %T", conn.LocalAddr())
+	}
+	registry.Register(name, local)
+	u := &UDPConn{
+		name:     name,
+		conn:     conn,
+		registry: registry,
+		inbox:    make(chan datagram, 4096),
+		done:     make(chan struct{}),
+	}
+	u.readerWG.Add(1)
+	go u.readLoop()
+	return u, nil
+}
+
+// readLoop is the poll-mode receive goroutine.
+func (u *UDPConn) readLoop() {
+	defer u.readerWG.Done()
+	buf := make([]byte, 65536)
+	for {
+		n, from, err := u.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-u.done:
+				return
+			default:
+			}
+			// Transient error on a live socket: keep polling.
+			continue
+		}
+		pkt := append([]byte(nil), buf[:n]...)
+		select {
+		case u.inbox <- datagram{src: u.registry.reverse(from), pkt: pkt}:
+		case <-u.done:
+			return
+		default:
+			// Consumer too slow; drop, as a kernel buffer would.
+		}
+	}
+}
+
+// LocalAddr implements PacketConn.
+func (u *UDPConn) LocalAddr() string { return u.name }
+
+// UDPAddr returns the socket's bound address.
+func (u *UDPConn) UDPAddr() *net.UDPAddr {
+	a, _ := u.conn.LocalAddr().(*net.UDPAddr)
+	return a
+}
+
+// Send implements PacketConn.
+func (u *UDPConn) Send(dst string, pkt []byte) error {
+	addr, ok := u.registry.Lookup(dst)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoRoute, dst)
+	}
+	if _, err := u.conn.WriteToUDP(pkt, addr); err != nil {
+		return fmt.Errorf("emunet: send to %q: %w", dst, err)
+	}
+	return nil
+}
+
+// Recv implements PacketConn.
+func (u *UDPConn) Recv() ([]byte, string, error) {
+	select {
+	case <-u.done:
+		select {
+		case d := <-u.inbox:
+			return d.pkt, d.src, nil
+		default:
+			return nil, "", ErrClosed
+		}
+	case d := <-u.inbox:
+		return d.pkt, d.src, nil
+	}
+}
+
+// Close implements PacketConn. It joins the reader goroutine.
+func (u *UDPConn) Close() error {
+	var err error
+	u.closeOnce.Do(func() {
+		close(u.done)
+		err = u.conn.Close()
+		u.readerWG.Wait()
+	})
+	return err
+}

@@ -1,0 +1,200 @@
+package flowsim
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ncfn/internal/controller"
+)
+
+func TestNewDeploymentDefaults(t *testing.T) {
+	d, err := NewDeployment(ScenarioConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Sessions) != 6 {
+		t.Fatalf("sessions = %d, want 6", len(d.Sessions))
+	}
+	if len(d.Regions) != 6 {
+		t.Fatalf("regions = %d, want 6", len(d.Regions))
+	}
+	for _, s := range d.Sessions {
+		if len(s.Receivers) < 1 || len(s.Receivers) > 4 {
+			t.Fatalf("session %d has %d receivers, want [1,4]", s.ID, len(s.Receivers))
+		}
+		if s.RateCap != 250 {
+			t.Fatalf("rate cap = %v", s.RateCap)
+		}
+	}
+}
+
+func TestFig10TimelineShape(t *testing.T) {
+	d, err := NewDeployment(ScenarioConfig{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := Run(d.Controller, d.Clock, d.Fig10Events(), RunConfig{
+		Duration: 120 * time.Minute,
+		Interval: 10 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 13 {
+		t.Fatalf("samples = %d, want 13", len(samples))
+	}
+	byMinute := make(map[float64]Sample, len(samples))
+	for _, s := range samples {
+		byMinute[s.At.Minutes()] = s
+	}
+	// Throughput grows over the first 30 minutes as sessions join...
+	if !(byMinute[30].Throughput > byMinute[0].Throughput) {
+		t.Fatalf("throughput did not grow: t0=%v t30=%v", byMinute[0].Throughput, byMinute[30].Throughput)
+	}
+	// ...and shrinks after sessions leave (minute 60 has 3 sessions).
+	if !(byMinute[60].Throughput < byMinute[30].Throughput) {
+		t.Fatalf("throughput did not shrink: t30=%v t60=%v", byMinute[30].Throughput, byMinute[60].Throughput)
+	}
+	// VNF count follows the same rise and fall.
+	if !(byMinute[30].VNFs >= byMinute[0].VNFs) {
+		t.Fatalf("VNFs did not grow: %v -> %v", byMinute[0].VNFs, byMinute[30].VNFs)
+	}
+	// After the tail (sessions stable), VNFs must be below the peak.
+	peak := 0
+	for _, s := range samples {
+		if s.VNFs > peak {
+			peak = s.VNFs
+		}
+	}
+	if byMinute[120].VNFs > peak {
+		t.Fatal("final VNF count above peak")
+	}
+	// Positive throughput throughout (three sessions always active).
+	for _, s := range samples {
+		if s.Throughput <= 0 {
+			t.Fatalf("zero throughput at %v", s.At)
+		}
+	}
+}
+
+func TestFig11BandwidthCutsRecover(t *testing.T) {
+	d, err := NewDeployment(ScenarioConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := Run(d.Controller, d.Clock, d.Fig11Events(3), RunConfig{
+		Duration: 70 * time.Minute,
+		Interval: 10 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 8 {
+		t.Fatalf("samples = %d", len(samples))
+	}
+	base := samples[0].Throughput
+	if base <= 0 {
+		t.Fatal("no initial throughput")
+	}
+	// Throughput must stay within a sane band (cuts can reduce it, the
+	// controller recovers it), and VNFs must never be zero while six
+	// sessions are active.
+	for _, s := range samples {
+		if s.Throughput < 0 || s.Throughput > base*1.5 {
+			t.Fatalf("throughput %v out of band at %v", s.Throughput, s.At)
+		}
+		if s.VNFs == 0 {
+			t.Fatalf("zero VNFs at %v", s.At)
+		}
+	}
+}
+
+func TestRunEventErrorPropagates(t *testing.T) {
+	d, err := NewDeployment(ScenarioConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := []Event{{
+		At:   0,
+		Name: "boom",
+		Do:   func(*controller.Controller) error { return errBoom{} },
+	}}
+	if _, err := Run(d.Controller, d.Clock, events, RunConfig{Duration: 10 * time.Minute, Interval: 10 * time.Minute}); err == nil {
+		t.Fatal("event error swallowed")
+	}
+}
+
+type errBoom struct{}
+
+func (errBoom) Error() string { return "boom" }
+
+func TestSeriesRendering(t *testing.T) {
+	samples := []Sample{
+		{At: 0, Throughput: 100, VNFs: 3},
+		{At: 10 * time.Minute, Throughput: 200, VNFs: 5},
+	}
+	s := Series("Fig 10", samples)
+	var sb strings.Builder
+	if err := s.WriteTable(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Fig 10") || !strings.Contains(out, "200") {
+		t.Fatalf("series table: %q", out)
+	}
+}
+
+func TestDeterministicScenario(t *testing.T) {
+	a, err := NewDeployment(ScenarioConfig{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewDeployment(ScenarioConfig{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Sessions {
+		if a.Sessions[i].Source != b.Sessions[i].Source {
+			t.Fatal("scenario not deterministic")
+		}
+		if len(a.Sessions[i].Receivers) != len(b.Sessions[i].Receivers) {
+			t.Fatal("scenario not deterministic")
+		}
+	}
+}
+
+func TestDelayEventsForceRerouting(t *testing.T) {
+	d, err := NewDeployment(ScenarioConfig{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := Run(d.Controller, d.Clock, d.DelayEvents(), RunConfig{
+		Duration: 40 * time.Minute,
+		Interval: 10 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 5 {
+		t.Fatalf("samples = %d", len(samples))
+	}
+	// Six sessions stay admitted throughout; the delay shift may reroute
+	// or reduce rates but must never take the system down.
+	for _, s := range samples {
+		if s.Throughput <= 0 {
+			t.Fatalf("zero throughput at %v", s.At)
+		}
+	}
+	// The controller must have reacted to the confirmed delay change with
+	// at least one forwarding-table push after minute 20.
+	reacted := false
+	for _, e := range d.Controller.Events() {
+		if e.Signal == controller.NCForwardTab && e.At.Sub(epoch) >= 20*time.Minute {
+			reacted = true
+		}
+	}
+	if !reacted {
+		t.Fatal("no forwarding-table reaction to the confirmed delay change")
+	}
+}

@@ -1,0 +1,51 @@
+package gf
+
+// This file provides GF(2) (binary field) arithmetic used by the field-size
+// ablation experiments. In GF(2) every coefficient is a single bit, so
+// encoded packets carry 1-bit coefficients, and the probability that a
+// random packet is non-innovative is much higher than over GF(2^8)
+// (Sec. III-B of the paper explains why tiny generations would need a
+// larger field).
+
+// Field selects which finite field the RLNC codec draws coefficients from.
+type Field int
+
+const (
+	// GF256 is GF(2^8), the paper's default field.
+	GF256 Field = iota + 1
+	// GF2 is the binary field, used for the ablation study only.
+	GF2
+)
+
+// String returns the conventional name of the field.
+func (f Field) String() string {
+	switch f {
+	case GF256:
+		return "GF(2^8)"
+	case GF2:
+		return "GF(2)"
+	default:
+		return "GF(?)"
+	}
+}
+
+// Size returns the number of elements in the field.
+func (f Field) Size() int {
+	switch f {
+	case GF256:
+		return 256
+	case GF2:
+		return 2
+	default:
+		return 0
+	}
+}
+
+// ClampCoeff restricts a random byte to a valid coefficient for the field.
+// For GF(2^8) it is the identity; for GF(2) it keeps only the low bit.
+func (f Field) ClampCoeff(b byte) byte {
+	if f == GF2 {
+		return b & 1
+	}
+	return b
+}

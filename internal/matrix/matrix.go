@@ -1,0 +1,265 @@
+// Package matrix provides dense matrices over GF(2^8) and the linear-algebra
+// routines the RLNC decoder relies on: rank computation, reduced row-echelon
+// form, inversion, and linear solves.
+//
+// All operations work in place on row slices so the decoder can run its
+// progressive Gaussian elimination without copying payloads.
+package matrix
+
+import (
+	"errors"
+	"fmt"
+
+	"ncfn/internal/gf"
+)
+
+// ErrSingular is returned when a matrix has no inverse or a linear system
+// has no unique solution.
+var ErrSingular = errors.New("matrix: singular")
+
+// Matrix is a dense rows x cols matrix over GF(2^8). The zero value is an
+// empty matrix; use New to allocate one with dimensions.
+type Matrix struct {
+	rows, cols int
+	data       [][]byte
+}
+
+// New returns a zero-filled rows x cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("matrix: invalid dimensions %dx%d", rows, cols))
+	}
+	data := make([][]byte, rows)
+	backing := make([]byte, rows*cols)
+	for i := range data {
+		data[i], backing = backing[:cols:cols], backing[cols:]
+	}
+	return &Matrix{rows: rows, cols: cols, data: data}
+}
+
+// FromRows builds a matrix that shares storage with the given row slices.
+// All rows must have equal length.
+func FromRows(rows [][]byte) (*Matrix, error) {
+	if len(rows) == 0 {
+		return &Matrix{}, nil
+	}
+	cols := len(rows[0])
+	for i, r := range rows {
+		if len(r) != cols {
+			return nil, fmt.Errorf("matrix: row %d has length %d, want %d", i, len(r), cols)
+		}
+	}
+	return &Matrix{rows: len(rows), cols: cols, data: rows}, nil
+}
+
+// Identity returns the n x n identity matrix.
+func Identity(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.data[i][i] = 1
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) byte { return m.data[i][j] }
+
+// Set assigns the element at row i, column j.
+func (m *Matrix) Set(i, j int, v byte) { m.data[i][j] = v }
+
+// Row returns row i. The returned slice shares storage with the matrix.
+func (m *Matrix) Row(i int) []byte { return m.data[i] }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.rows, m.cols)
+	for i := range m.data {
+		copy(c.data[i], m.data[i])
+	}
+	return c
+}
+
+// Equal reports whether m and o have identical dimensions and contents.
+func (m *Matrix) Equal(o *Matrix) bool {
+	if m.rows != o.rows || m.cols != o.cols {
+		return false
+	}
+	for i := range m.data {
+		for j := range m.data[i] {
+			if m.data[i][j] != o.data[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Mul returns the matrix product m * o.
+func (m *Matrix) Mul(o *Matrix) (*Matrix, error) {
+	if m.cols != o.rows {
+		return nil, fmt.Errorf("matrix: cannot multiply %dx%d by %dx%d", m.rows, m.cols, o.rows, o.cols)
+	}
+	out := New(m.rows, o.cols)
+	for i := 0; i < m.rows; i++ {
+		for k := 0; k < m.cols; k++ {
+			c := m.data[i][k]
+			if c == 0 {
+				continue
+			}
+			gf.AddMulSlice(out.data[i], o.data[k], c)
+		}
+	}
+	return out, nil
+}
+
+// MulVec returns the matrix-vector product m * v.
+func (m *Matrix) MulVec(v []byte) ([]byte, error) {
+	if m.cols != len(v) {
+		return nil, fmt.Errorf("matrix: cannot multiply %dx%d by vector of length %d", m.rows, m.cols, len(v))
+	}
+	out := make([]byte, m.rows)
+	for i := 0; i < m.rows; i++ {
+		out[i] = gf.DotProduct(m.data[i], v)
+	}
+	return out, nil
+}
+
+// Rank returns the rank of the matrix. m is not modified.
+func (m *Matrix) Rank() int {
+	return m.Clone().rankInPlace()
+}
+
+func (m *Matrix) rankInPlace() int {
+	rank := 0
+	for col := 0; col < m.cols && rank < m.rows; col++ {
+		// Find a pivot at or below row `rank`.
+		pivot := -1
+		for r := rank; r < m.rows; r++ {
+			if m.data[r][col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		m.data[rank], m.data[pivot] = m.data[pivot], m.data[rank]
+		// Eliminate below.
+		p := m.data[rank][col]
+		for r := rank + 1; r < m.rows; r++ {
+			if m.data[r][col] == 0 {
+				continue
+			}
+			factor := gf.Div(m.data[r][col], p)
+			gf.AddMulSlice(m.data[r], m.data[rank], factor)
+		}
+		rank++
+	}
+	return rank
+}
+
+// RREF reduces the matrix to reduced row-echelon form in place and returns
+// its rank.
+func (m *Matrix) RREF() int {
+	rank := 0
+	for col := 0; col < m.cols && rank < m.rows; col++ {
+		pivot := -1
+		for r := rank; r < m.rows; r++ {
+			if m.data[r][col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		m.data[rank], m.data[pivot] = m.data[pivot], m.data[rank]
+		// Normalize the pivot row.
+		if p := m.data[rank][col]; p != 1 {
+			gf.MulSlice(m.data[rank], m.data[rank], gf.Inv(p))
+		}
+		// Eliminate everywhere else.
+		for r := 0; r < m.rows; r++ {
+			if r == rank || m.data[r][col] == 0 {
+				continue
+			}
+			gf.AddMulSlice(m.data[r], m.data[rank], m.data[r][col])
+		}
+		rank++
+	}
+	return rank
+}
+
+// Inverse returns the inverse of a square matrix, or ErrSingular.
+func (m *Matrix) Inverse() (*Matrix, error) {
+	if m.rows != m.cols {
+		return nil, fmt.Errorf("matrix: cannot invert %dx%d: %w", m.rows, m.cols, ErrSingular)
+	}
+	n := m.rows
+	if m.Rank() < n {
+		return nil, ErrSingular
+	}
+	// Build the augmented matrix [m | I] and reduce.
+	aug := New(n, 2*n)
+	for i := 0; i < n; i++ {
+		copy(aug.data[i][:n], m.data[i])
+		aug.data[i][n+i] = 1
+	}
+	aug.RREF()
+	// Left half must now be the identity; the right half is the inverse.
+	inv := New(n, n)
+	for i := 0; i < n; i++ {
+		copy(inv.data[i], aug.data[i][n:])
+	}
+	return inv, nil
+}
+
+// Solve returns x such that m * x = b for a square nonsingular m.
+func (m *Matrix) Solve(b []byte) ([]byte, error) {
+	if m.rows != m.cols {
+		return nil, fmt.Errorf("matrix: cannot solve %dx%d system: %w", m.rows, m.cols, ErrSingular)
+	}
+	if len(b) != m.rows {
+		return nil, fmt.Errorf("matrix: rhs length %d, want %d", len(b), m.rows)
+	}
+	n := m.rows
+	aug := New(n, n+1)
+	for i := 0; i < n; i++ {
+		copy(aug.data[i][:n], m.data[i])
+		aug.data[i][n] = b[i]
+	}
+	left, err := FromRows(func() [][]byte {
+		rows := make([][]byte, n)
+		for i := range rows {
+			rows[i] = aug.data[i][:n]
+		}
+		return rows
+	}())
+	if err != nil {
+		return nil, err
+	}
+	if left.Clone().rankInPlace() < n {
+		return nil, ErrSingular
+	}
+	aug.RREF()
+	x := make([]byte, n)
+	for i := 0; i < n; i++ {
+		x[i] = aug.data[i][n]
+	}
+	return x, nil
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	s := ""
+	for i := 0; i < m.rows; i++ {
+		s += fmt.Sprintf("%v\n", m.data[i])
+	}
+	return s
+}

@@ -1,0 +1,311 @@
+package matrix
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ncfn/internal/gf"
+)
+
+func randomMatrix(rng *rand.Rand, rows, cols int) *Matrix {
+	m := New(rows, cols)
+	for i := 0; i < rows; i++ {
+		rng.Read(m.Row(i))
+	}
+	return m
+}
+
+func TestNewDimensions(t *testing.T) {
+	m := New(3, 5)
+	if m.Rows() != 3 || m.Cols() != 5 {
+		t.Fatalf("got %dx%d, want 3x5", m.Rows(), m.Cols())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 5; j++ {
+			if m.At(i, j) != 0 {
+				t.Fatal("new matrix not zero-filled")
+			}
+		}
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative dimensions did not panic")
+		}
+	}()
+	New(-1, 2)
+}
+
+func TestSetAt(t *testing.T) {
+	m := New(2, 2)
+	m.Set(1, 0, 42)
+	if m.At(1, 0) != 42 {
+		t.Fatal("Set/At mismatch")
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	m, err := FromRows([][]byte{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != 2 || m.Cols() != 2 || m.At(1, 1) != 4 {
+		t.Fatal("FromRows contents wrong")
+	}
+}
+
+func TestFromRowsEmpty(t *testing.T) {
+	m, err := FromRows(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != 0 {
+		t.Fatal("empty FromRows should have 0 rows")
+	}
+}
+
+func TestFromRowsRagged(t *testing.T) {
+	if _, err := FromRows([][]byte{{1}, {2, 3}}); err == nil {
+		t.Fatal("ragged rows accepted")
+	}
+}
+
+func TestIdentityRank(t *testing.T) {
+	for n := 1; n <= 8; n++ {
+		if got := Identity(n).Rank(); got != n {
+			t.Fatalf("Identity(%d).Rank() = %d", n, got)
+		}
+	}
+}
+
+func TestRankZeroMatrix(t *testing.T) {
+	if got := New(4, 4).Rank(); got != 0 {
+		t.Fatalf("zero matrix rank = %d, want 0", got)
+	}
+}
+
+func TestRankDuplicateRows(t *testing.T) {
+	m, _ := FromRows([][]byte{{1, 2, 3}, {1, 2, 3}, {0, 1, 0}})
+	if got := m.Rank(); got != 2 {
+		t.Fatalf("rank = %d, want 2", got)
+	}
+}
+
+func TestRankScaledRow(t *testing.T) {
+	// Row 2 = 5 * row 1 in GF arithmetic => dependent.
+	row := []byte{7, 11, 13}
+	scaled := make([]byte, 3)
+	gf.MulSlice(scaled, row, 5)
+	m, _ := FromRows([][]byte{row, scaled})
+	if got := m.Rank(); got != 1 {
+		t.Fatalf("rank = %d, want 1", got)
+	}
+}
+
+func TestRankDoesNotModify(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := randomMatrix(rng, 4, 4)
+	c := m.Clone()
+	m.Rank()
+	if !m.Equal(c) {
+		t.Fatal("Rank modified the matrix")
+	}
+}
+
+func TestRREFIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		m := randomMatrix(rng, 5, 7)
+		m.RREF()
+		c := m.Clone()
+		m.RREF()
+		if !m.Equal(c) {
+			t.Fatal("RREF not idempotent")
+		}
+	}
+}
+
+func TestRREFPivotsAreOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := randomMatrix(rng, 4, 6)
+	m.RREF()
+	for i := 0; i < m.Rows(); i++ {
+		for j := 0; j < m.Cols(); j++ {
+			if m.At(i, j) != 0 {
+				if m.At(i, j) != 1 {
+					t.Fatalf("leading entry of row %d is %d, want 1", i, m.At(i, j))
+				}
+				// The pivot column must be zero elsewhere.
+				for r := 0; r < m.Rows(); r++ {
+					if r != i && m.At(r, j) != 0 {
+						t.Fatalf("pivot column %d not cleared at row %d", j, r)
+					}
+				}
+				break
+			}
+		}
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	found := 0
+	for trial := 0; trial < 50 && found < 20; trial++ {
+		m := randomMatrix(rng, 5, 5)
+		inv, err := m.Inverse()
+		if errors.Is(err, ErrSingular) {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		found++
+		prod, err := m.Mul(inv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !prod.Equal(Identity(5)) {
+			t.Fatalf("m * m^-1 != I:\n%v", prod)
+		}
+	}
+	if found == 0 {
+		t.Fatal("no invertible random matrices found (suspicious)")
+	}
+}
+
+func TestInverseSingular(t *testing.T) {
+	m, _ := FromRows([][]byte{{1, 2}, {1, 2}})
+	if _, err := m.Inverse(); !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestInverseNonSquare(t *testing.T) {
+	if _, err := New(2, 3).Inverse(); !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		m := randomMatrix(rng, 4, 4)
+		if m.Rank() < 4 {
+			continue
+		}
+		want := make([]byte, 4)
+		rng.Read(want)
+		b, err := m.MulVec(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := m.Solve(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("Solve mismatch at %d: got %v want %v", i, got, want)
+			}
+		}
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	m, _ := FromRows([][]byte{{1, 1}, {1, 1}})
+	if _, err := m.Solve([]byte{1, 2}); !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestSolveBadRHS(t *testing.T) {
+	if _, err := Identity(3).Solve([]byte{1}); err == nil {
+		t.Fatal("mismatched rhs accepted")
+	}
+}
+
+func TestMulDimensionMismatch(t *testing.T) {
+	if _, err := New(2, 3).Mul(New(2, 3)); err == nil {
+		t.Fatal("mismatched multiply accepted")
+	}
+}
+
+func TestMulVecDimensionMismatch(t *testing.T) {
+	if _, err := New(2, 3).MulVec([]byte{1}); err == nil {
+		t.Fatal("mismatched MulVec accepted")
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m := randomMatrix(rng, 4, 4)
+	p, err := m.Mul(Identity(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Equal(m) {
+		t.Fatal("m * I != m")
+	}
+}
+
+func TestMulAssociativity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomMatrix(rng, 3, 4)
+		b := randomMatrix(rng, 4, 2)
+		c := randomMatrix(rng, 2, 5)
+		ab, _ := a.Mul(b)
+		left, _ := ab.Mul(c)
+		bc, _ := b.Mul(c)
+		right, _ := a.Mul(bc)
+		return left.Equal(right)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomMatrixFullRankProbability(t *testing.T) {
+	// Over GF(2^8) a random k x k matrix is invertible with probability
+	// prod_{i=1..k} (1 - 256^-i) > 0.99. With 200 trials we should see at
+	// most a few singular ones; assert a loose bound to catch regressions
+	// in rank computation.
+	rng := rand.New(rand.NewSource(9))
+	singular := 0
+	for trial := 0; trial < 200; trial++ {
+		if randomMatrix(rng, 4, 4).Rank() < 4 {
+			singular++
+		}
+	}
+	if singular > 10 {
+		t.Fatalf("%d/200 random 4x4 matrices singular; expected ~1%%", singular)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := New(2, 2)
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 0 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestStringRenders(t *testing.T) {
+	if s := Identity(2).String(); s == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func BenchmarkRREF8x8(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	m := randomMatrix(rng, 8, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Clone().RREF()
+	}
+}

@@ -1,0 +1,147 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2017, 6, 5, 0, 0, 0, 0, time.UTC)
+
+func TestMeterMbps(t *testing.T) {
+	m := NewMeter(t0)
+	m.Add(1_000_000, t0.Add(time.Second)) // 1 MB over 1 s = 8 Mbps
+	if got := m.Mbps(); got < 7.9 || got > 8.1 {
+		t.Fatalf("Mbps = %v, want ~8", got)
+	}
+	if m.Bytes() != 1_000_000 {
+		t.Fatalf("Bytes = %d", m.Bytes())
+	}
+	if m.Elapsed() != time.Second {
+		t.Fatalf("Elapsed = %v", m.Elapsed())
+	}
+}
+
+func TestMeterZeroWindow(t *testing.T) {
+	m := NewMeter(t0)
+	m.Add(100, t0)
+	if m.Mbps() != 0 {
+		t.Fatal("zero window should yield 0 rate")
+	}
+}
+
+func TestMeterMonotonicLast(t *testing.T) {
+	m := NewMeter(t0)
+	m.Add(100, t0.Add(2*time.Second))
+	m.Add(100, t0.Add(time.Second)) // out-of-order sample
+	if m.Elapsed() != 2*time.Second {
+		t.Fatalf("Elapsed = %v, want 2s", m.Elapsed())
+	}
+}
+
+func TestMeterConcurrent(t *testing.T) {
+	m := NewMeter(t0)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				m.Add(1, t0.Add(time.Second))
+			}
+		}()
+	}
+	wg.Wait()
+	if m.Bytes() != 8000 {
+		t.Fatalf("Bytes = %d, want 8000", m.Bytes())
+	}
+}
+
+func TestSeriesTable(t *testing.T) {
+	s := NewSeries("Fig X", "loss%", "NC0", "NC1")
+	s.Add(10, map[string]float64{"NC0": 50.5, "NC1": 60})
+	s.Add(0, map[string]float64{"NC0": 70, "NC1": 65.25})
+	var sb strings.Builder
+	if err := s.WriteTable(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "# Fig X") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "loss%\tNC0\tNC1") {
+		t.Fatalf("missing header: %q", out)
+	}
+	// Sorted by X: the 0 row must come before the 10 row.
+	i0 := strings.Index(out, "\n0\t")
+	i10 := strings.Index(out, "\n10\t")
+	if i0 < 0 || i10 < 0 || i0 > i10 {
+		t.Fatalf("rows not sorted: %q", out)
+	}
+	if !strings.Contains(out, "65.25") {
+		t.Fatal("value formatting lost precision")
+	}
+	if !strings.Contains(out, "50.5") || strings.Contains(out, "50.50") {
+		t.Fatal("trailing zeros not trimmed")
+	}
+}
+
+func TestSeriesMissingColumn(t *testing.T) {
+	s := NewSeries("t", "x", "a", "b")
+	s.Add(1, map[string]float64{"a": 5})
+	var sb strings.Builder
+	s.WriteTable(&sb)
+	if !strings.Contains(sb.String(), "\t-") {
+		t.Fatalf("missing column not dashed: %q", sb.String())
+	}
+}
+
+func TestSeriesLearnsNewColumns(t *testing.T) {
+	s := NewSeries("t", "x")
+	s.Add(1, map[string]float64{"later": 3})
+	if cols := s.Columns(); len(cols) != 1 || cols[0] != "later" {
+		t.Fatalf("Columns = %v", cols)
+	}
+}
+
+func TestSeriesPointsCopied(t *testing.T) {
+	s := NewSeries("t", "x", "a")
+	s.Add(1, map[string]float64{"a": 1})
+	pts := s.Points()
+	pts[0].X = 99
+	if s.Points()[0].X != 1 {
+		t.Fatal("Points exposed internal storage")
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:      "0",
+		1.5:    "1.5",
+		2.25:   "2.25",
+		70:     "70",
+		69.90:  "69.9",
+		0.004:  "0",
+		-3.100: "-3.1",
+	}
+	for in, want := range cases {
+		if got := trimFloat(in); got != want {
+			t.Errorf("trimFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	s := NewSeries("t", "x", "a", "b")
+	s.Add(1, map[string]float64{"a": 1.5})
+	s.Add(2, map[string]float64{"a": 2, "b": 3})
+	var sb strings.Builder
+	if err := s.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "x,a,b\n1,1.5,\n2,2,3\n"
+	if sb.String() != want {
+		t.Fatalf("csv = %q, want %q", sb.String(), want)
+	}
+}

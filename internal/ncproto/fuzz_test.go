@@ -1,0 +1,53 @@
+package ncproto
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode hardens the wire parser against arbitrary datagrams: Decode
+// must never panic, and anything it accepts must re-encode to the same
+// bytes (parse/serialize round trip).
+func FuzzDecode(f *testing.F) {
+	p := &Packet{
+		Flags:      FlagSystematic,
+		Session:    7,
+		Generation: 1234,
+		Coeffs:     []byte{1, 2, 3, 4},
+		Payload:    []byte("payload"),
+	}
+	f.Add(p.Encode(nil), 4)
+	f.Add([]byte{Magic}, 0)
+	f.Add([]byte{}, 1)
+	f.Add([]byte{0xFF, 0, 0, 0, 0, 0, 0, 0, 0, 0}, 2)
+	f.Fuzz(func(t *testing.T, data []byte, k int) {
+		if k < 0 || k > 255 {
+			return
+		}
+		got, err := Decode(data, k)
+		if err != nil {
+			return
+		}
+		// Accepted packets must survive a round trip.
+		re := got.Encode(nil)
+		if !bytes.Equal(re, data[:got.WireLen()]) {
+			t.Fatalf("round trip mismatch:\n in:  %x\n out: %x", data[:got.WireLen()], re)
+		}
+	})
+}
+
+// FuzzDecodeAck covers the ACK path.
+func FuzzDecodeAck(f *testing.F) {
+	f.Add(EncodeAck(Ack{Session: 3, Generation: 9}))
+	f.Add([]byte{Magic, FlagControl})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ack, err := DecodeAck(data)
+		if err != nil {
+			return
+		}
+		re := EncodeAck(ack)
+		if got, err := DecodeAck(re); err != nil || got != ack {
+			t.Fatalf("ack round trip: %+v -> %+v (%v)", ack, got, err)
+		}
+	})
+}

@@ -1,0 +1,164 @@
+// Package ncproto defines the network coding wire format of Sec. III-B.
+//
+// The network coding layer sits between the transport layer (UDP) and the
+// application layer. Every NC packet starts with a header that carries the
+// information the coding scheme needs — session ID, generation ID, and the
+// encoding coefficient vector — "a total of 8 bytes plus the length of
+// coefficients". With the paper's default of 4 blocks per generation the
+// header is 12 bytes, and 12 + 8 (UDP) + 20 (IP) + 1460 (block) = 1500,
+// the NIC MTU, so NC packets are never fragmented.
+//
+// Layout (big endian):
+//
+//	offset 0: Magic (1 byte, 0xNC = 0x9C)
+//	offset 1: Flags (1 byte)
+//	offset 2: SessionID (2 bytes)
+//	offset 4: GenerationID (4 bytes)
+//	offset 8: Coefficients (BlockCount bytes)
+//	offset 8+n: payload (one coded block)
+package ncproto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Magic identifies NC packets; VNFs check it to decide whether a received
+// UDP datagram carries the network coding protocol header.
+const Magic = 0x9C
+
+// FixedHeaderLen is the length of the header before the coefficient vector.
+const FixedHeaderLen = 8
+
+// Flag bits.
+const (
+	// FlagSystematic marks an uncoded source block (identity coefficient
+	// row). The data plane forwards the first packet of a generation
+	// without recoding; systematic packets make that explicit.
+	FlagSystematic = 1 << 0
+	// FlagEndOfSession marks the final generation of a session so
+	// receivers can tear down decoder state.
+	FlagEndOfSession = 1 << 1
+	// FlagControl marks in-band control packets (e.g. generation ACKs
+	// flowing back from receivers to the source).
+	FlagControl = 1 << 2
+)
+
+// Errors returned by Decode.
+var (
+	ErrTooShort = errors.New("ncproto: packet too short")
+	ErrBadMagic = errors.New("ncproto: bad magic byte")
+)
+
+// SessionID identifies a multicast session; assigned by the controller.
+type SessionID uint16
+
+// GenerationID numbers generations within a session.
+type GenerationID uint32
+
+// Packet is a parsed NC packet.
+type Packet struct {
+	Flags      byte
+	Session    SessionID
+	Generation GenerationID
+	// Coeffs is the encoding coefficient vector (one byte per block in the
+	// generation).
+	Coeffs []byte
+	// Payload is the coded block.
+	Payload []byte
+}
+
+// Systematic reports whether the packet carries an uncoded source block.
+func (p *Packet) Systematic() bool { return p.Flags&FlagSystematic != 0 }
+
+// EndOfSession reports whether the packet closes its session.
+func (p *Packet) EndOfSession() bool { return p.Flags&FlagEndOfSession != 0 }
+
+// Control reports whether the packet is in-band control traffic.
+func (p *Packet) Control() bool { return p.Flags&FlagControl != 0 }
+
+// WireLen returns the encoded length of the packet.
+func (p *Packet) WireLen() int { return FixedHeaderLen + len(p.Coeffs) + len(p.Payload) }
+
+// HeaderLen returns the NC header length for a generation of k blocks.
+func HeaderLen(k int) int { return FixedHeaderLen + k }
+
+// Encode serializes the packet into buf, which must have capacity for
+// WireLen bytes, and returns the encoded slice. Passing a nil buf allocates.
+func (p *Packet) Encode(buf []byte) []byte {
+	n := p.WireLen()
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	buf[0] = Magic
+	buf[1] = p.Flags
+	binary.BigEndian.PutUint16(buf[2:], uint16(p.Session))
+	binary.BigEndian.PutUint32(buf[4:], uint32(p.Generation))
+	copy(buf[FixedHeaderLen:], p.Coeffs)
+	copy(buf[FixedHeaderLen+len(p.Coeffs):], p.Payload)
+	return buf
+}
+
+// Decode parses an NC packet with a k-coefficient header. The returned
+// packet's Coeffs and Payload alias buf; callers that retain the packet
+// beyond the lifetime of buf must Clone it.
+func Decode(buf []byte, k int) (*Packet, error) {
+	if len(buf) < FixedHeaderLen+k {
+		return nil, fmt.Errorf("%w: %d bytes, need at least %d", ErrTooShort, len(buf), FixedHeaderLen+k)
+	}
+	if buf[0] != Magic {
+		return nil, fmt.Errorf("%w: 0x%02X", ErrBadMagic, buf[0])
+	}
+	return &Packet{
+		Flags:      buf[1],
+		Session:    SessionID(binary.BigEndian.Uint16(buf[2:])),
+		Generation: GenerationID(binary.BigEndian.Uint32(buf[4:])),
+		Coeffs:     buf[FixedHeaderLen : FixedHeaderLen+k : FixedHeaderLen+k],
+		Payload:    buf[FixedHeaderLen+k:],
+	}, nil
+}
+
+// IsNC reports whether buf plausibly starts with an NC header, used by VNFs
+// to separate coded traffic from other datagrams arriving on the same port.
+func IsNC(buf []byte) bool {
+	return len(buf) >= FixedHeaderLen && buf[0] == Magic
+}
+
+// Clone returns a deep copy of the packet.
+func (p *Packet) Clone() *Packet {
+	return &Packet{
+		Flags:      p.Flags,
+		Session:    p.Session,
+		Generation: p.Generation,
+		Coeffs:     append([]byte(nil), p.Coeffs...),
+		Payload:    append([]byte(nil), p.Payload...),
+	}
+}
+
+// Ack is the in-band acknowledgement a receiver returns to the source once
+// it has decoded a generation; the file-transfer application uses it for
+// reliable delivery and the delay experiments (Table II) time it.
+type Ack struct {
+	Session    SessionID
+	Generation GenerationID
+}
+
+// EncodeAck serializes an ACK as a control packet with no payload.
+func EncodeAck(a Ack) []byte {
+	p := Packet{Flags: FlagControl, Session: a.Session, Generation: a.Generation}
+	return p.Encode(nil)
+}
+
+// DecodeAck parses a control packet produced by EncodeAck.
+func DecodeAck(buf []byte) (Ack, error) {
+	p, err := Decode(buf, 0)
+	if err != nil {
+		return Ack{}, err
+	}
+	if !p.Control() {
+		return Ack{}, errors.New("ncproto: not a control packet")
+	}
+	return Ack{Session: p.Session, Generation: p.Generation}, nil
+}

@@ -1,0 +1,189 @@
+package ncproto
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestHeaderLenMatchesPaper(t *testing.T) {
+	// "a total of 8 bytes plus the length of coefficients ... the NC
+	// header (12 bytes, with 4 blocks in each generation)".
+	if got := HeaderLen(4); got != 12 {
+		t.Fatalf("HeaderLen(4) = %d, want 12", got)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	p := &Packet{
+		Flags:      FlagSystematic,
+		Session:    0xBEEF,
+		Generation: 0xDEADBEEF,
+		Coeffs:     []byte{1, 0, 0, 0},
+		Payload:    []byte("hello world"),
+	}
+	buf := p.Encode(nil)
+	if len(buf) != p.WireLen() {
+		t.Fatalf("encoded %d bytes, want %d", len(buf), p.WireLen())
+	}
+	got, err := Decode(buf, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Flags != p.Flags || got.Session != p.Session || got.Generation != p.Generation {
+		t.Fatalf("header mismatch: %+v vs %+v", got, p)
+	}
+	if !bytes.Equal(got.Coeffs, p.Coeffs) || !bytes.Equal(got.Payload, p.Payload) {
+		t.Fatal("body mismatch")
+	}
+}
+
+func TestEncodeReusesBuffer(t *testing.T) {
+	p := &Packet{Coeffs: []byte{1, 2}, Payload: []byte{3}}
+	buf := make([]byte, 0, 64)
+	out := p.Encode(buf)
+	if &out[0] != &buf[:1][0] {
+		t.Fatal("Encode did not reuse provided buffer")
+	}
+}
+
+func TestEncodeAllocatesWhenSmall(t *testing.T) {
+	p := &Packet{Coeffs: []byte{1, 2, 3, 4}, Payload: make([]byte, 100)}
+	out := p.Encode(make([]byte, 0, 4))
+	if len(out) != p.WireLen() {
+		t.Fatal("Encode with small buffer returned wrong length")
+	}
+}
+
+func TestDecodeTooShort(t *testing.T) {
+	if _, err := Decode([]byte{Magic, 0, 0}, 4); !errors.Is(err, ErrTooShort) {
+		t.Fatalf("err = %v, want ErrTooShort", err)
+	}
+}
+
+func TestDecodeBadMagic(t *testing.T) {
+	buf := make([]byte, 20)
+	buf[0] = 0x42
+	if _, err := Decode(buf, 4); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestDecodeAliasesInput(t *testing.T) {
+	p := &Packet{Coeffs: []byte{9, 8}, Payload: []byte{7, 6, 5}}
+	buf := p.Encode(nil)
+	got, _ := Decode(buf, 2)
+	buf[FixedHeaderLen] = 0xFF
+	if got.Coeffs[0] != 0xFF {
+		t.Fatal("Decode should alias the input buffer")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	p := &Packet{Coeffs: []byte{1}, Payload: []byte{2}}
+	c := p.Clone()
+	c.Coeffs[0] = 9
+	c.Payload[0] = 9
+	if p.Coeffs[0] != 1 || p.Payload[0] != 2 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestFlags(t *testing.T) {
+	p := &Packet{Flags: FlagSystematic | FlagEndOfSession | FlagControl}
+	if !p.Systematic() || !p.EndOfSession() || !p.Control() {
+		t.Fatal("flag accessors wrong")
+	}
+	q := &Packet{}
+	if q.Systematic() || q.EndOfSession() || q.Control() {
+		t.Fatal("zero flags should all be false")
+	}
+}
+
+func TestIsNC(t *testing.T) {
+	p := &Packet{Coeffs: []byte{1, 2, 3, 4}, Payload: []byte{5}}
+	if !IsNC(p.Encode(nil)) {
+		t.Fatal("IsNC false for valid packet")
+	}
+	if IsNC([]byte{0x00, 1, 2, 3, 4, 5, 6, 7}) {
+		t.Fatal("IsNC true for wrong magic")
+	}
+	if IsNC([]byte{Magic}) {
+		t.Fatal("IsNC true for truncated packet")
+	}
+}
+
+func TestAckRoundTrip(t *testing.T) {
+	a := Ack{Session: 7, Generation: 1234567}
+	buf := EncodeAck(a)
+	got, err := DecodeAck(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != a {
+		t.Fatalf("ack round trip: got %+v want %+v", got, a)
+	}
+}
+
+func TestDecodeAckRejectsData(t *testing.T) {
+	p := &Packet{Session: 1}
+	if _, err := DecodeAck(p.Encode(nil)); err == nil {
+		t.Fatal("non-control packet accepted as ack")
+	}
+}
+
+func TestDecodeAckRejectsGarbage(t *testing.T) {
+	if _, err := DecodeAck([]byte{1, 2}); err == nil {
+		t.Fatal("garbage accepted as ack")
+	}
+}
+
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(flags byte, sess uint16, gen uint32, coeffs, payload []byte) bool {
+		if len(coeffs) > 255 {
+			coeffs = coeffs[:255]
+		}
+		p := &Packet{
+			Flags:      flags,
+			Session:    SessionID(sess),
+			Generation: GenerationID(gen),
+			Coeffs:     coeffs,
+			Payload:    payload,
+		}
+		got, err := Decode(p.Encode(nil), len(coeffs))
+		if err != nil {
+			return false
+		}
+		return got.Flags == p.Flags &&
+			got.Session == p.Session &&
+			got.Generation == p.Generation &&
+			bytes.Equal(got.Coeffs, coeffs) &&
+			bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	p := &Packet{Coeffs: make([]byte, 4), Payload: make([]byte, 1460)}
+	buf := make([]byte, 0, p.WireLen())
+	b.SetBytes(int64(p.WireLen()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Encode(buf)
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	p := &Packet{Coeffs: make([]byte, 4), Payload: make([]byte, 1460)}
+	buf := p.Encode(nil)
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(buf, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

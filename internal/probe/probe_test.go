@@ -1,0 +1,168 @@
+package probe
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"ncfn/internal/emunet"
+)
+
+func TestPingMeasuresRTT(t *testing.T) {
+	n := emunet.NewNetwork()
+	defer n.Close()
+	n.SetDuplexLink("a", "b", emunet.LinkConfig{Delay: 20 * time.Millisecond})
+	resp := NewResponder(n.Host("b"))
+	defer resp.Close()
+	p := NewProber(n.Host("a"), nil)
+	defer p.Close()
+
+	res, err := p.Ping("b", 5, 64, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Received != 5 {
+		t.Fatalf("received %d of 5", res.Received)
+	}
+	// RTT should be ~40ms (2x20ms one-way).
+	if res.Avg < 35*time.Millisecond || res.Avg > 200*time.Millisecond {
+		t.Fatalf("avg RTT = %v, want ~40ms", res.Avg)
+	}
+	if res.Min > res.Avg || res.Avg > res.Max {
+		t.Fatalf("min/avg/max inconsistent: %+v", res)
+	}
+}
+
+func TestPingTimeout(t *testing.T) {
+	n := emunet.NewNetwork()
+	defer n.Close()
+	n.SetLink("a", "void", emunet.LinkConfig{}) // no responder listening
+	n.Host("void")
+	p := NewProber(n.Host("a"), nil)
+	defer p.Close()
+	_, err := p.Ping("void", 2, 64, 50*time.Millisecond)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestPingUnknownTarget(t *testing.T) {
+	n := emunet.NewNetwork()
+	defer n.Close()
+	p := NewProber(n.Host("a"), nil)
+	defer p.Close()
+	if _, err := p.Ping("ghost", 1, 64, time.Second); err == nil {
+		t.Fatal("unknown target accepted")
+	}
+}
+
+func TestPingWithLossPartialResults(t *testing.T) {
+	n := emunet.NewNetwork()
+	defer n.Close()
+	n.SetLink("a", "b", emunet.LinkConfig{Loss: emunet.NewUniformLoss(0.5, 3)})
+	n.SetLink("b", "a", emunet.LinkConfig{})
+	resp := NewResponder(n.Host("b"))
+	defer resp.Close()
+	p := NewProber(n.Host("a"), nil)
+	defer p.Close()
+	res, err := p.Ping("b", 20, 64, 30*time.Millisecond)
+	if err != nil && res.Received == 0 {
+		t.Skip("all pings lost (unlucky seed)")
+	}
+	if res.Received >= res.Sent {
+		t.Fatalf("expected some loss: %+v", res)
+	}
+}
+
+func TestMeasureBandwidthApproximatesLinkRate(t *testing.T) {
+	n := emunet.NewNetwork()
+	defer n.Close()
+	// 8 Mbps link: the probe should measure roughly that.
+	n.SetLink("a", "b", emunet.LinkConfig{RateBps: 8e6, QueuePackets: 64})
+	n.SetLink("b", "a", emunet.LinkConfig{})
+	resp := NewResponder(n.Host("b"))
+	defer resp.Close()
+	p := NewProber(n.Host("a"), nil)
+	defer p.Close()
+
+	res, err := p.MeasureBandwidth("b", 500*time.Millisecond, 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mbps < 4 || res.Mbps > 10 {
+		t.Fatalf("measured %.1f Mbps on an 8 Mbps link", res.Mbps)
+	}
+	if res.Bytes == 0 {
+		t.Fatal("no bytes counted")
+	}
+}
+
+func TestMeasureBandwidthUnknownTarget(t *testing.T) {
+	n := emunet.NewNetwork()
+	defer n.Close()
+	p := NewProber(n.Host("a"), nil)
+	defer p.Close()
+	if _, err := p.MeasureBandwidth("ghost", 10*time.Millisecond, 512); err == nil {
+		t.Fatal("unknown target accepted")
+	}
+}
+
+func TestResponderIgnoresGarbage(t *testing.T) {
+	n := emunet.NewNetwork(emunet.AllowDefault())
+	defer n.Close()
+	resp := NewResponder(n.Host("b"))
+	defer resp.Close()
+	a := n.Host("a")
+	a.Send("b", []byte{})
+	a.Send("b", []byte{0xFF, 1, 2})
+	// Then a real ping must still work.
+	p := NewProber(a, nil)
+	defer p.Close()
+	if _, err := p.Ping("b", 1, 64, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProberCloseIdempotent(t *testing.T) {
+	n := emunet.NewNetwork()
+	defer n.Close()
+	p := NewProber(n.Host("a"), nil)
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewResponder(n.Host("b"))
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReportResetsCounter(t *testing.T) {
+	n := emunet.NewNetwork(emunet.AllowDefault())
+	defer n.Close()
+	resp := NewResponder(n.Host("b"))
+	defer resp.Close()
+	p := NewProber(n.Host("a"), nil)
+	defer p.Close()
+	first, err := p.MeasureBandwidth("b", 50*time.Millisecond, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Bytes == 0 {
+		t.Fatal("first measurement empty")
+	}
+	// A second measurement must not include the first one's bytes: with
+	// the same duration, the count should be comparable, not doubled.
+	second, err := p.MeasureBandwidth("b", 50*time.Millisecond, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Bytes > 3*first.Bytes {
+		t.Fatalf("second count %d suggests counter not reset (first %d)", second.Bytes, first.Bytes)
+	}
+}

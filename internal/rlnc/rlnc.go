@@ -1,0 +1,380 @@
+// Package rlnc implements randomized linear network coding (RLNC) over
+// GF(2^8), mirroring the data-plane coding scheme of Sec. III-B:
+//
+//   - Source data is split into generations; each generation is split into
+//     a fixed number of equal-size blocks (Fig. 3).
+//   - An encoded block is a random linear combination of the blocks of one
+//     generation; the random coefficients travel in the packet header.
+//   - Intermediate nodes recode: any set of received coded blocks for a
+//     generation can be combined again without decoding.
+//   - A receiver decodes a generation once it has collected as many
+//     linearly independent coded blocks as the generation has blocks.
+//
+// The default parameters are the paper's: 4 blocks per generation and
+// 1460-byte blocks, chosen so that the NC header + UDP + IP headers exactly
+// fill a 1500-byte MTU.
+package rlnc
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"ncfn/internal/gf"
+)
+
+// DefaultGenerationBlocks is the paper's generation size in blocks (Fig. 4
+// shows throughput peaking at 4 blocks per generation).
+const DefaultGenerationBlocks = 4
+
+// DefaultBlockSize is the paper's block size in bytes: 1460 bytes +
+// 12-byte NC header + 8-byte UDP header + 20-byte IP header = 1500 (MTU).
+const DefaultBlockSize = 1460
+
+// ErrParams is returned for invalid coding parameters.
+var ErrParams = errors.New("rlnc: invalid parameters")
+
+// Params fixes the coding configuration for a session. The same generation
+// and block sizes are used across all sessions of a deployment and are
+// distributed to each VNF at initialization (Sec. III-B).
+type Params struct {
+	// GenerationBlocks is the number of blocks per generation.
+	GenerationBlocks int
+	// BlockSize is the number of bytes per block.
+	BlockSize int
+	// Field is the coefficient field; zero value means GF(2^8).
+	Field gf.Field
+}
+
+// DefaultParams returns the paper's coding parameters.
+func DefaultParams() Params {
+	return Params{GenerationBlocks: DefaultGenerationBlocks, BlockSize: DefaultBlockSize, Field: gf.GF256}
+}
+
+// Validate checks that the parameters are usable.
+func (p Params) Validate() error {
+	if p.GenerationBlocks <= 0 || p.GenerationBlocks > 255 {
+		return fmt.Errorf("%w: generation blocks %d out of range [1,255]", ErrParams, p.GenerationBlocks)
+	}
+	if p.BlockSize <= 0 {
+		return fmt.Errorf("%w: block size %d must be positive", ErrParams, p.BlockSize)
+	}
+	if f := p.field(); f != gf.GF256 && f != gf.GF2 {
+		return fmt.Errorf("%w: unsupported field %v", ErrParams, p.Field)
+	}
+	return nil
+}
+
+// GenerationBytes returns the payload bytes carried by one full generation.
+func (p Params) GenerationBytes() int { return p.GenerationBlocks * p.BlockSize }
+
+func (p Params) field() gf.Field {
+	if p.Field == 0 {
+		return gf.GF256
+	}
+	return p.Field
+}
+
+// CodedBlock is one coded block together with its coefficient vector: the
+// payload equals sum_i Coeffs[i] * block_i of the source generation.
+type CodedBlock struct {
+	// Coeffs has length Params.GenerationBlocks.
+	Coeffs []byte
+	// Payload has length Params.BlockSize.
+	Payload []byte
+}
+
+// Clone returns a deep copy of the coded block.
+func (c CodedBlock) Clone() CodedBlock {
+	return CodedBlock{
+		Coeffs:  append([]byte(nil), c.Coeffs...),
+		Payload: append([]byte(nil), c.Payload...),
+	}
+}
+
+// Encoder produces coded blocks for a single source generation.
+// It is not safe for concurrent use.
+type Encoder struct {
+	params Params
+	blocks [][]byte
+	rng    *rand.Rand
+	next   int // next systematic block index
+}
+
+// NewEncoder builds an encoder for one generation of source data. data must
+// be at most GenerationBytes long; a short final generation is zero-padded
+// (the application layer records the true length). seed makes coefficient
+// draws reproducible; use different seeds per node in deployments.
+func NewEncoder(params Params, data []byte, seed int64) (*Encoder, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if len(data) > params.GenerationBytes() {
+		return nil, fmt.Errorf("%w: %d bytes exceed generation capacity %d", ErrParams, len(data), params.GenerationBytes())
+	}
+	blocks := make([][]byte, params.GenerationBlocks)
+	for i := range blocks {
+		blocks[i] = make([]byte, params.BlockSize)
+		lo := i * params.BlockSize
+		if lo < len(data) {
+			copy(blocks[i], data[lo:])
+		}
+	}
+	return &Encoder{
+		params: params,
+		blocks: blocks,
+		rng:    rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// Params returns the coding parameters.
+func (e *Encoder) Params() Params { return e.params }
+
+// Systematic returns the next uncoded source block (identity coefficient
+// vector) or false once all source blocks have been emitted once.
+// Systematic transmission lets the first packet of a generation be forwarded
+// without coding, as the data plane does for the first arrival (Sec. III-B).
+func (e *Encoder) Systematic() (CodedBlock, bool) {
+	if e.next >= e.params.GenerationBlocks {
+		return CodedBlock{}, false
+	}
+	coeffs := make([]byte, e.params.GenerationBlocks)
+	coeffs[e.next] = 1
+	cb := CodedBlock{Coeffs: coeffs, Payload: append([]byte(nil), e.blocks[e.next]...)}
+	e.next++
+	return cb, true
+}
+
+// Coded returns a fresh random linear combination of the generation.
+func (e *Encoder) Coded() CodedBlock {
+	k := e.params.GenerationBlocks
+	coeffs := make([]byte, k)
+	field := e.params.field()
+	allZero := true
+	for i := range coeffs {
+		coeffs[i] = field.ClampCoeff(byte(e.rng.Intn(256)))
+		if coeffs[i] != 0 {
+			allZero = false
+		}
+	}
+	if allZero {
+		// A zero vector carries no information; force one nonzero entry.
+		coeffs[e.rng.Intn(k)] = 1
+	}
+	payload := make([]byte, e.params.BlockSize)
+	for i, c := range coeffs {
+		gf.AddMulSlice(payload, e.blocks[i], c)
+	}
+	return CodedBlock{Coeffs: coeffs, Payload: payload}
+}
+
+// Decoder recovers a generation from coded blocks via progressive Gaussian
+// elimination: every arriving block is reduced against the rows collected so
+// far, so decode cost is spread across arrivals. It is not safe for
+// concurrent use.
+type Decoder struct {
+	params Params
+	// rows[i], when pivots[i] is true, is a row with leading 1 at column i,
+	// reduced against all other pivot rows.
+	rows    [][]byte // coefficient part, len k
+	payload [][]byte // payload part, len blockSize
+	pivots  []bool
+	rank    int
+	useless int // received blocks that were not innovative
+}
+
+// NewDecoder builds a decoder for one generation.
+func NewDecoder(params Params) (*Decoder, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	k := params.GenerationBlocks
+	d := &Decoder{
+		params:  params,
+		rows:    make([][]byte, k),
+		payload: make([][]byte, k),
+		pivots:  make([]bool, k),
+	}
+	return d, nil
+}
+
+// Params returns the coding parameters.
+func (d *Decoder) Params() Params { return d.params }
+
+// Rank returns the number of linearly independent blocks received so far.
+func (d *Decoder) Rank() int { return d.rank }
+
+// Useless returns the number of received blocks that were not innovative
+// (linearly dependent on earlier ones). With GF(2^8) coefficients this stays
+// near zero; it grows under GF(2), which the field-size ablation measures.
+func (d *Decoder) Useless() int { return d.useless }
+
+// Complete reports whether the full generation can be recovered.
+func (d *Decoder) Complete() bool { return d.rank == d.params.GenerationBlocks }
+
+// Add consumes one coded block and reports whether it was innovative
+// (increased the decoder's rank).
+func (d *Decoder) Add(cb CodedBlock) (bool, error) {
+	k := d.params.GenerationBlocks
+	if len(cb.Coeffs) != k {
+		return false, fmt.Errorf("%w: coefficient vector length %d, want %d", ErrParams, len(cb.Coeffs), k)
+	}
+	if len(cb.Payload) != d.params.BlockSize {
+		return false, fmt.Errorf("%w: payload length %d, want %d", ErrParams, len(cb.Payload), d.params.BlockSize)
+	}
+	coeffs := append([]byte(nil), cb.Coeffs...)
+	payload := append([]byte(nil), cb.Payload...)
+
+	// Reduce the incoming vector against every existing pivot row. Each
+	// stored pivot row is zero at all other pivot columns, so one pass
+	// clears every pivot column of the incoming vector.
+	for col := 0; col < k; col++ {
+		if coeffs[col] == 0 || !d.pivots[col] {
+			continue
+		}
+		c := coeffs[col]
+		gf.AddMulSlice(coeffs, d.rows[col], c)
+		gf.AddMulSlice(payload, d.payload[col], c)
+	}
+	// The leading nonzero column (necessarily pivot-free now) becomes the
+	// new pivot; a fully-reduced zero vector was not innovative.
+	lead := -1
+	for col := 0; col < k; col++ {
+		if coeffs[col] != 0 {
+			lead = col
+			break
+		}
+	}
+	if lead < 0 {
+		d.useless++
+		return false, nil
+	}
+	if c := coeffs[lead]; c != 1 {
+		inv := gf.Inv(c)
+		gf.MulSlice(coeffs, coeffs, inv)
+		gf.MulSlice(payload, payload, inv)
+	}
+	d.rows[lead] = coeffs
+	d.payload[lead] = payload
+	d.pivots[lead] = true
+	d.rank++
+	d.backSubstitute(lead)
+	return true, nil
+}
+
+// backSubstitute eliminates column col from all other stored pivot rows,
+// keeping the stored system in reduced form.
+func (d *Decoder) backSubstitute(col int) {
+	for r := 0; r < d.params.GenerationBlocks; r++ {
+		if r == col || !d.pivots[r] {
+			continue
+		}
+		if c := d.rows[r][col]; c != 0 {
+			gf.AddMulSlice(d.rows[r], d.rows[col], c)
+			gf.AddMulSlice(d.payload[r], d.payload[col], c)
+		}
+	}
+}
+
+// Block returns source block i once the generation is complete.
+func (d *Decoder) Block(i int) ([]byte, error) {
+	if !d.Complete() {
+		return nil, fmt.Errorf("rlnc: generation incomplete (rank %d/%d)", d.rank, d.params.GenerationBlocks)
+	}
+	if i < 0 || i >= d.params.GenerationBlocks {
+		return nil, fmt.Errorf("%w: block index %d", ErrParams, i)
+	}
+	return d.payload[i], nil
+}
+
+// Generation returns the concatenated decoded generation payload.
+func (d *Decoder) Generation() ([]byte, error) {
+	if !d.Complete() {
+		return nil, fmt.Errorf("rlnc: generation incomplete (rank %d/%d)", d.rank, d.params.GenerationBlocks)
+	}
+	out := make([]byte, 0, d.params.GenerationBytes())
+	for i := 0; i < d.params.GenerationBlocks; i++ {
+		out = append(out, d.payload[i]...)
+	}
+	return out, nil
+}
+
+// Recoder combines coded blocks received so far into fresh coded blocks
+// without decoding — the core capability that lets intermediate VNFs mix
+// flows. It is not safe for concurrent use.
+type Recoder struct {
+	params Params
+	stored []CodedBlock
+	rng    *rand.Rand
+}
+
+// NewRecoder builds a recoder for one generation.
+func NewRecoder(params Params, seed int64) (*Recoder, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	return &Recoder{params: params, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Params returns the coding parameters.
+func (r *Recoder) Params() Params { return r.params }
+
+// Stored returns the number of blocks buffered for recoding.
+func (r *Recoder) Stored() int { return len(r.stored) }
+
+// Add buffers a received coded block for future recoding.
+func (r *Recoder) Add(cb CodedBlock) error {
+	if len(cb.Coeffs) != r.params.GenerationBlocks {
+		return fmt.Errorf("%w: coefficient vector length %d, want %d", ErrParams, len(cb.Coeffs), r.params.GenerationBlocks)
+	}
+	if len(cb.Payload) != r.params.BlockSize {
+		return fmt.Errorf("%w: payload length %d, want %d", ErrParams, len(cb.Payload), r.params.BlockSize)
+	}
+	r.stored = append(r.stored, cb.Clone())
+	return nil
+}
+
+// Recode emits a random linear combination of all buffered blocks. It
+// returns false if nothing is buffered yet.
+func (r *Recoder) Recode() (CodedBlock, bool) {
+	if len(r.stored) == 0 {
+		return CodedBlock{}, false
+	}
+	field := r.params.field()
+	coeffs := make([]byte, r.params.GenerationBlocks)
+	payload := make([]byte, r.params.BlockSize)
+	mixed := false
+	for _, cb := range r.stored {
+		w := field.ClampCoeff(byte(r.rng.Intn(256)))
+		if w == 0 {
+			continue
+		}
+		mixed = true
+		gf.AddMulSlice(coeffs, cb.Coeffs, w)
+		gf.AddMulSlice(payload, cb.Payload, w)
+	}
+	if !mixed {
+		// All weights were zero; fall back to forwarding the newest block.
+		return r.stored[len(r.stored)-1].Clone(), true
+	}
+	return CodedBlock{Coeffs: coeffs, Payload: payload}, true
+}
+
+// SplitGenerations cuts data into generation-size chunks. The final chunk
+// may be short; the encoder zero-pads it.
+func SplitGenerations(params Params, data []byte) [][]byte {
+	genBytes := params.GenerationBytes()
+	if genBytes <= 0 {
+		return nil
+	}
+	var out [][]byte
+	for len(data) > 0 {
+		n := genBytes
+		if n > len(data) {
+			n = len(data)
+		}
+		out = append(out, data[:n])
+		data = data[n:]
+	}
+	return out
+}

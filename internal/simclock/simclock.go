@@ -1,0 +1,139 @@
+// Package simclock abstracts time so the dynamic-scaling experiments —
+// which span 70 to 120 minutes of wall time in the paper — can run under a
+// virtual clock in milliseconds, while packet-level code paths use the real
+// clock unchanged.
+package simclock
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Clock is the time source used throughout the repository. The real
+// implementation delegates to package time; the virtual implementation
+// advances only when told to.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// Sleep blocks for d.
+	Sleep(d time.Duration)
+	// After returns a channel that delivers the time after d elapses.
+	After(d time.Duration) <-chan time.Time
+}
+
+// Real is a Clock backed by the system clock.
+type Real struct{}
+
+var _ Clock = Real{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// After implements Clock.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Virtual is a manually advanced Clock. Sleepers and After timers fire when
+// Advance moves the clock past their deadline. It is safe for concurrent
+// use.
+type Virtual struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters waiterHeap
+}
+
+var _ Clock = (*Virtual)(nil)
+
+type waiter struct {
+	at time.Time
+	ch chan time.Time
+}
+
+type waiterHeap []*waiter
+
+func (h waiterHeap) Len() int            { return len(h) }
+func (h waiterHeap) Less(i, j int) bool  { return h[i].at.Before(h[j].at) }
+func (h waiterHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *waiterHeap) Push(x interface{}) { *h = append(*h, x.(*waiter)) }
+func (h *waiterHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	w := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return w
+}
+
+// NewVirtual returns a virtual clock starting at the given instant.
+func NewVirtual(start time.Time) *Virtual {
+	return &Virtual{now: start}
+}
+
+// Now implements Clock.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// Sleep implements Clock. It blocks until another goroutine advances the
+// clock past the deadline.
+func (v *Virtual) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	<-v.After(d)
+}
+
+// After implements Clock.
+func (v *Virtual) After(d time.Duration) <-chan time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	at := v.now.Add(d)
+	if d <= 0 {
+		ch <- v.now
+		return ch
+	}
+	heap.Push(&v.waiters, &waiter{at: at, ch: ch})
+	return ch
+}
+
+// Advance moves the clock forward by d, firing every timer whose deadline
+// is reached, in deadline order.
+func (v *Virtual) Advance(d time.Duration) {
+	v.mu.Lock()
+	target := v.now.Add(d)
+	for len(v.waiters) > 0 && !v.waiters[0].at.After(target) {
+		w := heap.Pop(&v.waiters).(*waiter)
+		v.now = w.at
+		w.ch <- w.at
+	}
+	v.now = target
+	v.mu.Unlock()
+}
+
+// AdvanceToNext jumps the clock to the next pending timer deadline and
+// fires it. It reports whether a timer was pending.
+func (v *Virtual) AdvanceToNext() bool {
+	v.mu.Lock()
+	if len(v.waiters) == 0 {
+		v.mu.Unlock()
+		return false
+	}
+	w := heap.Pop(&v.waiters).(*waiter)
+	v.now = w.at
+	w.ch <- w.at
+	v.mu.Unlock()
+	return true
+}
+
+// Pending returns the number of unfired timers.
+func (v *Virtual) Pending() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.waiters)
+}

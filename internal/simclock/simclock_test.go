@@ -1,0 +1,192 @@
+package simclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+var epoch = time.Date(2017, 6, 5, 0, 0, 0, 0, time.UTC)
+
+func TestRealNow(t *testing.T) {
+	c := Real{}
+	before := time.Now()
+	now := c.Now()
+	after := time.Now()
+	if now.Before(before) || now.After(after) {
+		t.Fatal("Real.Now out of range")
+	}
+}
+
+func TestRealAfterFires(t *testing.T) {
+	select {
+	case <-Real{}.After(time.Millisecond):
+	case <-time.After(5 * time.Second):
+		t.Fatal("Real.After never fired")
+	}
+}
+
+func TestVirtualNowStartsAtEpoch(t *testing.T) {
+	v := NewVirtual(epoch)
+	if !v.Now().Equal(epoch) {
+		t.Fatalf("Now = %v, want %v", v.Now(), epoch)
+	}
+}
+
+func TestVirtualAdvance(t *testing.T) {
+	v := NewVirtual(epoch)
+	v.Advance(10 * time.Minute)
+	if want := epoch.Add(10 * time.Minute); !v.Now().Equal(want) {
+		t.Fatalf("Now = %v, want %v", v.Now(), want)
+	}
+}
+
+func TestVirtualAfterFiresOnAdvance(t *testing.T) {
+	v := NewVirtual(epoch)
+	ch := v.After(time.Hour)
+	select {
+	case <-ch:
+		t.Fatal("timer fired before Advance")
+	default:
+	}
+	v.Advance(time.Hour)
+	select {
+	case at := <-ch:
+		if !at.Equal(epoch.Add(time.Hour)) {
+			t.Fatalf("fired at %v", at)
+		}
+	default:
+		t.Fatal("timer did not fire after Advance")
+	}
+}
+
+func TestVirtualAfterZeroFiresImmediately(t *testing.T) {
+	v := NewVirtual(epoch)
+	select {
+	case <-v.After(0):
+	default:
+		t.Fatal("After(0) did not fire immediately")
+	}
+}
+
+func TestVirtualAfterNotFiredEarly(t *testing.T) {
+	v := NewVirtual(epoch)
+	ch := v.After(2 * time.Hour)
+	v.Advance(time.Hour)
+	select {
+	case <-ch:
+		t.Fatal("timer fired an hour early")
+	default:
+	}
+	if v.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", v.Pending())
+	}
+}
+
+func TestVirtualTimersFireInOrder(t *testing.T) {
+	v := NewVirtual(epoch)
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	durations := []time.Duration{3 * time.Minute, time.Minute, 2 * time.Minute}
+	for i, d := range durations {
+		wg.Add(1)
+		ch := v.After(d)
+		go func(i int) {
+			defer wg.Done()
+			<-ch
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+		}(i)
+	}
+	// Advance one timer at a time, waiting for the woken goroutine to
+	// record itself before firing the next, so scheduling cannot reorder
+	// observations.
+	for fired := 1; fired <= len(durations); fired++ {
+		if !v.AdvanceToNext() {
+			t.Fatal("expected pending timer")
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			mu.Lock()
+			n := len(order)
+			mu.Unlock()
+			if n >= fired {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("timer goroutine %d did not run", fired)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	wg.Wait()
+	want := []int{1, 2, 0} // 1min, 2min, 3min
+	mu.Lock()
+	defer mu.Unlock()
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestVirtualSleepWakesOnAdvance(t *testing.T) {
+	v := NewVirtual(epoch)
+	done := make(chan struct{})
+	go func() {
+		v.Sleep(time.Minute)
+		close(done)
+	}()
+	// Wait until the sleeper has registered.
+	deadline := time.Now().Add(5 * time.Second)
+	for v.Pending() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("sleeper never registered")
+		}
+	}
+	v.Advance(time.Minute)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Sleep did not return after Advance")
+	}
+}
+
+func TestVirtualSleepNonPositiveReturns(t *testing.T) {
+	v := NewVirtual(epoch)
+	v.Sleep(0)
+	v.Sleep(-time.Second)
+}
+
+func TestVirtualAdvanceToNextEmpty(t *testing.T) {
+	v := NewVirtual(epoch)
+	if v.AdvanceToNext() {
+		t.Fatal("AdvanceToNext true with no timers")
+	}
+}
+
+func TestVirtualConcurrentAfter(t *testing.T) {
+	v := NewVirtual(epoch)
+	const n = 50
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-v.After(time.Duration(i+1) * time.Second)
+		}(i)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for v.Pending() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d timers registered", v.Pending())
+		}
+	}
+	v.Advance(n * time.Second)
+	wg.Wait()
+	if v.Pending() != 0 {
+		t.Fatalf("Pending = %d after firing all", v.Pending())
+	}
+}

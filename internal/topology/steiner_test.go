@@ -1,0 +1,111 @@
+package topology
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMulticastTreesButterfly(t *testing.T) {
+	g, src, dsts := Butterfly()
+	trees := g.MulticastTrees(src, dsts, 0)
+	if len(trees) == 0 {
+		t.Fatal("no multicast trees on the butterfly")
+	}
+	// Every tree must reach both receivers from the source over existing
+	// links.
+	for _, tree := range trees {
+		parent := map[NodeID]NodeID{}
+		for _, e := range tree.Edges {
+			if _, ok := g.Link(e[0], e[1]); !ok {
+				t.Fatalf("tree uses missing link %v", e)
+			}
+			if _, dup := parent[e[1]]; dup {
+				t.Fatalf("node %s has two parents", e[1])
+			}
+			parent[e[1]] = e[0]
+		}
+		for _, d := range dsts {
+			at := d
+			for steps := 0; at != src; steps++ {
+				if steps > len(tree.Edges) {
+					t.Fatalf("receiver %s not connected to source in %v", d, tree.Edges)
+				}
+				at = parent[at]
+			}
+		}
+	}
+}
+
+func TestMulticastTreesNoDuplicates(t *testing.T) {
+	g, src, dsts := Butterfly()
+	trees := g.MulticastTrees(src, dsts, 0)
+	seen := map[string]bool{}
+	for _, tree := range trees {
+		key := ""
+		for _, e := range tree.Edges {
+			key += string(e[0]) + ">" + string(e[1]) + ";"
+		}
+		if seen[key] {
+			t.Fatalf("duplicate tree: %s", key)
+		}
+		seen[key] = true
+	}
+}
+
+func TestMulticastTreesLimit(t *testing.T) {
+	g, src, dsts := Butterfly()
+	trees := g.MulticastTrees(src, dsts, 3)
+	if len(trees) > 3 {
+		t.Fatalf("limit ignored: %d trees", len(trees))
+	}
+}
+
+func TestRoutingMulticastCapacityButterfly(t *testing.T) {
+	// The classic result: routing-only multicast on the butterfly packs
+	// 1.5 trees of capacity 35 = 52.5 Mbps, versus coding's 70.
+	g, src, dsts := Butterfly()
+	rate, trees, err := g.RoutingMulticastCapacity(src, dsts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trees == 0 {
+		t.Fatal("no trees considered")
+	}
+	if math.Abs(rate-52.5) > 0.1 {
+		t.Fatalf("routing capacity = %v, want 52.5", rate)
+	}
+	if coding := g.MulticastCapacity(src, dsts); rate >= coding {
+		t.Fatalf("routing %v should be strictly below coding %v", rate, coding)
+	}
+}
+
+func TestRoutingMulticastCapacityUnicast(t *testing.T) {
+	// With a single receiver, routing equals the max-flow (trees = paths).
+	g, src, _ := Butterfly()
+	rate, _, err := g.RoutingMulticastCapacity(src, []NodeID{"O2"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rate-70) > 0.1 {
+		t.Fatalf("unicast routing capacity = %v, want 70 (max-flow)", rate)
+	}
+}
+
+func TestRoutingMulticastCapacityDisconnected(t *testing.T) {
+	g := New()
+	g.AddNode("s", Source)
+	g.AddNode("d", Destination)
+	rate, trees, err := g.RoutingMulticastCapacity("s", []NodeID{"d"}, 0)
+	if err != nil || rate != 0 || trees != 0 {
+		t.Fatalf("disconnected: %v %v %v", rate, trees, err)
+	}
+}
+
+func BenchmarkRoutingCapacityButterfly(b *testing.B) {
+	g, src, dsts := Butterfly()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := g.RoutingMulticastCapacity(src, dsts, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
