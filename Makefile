@@ -1,0 +1,30 @@
+# Tier-1 verification plus the extended checks: `make check` runs build,
+# vet, tests, and the race detector as one command.
+
+GO ?= go
+
+.PHONY: build test test-race vet bench bench-hotpath check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# bench runs the data-plane micro-benchmarks that gate hot-path changes.
+bench:
+	$(GO) test -run 'XXX' -bench 'BenchmarkAddMulSlice|BenchmarkRecode|BenchmarkVNFPipeline|BenchmarkRecoderPacketProcessing' -benchmem \
+		./internal/gf/ ./internal/rlnc/ ./internal/dataplane/
+
+# bench-hotpath is the quick subset: GF kernels and the VNF pipeline.
+bench-hotpath:
+	$(GO) test -run 'XXX' -bench 'BenchmarkAddMulSlice' -benchmem ./internal/gf/
+	$(GO) test -run 'XXX' -bench 'BenchmarkVNFPipeline' -benchmem ./internal/dataplane/
+
+check: build vet test test-race

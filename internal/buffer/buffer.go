@@ -35,6 +35,9 @@ func (k GenKey) String() string {
 type Entry struct {
 	Key    GenKey
 	Blocks []rlnc.CodedBlock
+	// n counts the blocks recorded for the generation, including those
+	// tracked without payload retention (see Track).
+	n int
 	// elem is the entry's position in the FIFO list.
 	elem *list.Element
 }
@@ -104,8 +107,31 @@ func (b *Buffer) Add(key GenKey, cb rlnc.CodedBlock) int {
 		b.entries[key] = e
 	}
 	e.Blocks = append(e.Blocks, cb.Clone())
+	e.n++
 	b.stored++
-	return len(e.Blocks)
+	return e.n
+}
+
+// Track records a block arrival for its generation without retaining the
+// payload — the allocation-free variant of Add for data planes that keep
+// coded state elsewhere (e.g. in a rank-limited recoder basis) but still
+// need the buffer's per-generation counting and FIFO eviction semantics.
+// It returns the number of blocks now recorded for the generation.
+func (b *Buffer) Track(key GenKey) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e, ok := b.entries[key]
+	if !ok {
+		if len(b.entries) >= b.capacity {
+			b.evictOldestLocked()
+		}
+		e = &Entry{Key: key}
+		e.elem = b.fifo.PushBack(key)
+		b.entries[key] = e
+	}
+	e.n++
+	b.stored++
+	return e.n
 }
 
 // Blocks returns copies of the coded blocks buffered for a generation; the
@@ -129,7 +155,7 @@ func (b *Buffer) Count(key GenKey) int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if e, ok := b.entries[key]; ok {
-		return len(e.Blocks)
+		return e.n
 	}
 	return 0
 }

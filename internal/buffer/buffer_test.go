@@ -223,3 +223,57 @@ func BenchmarkAdd(b *testing.B) {
 		buf.Add(key(1, i%2048), block)
 	}
 }
+
+func TestTrackCountsWithoutStoring(t *testing.T) {
+	b := New(2)
+	key := GenKey{Session: 1, Generation: 1}
+	if got := b.Track(key); got != 1 {
+		t.Fatalf("first Track = %d, want 1", got)
+	}
+	if got := b.Track(key); got != 2 {
+		t.Fatalf("second Track = %d, want 2", got)
+	}
+	if got := b.Count(key); got != 2 {
+		t.Fatalf("Count = %d, want 2", got)
+	}
+	if blocks, ok := b.Blocks(key); !ok || len(blocks) != 0 {
+		t.Fatalf("Blocks = %d entries, ok=%v; want 0 entries, present", len(blocks), ok)
+	}
+	if got := b.Stored(); got != 2 {
+		t.Fatalf("Stored = %d, want 2", got)
+	}
+	// Tracked generations participate in FIFO eviction like stored ones.
+	b.Track(GenKey{Session: 1, Generation: 2})
+	b.Track(GenKey{Session: 1, Generation: 3})
+	if b.Contains(key) {
+		t.Fatal("oldest tracked generation survived eviction at capacity")
+	}
+	if got := b.Evicted(); got != 1 {
+		t.Fatalf("Evicted = %d, want 1", got)
+	}
+}
+
+func TestPacketPoolRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 12, 1472, 2048, 2049, 65536, 70000} {
+		b := GetPacket(n)
+		if len(b) != n {
+			t.Fatalf("GetPacket(%d) returned len %d", n, len(b))
+		}
+		for i := range b {
+			b[i] = byte(i)
+		}
+		PutPacket(b)
+	}
+	// Foreign and nil slices must be safe to Put.
+	PutPacket(nil)
+	PutPacket(make([]byte, 100))
+}
+
+func TestPacketPoolSteadyStateZeroAlloc(t *testing.T) {
+	if allocs := testing.AllocsPerRun(100, func() {
+		b := GetPacket(1472)
+		PutPacket(b)
+	}); allocs != 0 {
+		t.Fatalf("pooled get/put allocated %.1f times, want 0", allocs)
+	}
+}

@@ -1,0 +1,58 @@
+package buffer
+
+import "sync"
+
+// Packet buffer pool. The emulated network and the VNF data plane move one
+// []byte per datagram; without pooling every receive and every send copy
+// allocates, and at Fig. 4 packet rates the garbage collector becomes part
+// of the data path. The pool hands out buffers in two size classes — one
+// for MTU-sized datagrams, one for jumbo/UDP-max reads — and recycles only
+// exact-capacity buffers so a foreign slice can never poison a class.
+//
+// Ownership contract: a buffer obtained from GetPacket (directly, or as a
+// datagram delivered by emunet) is owned by whoever holds it; the consumer
+// of a received datagram should PutPacket it once the payload has been
+// parsed or copied out. Consumers that do not return buffers merely fall
+// back to GC — correctness never depends on a Put.
+
+const (
+	// mtuClass covers standard NC datagrams: 12-byte header + 1460-byte
+	// block fits with room for larger coefficient vectors.
+	mtuClass = 2048
+	// maxClass covers the largest UDP datagram the emulated sockets read.
+	maxClass = 65536
+)
+
+// The pools hold *[N]byte rather than *[]byte: converting between a slice
+// and an array pointer is free in both directions, so neither GetPacket nor
+// PutPacket allocates a slice header on the way through the pool.
+var (
+	mtuPool = sync.Pool{New: func() any { return new([mtuClass]byte) }}
+	maxPool = sync.Pool{New: func() any { return new([maxClass]byte) }}
+)
+
+// GetPacket returns a packet buffer of length n from the pool. The contents
+// are unspecified; callers overwrite the buffer before use.
+func GetPacket(n int) []byte {
+	switch {
+	case n <= mtuClass:
+		return mtuPool.Get().(*[mtuClass]byte)[:n]
+	case n <= maxClass:
+		return maxPool.Get().(*[maxClass]byte)[:n]
+	default:
+		return make([]byte, n)
+	}
+}
+
+// PutPacket returns a buffer to the pool. Buffers whose capacity does not
+// match a pool class (including nil) are dropped for the GC to reclaim, so
+// it is always safe to Put a slice regardless of provenance — as long as no
+// other goroutine still reads or writes it.
+func PutPacket(b []byte) {
+	switch cap(b) {
+	case mtuClass:
+		mtuPool.Put((*[mtuClass]byte)(b[:mtuClass]))
+	case maxClass:
+		maxPool.Put((*[maxClass]byte)(b[:maxClass]))
+	}
+}

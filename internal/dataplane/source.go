@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"ncfn/internal/buffer"
 	"ncfn/internal/emunet"
 	"ncfn/internal/ncproto"
 	"ncfn/internal/rlnc"
@@ -107,7 +108,9 @@ func (s *Source) recvLoop() {
 				continue
 			}
 		}
-		if ack, err := ncproto.DecodeAck(pkt); err == nil {
+		ack, err := ncproto.DecodeAck(pkt)
+		buffer.PutPacket(pkt) // the ACK is fully parsed; recycle the datagram
+		if err == nil {
 			select {
 			case s.acks <- AckFrom{Ack: ack, From: src}:
 			default:

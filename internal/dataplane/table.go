@@ -20,7 +20,6 @@ package dataplane
 import (
 	"bufio"
 	"fmt"
-	"hash/fnv"
 	"os"
 	"sort"
 	"strings"
@@ -55,7 +54,9 @@ func (h HopGroup) quota(def int) int {
 	return def
 }
 
-// Pick selects the instance for a generation.
+// Pick selects the instance for a generation. The FNV-1a hash is computed
+// inline (identical to hash/fnv over the same 6 bytes) so the per-packet
+// path does not allocate a hasher.
 func (h HopGroup) Pick(s ncproto.SessionID, g ncproto.GenerationID) string {
 	if len(h.Addrs) == 0 {
 		return ""
@@ -63,16 +64,20 @@ func (h HopGroup) Pick(s ncproto.SessionID, g ncproto.GenerationID) string {
 	if len(h.Addrs) == 1 {
 		return h.Addrs[0]
 	}
-	hash := fnv.New32a()
-	var b [6]byte
-	b[0] = byte(s >> 8)
-	b[1] = byte(s)
-	b[2] = byte(g >> 24)
-	b[3] = byte(g >> 16)
-	b[4] = byte(g >> 8)
-	b[5] = byte(g)
-	hash.Write(b[:])
-	return h.Addrs[int(hash.Sum32())%len(h.Addrs)]
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	var b = [6]byte{
+		byte(s >> 8), byte(s),
+		byte(g >> 24), byte(g >> 16), byte(g >> 8), byte(g),
+	}
+	hash := uint32(offset32)
+	for _, c := range b {
+		hash ^= uint32(c)
+		hash *= prime32
+	}
+	return h.Addrs[int(hash)%len(h.Addrs)]
 }
 
 // ForwardingTable maps each session to its next-hop groups. The paper
@@ -123,6 +128,32 @@ func (t *ForwardingTable) NextHops(s ncproto.SessionID, g ncproto.GenerationID) 
 		}
 	}
 	return out
+}
+
+// AppendNextHops appends the instance addresses for (s, g) to dst and
+// returns it — the allocation-free variant of NextHops for the packet path.
+func (t *ForwardingTable) AppendNextHops(dst []string, s ncproto.SessionID, g ncproto.GenerationID) []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, h := range t.entries[s] {
+		if a := h.Pick(s, g); a != "" {
+			dst = append(dst, a)
+		}
+	}
+	return dst
+}
+
+// AppendGroups appends the session's hop groups to dst and returns it — the
+// allocation-free variant of Groups for the packet path. The appended
+// values share the table's stored backing arrays, which are immutable once
+// installed (Set and ReplaceAll deep-copy on the way in and swap whole
+// slices on update), so callers may read them freely but must not mutate
+// them; a concurrent table update leaves previously appended groups intact
+// but stale.
+func (t *ForwardingTable) AppendGroups(dst []HopGroup, s ncproto.SessionID) []HopGroup {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return append(dst, t.entries[s]...)
 }
 
 // Groups returns a copy of the hop groups for a session.

@@ -3,6 +3,7 @@ package dataplane
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -78,6 +79,13 @@ type Stats struct {
 }
 
 // VNF is one network coding function instance.
+//
+// The packet path is a pipeline (Sec. III-B's "pipelined fashion"): the
+// receive goroutine only peeks the fixed header — counting the packet,
+// surfacing control ACKs, and hashing the session ID onto one of N worker
+// shards — while the GF(2^8) work happens on the shard workers. All packets
+// of a session land on the same shard, so per-session ordering is
+// preserved while independent sessions recode concurrently.
 type VNF struct {
 	conn  emunet.PacketConn
 	table *ForwardingTable
@@ -93,9 +101,8 @@ type VNF struct {
 	mu       sync.RWMutex
 	sessions map[ncproto.SessionID]*sessionState
 
-	// pauseMu serializes packet processing against forwarding-table
-	// updates (the SIGUSR1 pause/resume cycle of Sec. III-A).
-	pauseMu sync.Mutex
+	workers int
+	shards  []*vnfShard
 
 	packetsIn        atomic.Uint64
 	packetsOut       atomic.Uint64
@@ -110,6 +117,36 @@ type VNF struct {
 	wg        sync.WaitGroup
 	closeOnce sync.Once
 	done      chan struct{}
+}
+
+// pktJob is one datagram in flight from the receive goroutine to a shard
+// worker. The buffer came from the packet pool (via conn.Recv); the worker
+// recycles it after processing.
+type pktJob struct {
+	pkt []byte
+	hdr ncproto.Header
+}
+
+// vnfShard is one worker lane of the data-plane pipeline. Its scratch
+// fields are touched only while pauseMu is held (by the shard's worker, a
+// synchronous handlePacket caller, or a paused table update), so the
+// steady-state packet path reuses them without allocating.
+type vnfShard struct {
+	in chan pktJob
+
+	// pauseMu serializes this shard's packet processing against
+	// forwarding-table updates (the SIGUSR1 pause/resume cycle of
+	// Sec. III-A). Table updates pause every shard; packet processing only
+	// ever holds its own shard's lock, so sessions on other shards keep
+	// flowing while one shard is busy.
+	pauseMu sync.Mutex
+
+	pkt    ncproto.Packet    // decoded view of the in-flight datagram
+	wire   []byte            // outgoing wire-format scratch
+	hops   []string          // forwarder next-hop scratch
+	groups []HopGroup        // recoder hop-group scratch
+	emDst  []string          // emission destinations, parallel to emCB
+	emCB   []rlnc.CodedBlock // reusable emission blocks
 }
 
 type sessionState struct {
@@ -147,6 +184,13 @@ func WithBufferCapacity(generations int) VNFOption {
 // WithSeed fixes the VNF's coding randomness for reproducible tests.
 func WithSeed(seed int64) VNFOption {
 	return func(v *VNF) { v.seed = seed }
+}
+
+// WithWorkers sets the number of pipeline shards (worker goroutines)
+// packets are dispatched across by session ID. The default is GOMAXPROCS;
+// one worker reproduces the fully serial data plane.
+func WithWorkers(n int) VNFOption {
+	return func(v *VNF) { v.workers = n }
 }
 
 // WithCodingCost models the CPU cost of GF(2^8) coding at the given
@@ -194,7 +238,39 @@ func NewVNF(conn emunet.PacketConn, opts ...VNFOption) *VNF {
 	for _, o := range opts {
 		o(v)
 	}
+	if v.workers <= 0 {
+		v.workers = runtime.GOMAXPROCS(0)
+	}
+	if v.workers < 1 {
+		v.workers = 1
+	}
+	v.shards = make([]*vnfShard, v.workers)
+	for i := range v.shards {
+		v.shards[i] = &vnfShard{in: make(chan pktJob, 256)}
+	}
 	return v
+}
+
+// shardFor maps a session to its pipeline shard. All generations of a
+// session hash to the same shard, preserving per-session packet order.
+func (v *VNF) shardFor(s ncproto.SessionID) *vnfShard {
+	return v.shards[int(s)%len(v.shards)]
+}
+
+// pauseAll stops packet processing on every shard (locks are taken in
+// shard order, so concurrent pausers cannot deadlock against workers that
+// each hold only their own shard's lock).
+func (v *VNF) pauseAll() {
+	for _, sh := range v.shards {
+		sh.pauseMu.Lock()
+	}
+}
+
+// resumeAll releases every shard.
+func (v *VNF) resumeAll() {
+	for i := len(v.shards) - 1; i >= 0; i-- {
+		v.shards[i].pauseMu.Unlock()
+	}
 }
 
 // Addr returns the VNF's network address.
@@ -245,9 +321,13 @@ func (v *VNF) EndSession(id ncproto.SessionID) {
 	v.table.Delete(id)
 }
 
-// Start launches the receive/process loop. It returns immediately.
+// Start launches the pipeline: one receive goroutine plus the shard
+// workers. It returns immediately.
 func (v *VNF) Start() {
-	v.wg.Add(1)
+	v.wg.Add(1 + len(v.shards))
+	for _, sh := range v.shards {
+		go v.worker(sh)
+	}
 	go v.run()
 }
 
@@ -309,11 +389,11 @@ func (v *VNF) SessionStatsFor(id ncproto.SessionID) (SessionStats, bool) {
 }
 
 // UpdateTable atomically replaces forwarding entries while packet
-// processing is paused, mirroring the daemon's SIGUSR1 pause → reload →
-// resume cycle. It returns once processing has resumed.
+// processing is paused on every shard, mirroring the daemon's SIGUSR1
+// pause → reload → resume cycle. It returns once processing has resumed.
 func (v *VNF) UpdateTable(entries map[ncproto.SessionID][]HopGroup) {
-	v.pauseMu.Lock()
-	defer v.pauseMu.Unlock()
+	v.pauseAll()
+	defer v.resumeAll()
 	for s, hops := range entries {
 		if hops == nil {
 			v.table.Delete(s)
@@ -331,17 +411,25 @@ func (v *VNF) ReloadTableFile(path string) error {
 	if err != nil {
 		return err
 	}
-	v.pauseMu.Lock()
-	defer v.pauseMu.Unlock()
+	v.pauseAll()
+	defer v.resumeAll()
 	v.table.ReplaceAll(t.Snapshot())
 	return nil
 }
 
-// run is the poll-mode packet loop.
+// run is the poll-mode receive loop: peek the fixed header, dispatch to
+// the session's shard. No GF math and no full parse happens here.
 func (v *VNF) run() {
 	defer v.wg.Done()
+	// The receive goroutine is the only sender into the shard channels;
+	// closing them on exit drains and stops the workers.
+	defer func() {
+		for _, sh := range v.shards {
+			close(sh.in)
+		}
+	}()
 	for {
-		pkt, src, err := v.conn.Recv()
+		pkt, _, err := v.conn.Recv()
 		if err != nil {
 			if errors.Is(err, emunet.ErrClosed) {
 				return
@@ -353,46 +441,79 @@ func (v *VNF) run() {
 				continue
 			}
 		}
-		v.handlePacket(pkt, src)
+		hdr, ok := v.classify(pkt)
+		if !ok {
+			buffer.PutPacket(pkt)
+			continue
+		}
+		v.shardFor(hdr.Session).in <- pktJob{pkt: pkt, hdr: hdr}
 	}
 }
 
-// handlePacket processes one datagram.
-func (v *VNF) handlePacket(pkt []byte, _ string) {
-	v.pauseMu.Lock()
-	defer v.pauseMu.Unlock()
+// worker drains one shard's queue. The recv buffer is owned by the worker
+// from dequeue to PutPacket; nothing downstream retains it (coding state is
+// copied into recoder/decoder arenas, emissions are encoded into shard
+// scratch, and conn.Send copies before returning).
+func (v *VNF) worker(sh *vnfShard) {
+	defer v.wg.Done()
+	for job := range sh.in {
+		sh.pauseMu.Lock()
+		v.process(sh, job.pkt, job.hdr)
+		sh.pauseMu.Unlock()
+		buffer.PutPacket(job.pkt)
+	}
+}
 
+// classify does the receive-side share of packet handling: count the
+// arrival, peek the fixed header, and surface control ACKs. It reports
+// whether the packet needs shard processing.
+func (v *VNF) classify(pkt []byte) (ncproto.Header, bool) {
 	v.packetsIn.Add(1)
-	if !ncproto.IsNC(pkt) {
-		v.packetsDropped.Add(1)
-		return
-	}
-	// Control packets (generation ACKs) surface to the application.
-	if probe, err := ncproto.Decode(pkt, 0); err == nil && probe.Control() {
-		if ack, err := ncproto.DecodeAck(pkt); err == nil {
-			select {
-			case v.acks <- ack:
-			default:
-			}
-			return
-		}
-	}
-	// Need the session config to know the coefficient count.
-	probe, err := ncproto.Decode(pkt, 0)
+	hdr, err := ncproto.PeekHeader(pkt)
 	if err != nil {
 		v.packetsDropped.Add(1)
+		return hdr, false
+	}
+	// Control packets (generation ACKs) surface to the application.
+	if hdr.Control() {
+		select {
+		case v.acks <- ncproto.Ack{Session: hdr.Session, Generation: hdr.Generation}:
+		default:
+		}
+		return hdr, false
+	}
+	return hdr, true
+}
+
+// handlePacket processes one datagram synchronously on the caller's
+// goroutine — the serial path used before Start (tests, benchmarks) and
+// the semantic reference for the pipeline: classify + process on the
+// session's shard. The caller keeps ownership of pkt.
+func (v *VNF) handlePacket(pkt []byte, _ string) {
+	hdr, ok := v.classify(pkt)
+	if !ok {
 		return
 	}
+	sh := v.shardFor(hdr.Session)
+	sh.pauseMu.Lock()
+	v.process(sh, pkt, hdr)
+	sh.pauseMu.Unlock()
+}
+
+// process runs the session-role work for one datagram on its shard. The
+// header has already been validated; the single full parse of the packet
+// happens here, into the shard's reusable Packet.
+func (v *VNF) process(sh *vnfShard, pkt []byte, hdr ncproto.Header) {
 	v.mu.RLock()
-	st := v.sessions[probe.Session]
+	st := v.sessions[hdr.Session]
 	v.mu.RUnlock()
 	if st == nil {
 		v.packetsDropped.Add(1)
 		return
 	}
-	k := st.cfg.Params.GenerationBlocks
-	p, err := ncproto.Decode(pkt, k)
-	if err != nil || len(p.Payload) != st.cfg.Params.BlockSize {
+	p := &sh.pkt
+	if err := ncproto.DecodeInto(p, pkt, st.cfg.Params.GenerationBlocks); err != nil ||
+		len(p.Payload) != st.cfg.Params.BlockSize {
 		v.packetsDropped.Add(1)
 		return
 	}
@@ -400,9 +521,9 @@ func (v *VNF) handlePacket(pkt []byte, _ string) {
 
 	switch st.cfg.Role {
 	case RoleForwarder:
-		v.forward(p)
+		v.forward(sh, p)
 	case RoleRecoder:
-		v.recode(st, p)
+		v.recode(sh, st, p)
 	case RoleDecoder:
 		v.decode(st, p)
 	case RoleCustom:
@@ -410,15 +531,16 @@ func (v *VNF) handlePacket(pkt []byte, _ string) {
 	}
 }
 
-// forward relays the packet unchanged to all next hops.
-func (v *VNF) forward(p *ncproto.Packet) {
-	hops := v.table.NextHops(p.Session, p.Generation)
-	if len(hops) == 0 {
+// forward relays the packet unchanged to all next hops, encoding once into
+// the shard's wire scratch.
+func (v *VNF) forward(sh *vnfShard, p *ncproto.Packet) {
+	sh.hops = v.table.AppendNextHops(sh.hops[:0], p.Session, p.Generation)
+	if len(sh.hops) == 0 {
 		return
 	}
-	buf := p.Encode(nil)
-	for _, h := range hops {
-		if err := v.conn.Send(h, buf); err == nil {
+	sh.wire = p.Encode(sh.wire)
+	for _, h := range sh.hops {
+		if err := v.conn.Send(h, sh.wire); err == nil {
 			v.packetsOut.Add(1)
 			v.forwarded.Add(1)
 		}
@@ -426,7 +548,7 @@ func (v *VNF) forward(p *ncproto.Packet) {
 }
 
 // recode implements the pipelined intermediate VNF of Sec. III-B2.
-func (v *VNF) recode(st *sessionState, p *ncproto.Packet) {
+func (v *VNF) recode(sh *vnfShard, st *sessionState, p *ncproto.Packet) {
 	key := buffer.GenKey{Session: p.Session, Generation: p.Generation}
 	cb := rlnc.CodedBlock{Coeffs: p.Coeffs, Payload: p.Payload}
 
@@ -448,10 +570,12 @@ func (v *VNF) recode(st *sessionState, p *ncproto.Packet) {
 		v.packetsDropped.Add(1)
 		return
 	}
-	// Track the shared buffer alongside the recoder: the buffer provides
-	// FIFO capacity management; when it evicts a generation we drop the
-	// recoder state too.
-	count := v.buf.Add(key, cb)
+	// Track the generation in the shared buffer: it provides per-generation
+	// counting and FIFO capacity management, while the coded state itself
+	// lives in the recoder's rank-limited basis (no payload retained
+	// twice). When the buffer evicts a generation we drop the recoder state
+	// too.
+	count := v.buf.Track(key)
 	for gid := range st.recoders {
 		gk := buffer.GenKey{Session: p.Session, Generation: gid}
 		if !v.buf.Contains(gk) {
@@ -470,7 +594,8 @@ func (v *VNF) recode(st *sessionState, p *ncproto.Packet) {
 	}
 	def := k + st.cfg.Redundancy
 
-	groups := v.table.Groups(p.Session)
+	sh.groups = v.table.AppendGroups(sh.groups[:0], p.Session)
+	groups := sh.groups
 	if len(groups) == 0 {
 		st.mu.Unlock()
 		return
@@ -492,11 +617,12 @@ func (v *VNF) recode(st *sessionState, p *ncproto.Packet) {
 	// packets of whichever branch happened to arrive first and would carry
 	// no innovation for the receiver behind that branch. An amplifying or
 	// neutral hop emits proportionally, i.e. on every arrival.
-	type emission struct {
-		dst string
-		cb  rlnc.CodedBlock
-	}
-	var out []emission
+	//
+	// Emissions are built into the shard's reusable blocks (sh.emCB grows
+	// to the high-water mark and is then recycled), so the steady state
+	// allocates nothing.
+	sh.emDst = sh.emDst[:0]
+	nem := 0
 	firstUsed := false
 	for gi, h := range groups {
 		dst := h.Pick(p.Session, p.Generation)
@@ -515,16 +641,21 @@ func (v *VNF) recode(st *sessionState, p *ncproto.Packet) {
 		}
 		if target > counters[gi] {
 			for i := counters[gi]; i < target; i++ {
+				if nem == len(sh.emCB) {
+					sh.emCB = append(sh.emCB, rlnc.CodedBlock{})
+				}
+				out := &sh.emCB[nem]
 				if count == 1 && !firstUsed {
 					// First packet of its generation: forward as-is
 					// (Sec. III-B2).
 					firstUsed = true
-					out = append(out, emission{dst: dst, cb: cb.Clone()})
+					out.Coeffs = append(out.Coeffs[:0], cb.Coeffs...)
+					out.Payload = append(out.Payload[:0], cb.Payload...)
+				} else if !rec.RecodeInto(out) {
 					continue
 				}
-				if recoded, ok := rec.Recode(); ok {
-					out = append(out, emission{dst: dst, cb: recoded})
-				}
+				sh.emDst = append(sh.emDst, dst)
+				nem++
 			}
 			counters[gi] = target
 		}
@@ -532,17 +663,18 @@ func (v *VNF) recode(st *sessionState, p *ncproto.Packet) {
 	st.emitted[p.Generation] = counters
 	st.mu.Unlock()
 
-	if len(out) > 0 {
-		v.chargeCodingCost(len(out) * st.cfg.Params.GenerationBlocks * st.cfg.Params.BlockSize)
+	if nem > 0 {
+		v.chargeCodingCost(nem * k * st.cfg.Params.BlockSize)
 	}
-	for _, em := range out {
-		wire := (&ncproto.Packet{
+	for i := 0; i < nem; i++ {
+		outPkt := ncproto.Packet{
 			Session:    p.Session,
 			Generation: p.Generation,
-			Coeffs:     em.cb.Coeffs,
-			Payload:    em.cb.Payload,
-		}).Encode(nil)
-		if err := v.conn.Send(em.dst, wire); err == nil {
+			Coeffs:     sh.emCB[i].Coeffs,
+			Payload:    sh.emCB[i].Payload,
+		}
+		sh.wire = outPkt.Encode(sh.wire)
+		if err := v.conn.Send(sh.emDst[i], sh.wire); err == nil {
 			v.packetsOut.Add(1)
 			v.recodedEmissions.Add(1)
 			st.pktsOut.Add(1)

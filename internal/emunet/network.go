@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"ncfn/internal/buffer"
 )
 
 // Common errors.
@@ -23,7 +25,10 @@ type PacketConn interface {
 	// packets the link cannot accept are dropped, like UDP.
 	Send(dst string, pkt []byte) error
 	// Recv blocks until a datagram arrives and returns it with the
-	// sender's address. It returns ErrClosed after Close.
+	// sender's address. It returns ErrClosed after Close. The returned
+	// buffer is owned by the caller; callers on the hot path should return
+	// it with buffer.PutPacket once parsed (not doing so merely falls back
+	// to GC).
 	Recv() ([]byte, string, error)
 	// LocalAddr returns this endpoint's address.
 	LocalAddr() string
@@ -214,12 +219,20 @@ func (h *Host) Send(dst string, pkt []byte) error {
 	if l.duplicate() {
 		copies = 2
 	}
-	buf := append([]byte(nil), pkt...)
+	// Each delivery gets its own pooled copy: the receiver owns the buffer
+	// it is handed (and may recycle it via buffer.PutPacket), so duplicated
+	// packets must not share backing storage.
+	var bufs [2][]byte
+	for c := 0; c < copies; c++ {
+		b := buffer.GetPacket(len(pkt))
+		copy(b, pkt)
+		bufs[c] = b
+	}
 	wait := arrival.Sub(now)
 	if wait <= 0 {
 		l.release()
 		for c := 0; c < copies; c++ {
-			peer.deliver(datagram{src: h.addr, pkt: buf})
+			peer.deliver(datagram{src: h.addr, pkt: bufs[c]})
 		}
 		return nil
 	}
@@ -227,6 +240,9 @@ func (h *Host) Send(dst string, pkt []byte) error {
 	if n.closed {
 		n.mu.Unlock()
 		l.release()
+		for c := 0; c < copies; c++ {
+			buffer.PutPacket(bufs[c])
+		}
 		return ErrClosed
 	}
 	n.wg.Add(1)
@@ -235,7 +251,7 @@ func (h *Host) Send(dst string, pkt []byte) error {
 		defer n.wg.Done()
 		l.release()
 		for c := 0; c < copies; c++ {
-			peer.deliver(datagram{src: h.addr, pkt: buf})
+			peer.deliver(datagram{src: h.addr, pkt: bufs[c]})
 		}
 		n.mu.Lock()
 		delete(n.timers, timer)
@@ -247,13 +263,19 @@ func (h *Host) Send(dst string, pkt []byte) error {
 }
 
 // deliver places a datagram in the host's inbox, dropping it if the inbox
-// is full (receiver-side buffer overflow) or the host is closed.
+// is full (receiver-side buffer overflow) or the host is closed. Dropped
+// datagrams return their buffers to the packet pool.
 func (h *Host) deliver(d datagram) {
 	select {
-	case <-h.done:
 	case h.inbox <- d:
 	default:
-		// Inbox full: receiver too slow; drop like a kernel socket buffer.
+		select {
+		case <-h.done:
+		default:
+			// Inbox full: receiver too slow; drop like a kernel socket
+			// buffer.
+		}
+		buffer.PutPacket(d.pkt)
 	}
 }
 

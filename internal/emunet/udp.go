@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"net"
 	"sync"
+
+	"ncfn/internal/buffer"
 )
 
 // UDPConn adapts a real UDP socket to the PacketConn interface, so the same
@@ -113,13 +115,16 @@ func (u *UDPConn) readLoop() {
 			// Transient error on a live socket: keep polling.
 			continue
 		}
-		pkt := append([]byte(nil), buf[:n]...)
+		pkt := buffer.GetPacket(n)
+		copy(pkt, buf[:n])
 		select {
 		case u.inbox <- datagram{src: u.registry.reverse(from), pkt: pkt}:
 		case <-u.done:
+			buffer.PutPacket(pkt)
 			return
 		default:
 			// Consumer too slow; drop, as a kernel buffer would.
+			buffer.PutPacket(pkt)
 		}
 	}
 }

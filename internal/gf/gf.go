@@ -16,6 +16,9 @@ package gf
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Poly is the primitive polynomial used to construct the field,
@@ -37,6 +40,15 @@ type tables struct {
 	// mul is the full 256x256 product table. It costs 64 KiB and makes the
 	// hot AddMulSlice kernel a single indexed load per byte.
 	mul [Order][Order]byte
+	// mulLo and mulHi are the split nibble tables: for a multiplier c,
+	// mulLo[c][n] = c * n and mulHi[c][n] = c * (n << 4). Because field
+	// multiplication is linear over GF(2), c*b = mulLo[c][b&0xF] ^
+	// mulHi[c][b>>4]. Each multiplier needs just 32 bytes of table (two
+	// cache lines), the pure-Go analogue of the 16-entry shuffle tables
+	// SIMD RLNC kernels use; the wide kernel composes the two lookups a
+	// 64-bit word at a time.
+	mulLo [Order][16]byte
+	mulHi [Order][16]byte
 }
 
 // _tables is package-level immutable state, initialized once at startup.
@@ -65,6 +77,12 @@ func buildTables() *tables {
 				continue
 			}
 			t.mul[a][b] = t.exp[int(t.log[a])+int(t.log[b])]
+		}
+	}
+	for c := 0; c < Order; c++ {
+		for n := 0; n < 16; n++ {
+			t.mulLo[c][n] = t.mul[c][n]
+			t.mulHi[c][n] = t.mul[c][n<<4]
 		}
 	}
 	return t
@@ -143,6 +161,11 @@ func MulSlice(dst, src []byte, c byte) {
 // AddMulSlice computes dst[i] += c * src[i] for every i (the GF(2^8)
 // equivalent of an AXPY kernel). dst and src must have the same length and
 // must not alias unless they are identical slices with c == 0 or c == 1.
+//
+// Two kernels back this entry point: the 64 KiB full-table kernel
+// (AddMulSliceTable) and the split nibble-table wide kernel
+// (AddMulSliceWide). A one-time micro-calibration on first use picks the
+// faster one for this machine; SetWideKernel overrides the choice.
 func AddMulSlice(dst, src []byte, c byte) {
 	if len(dst) != len(src) {
 		panic("gf: AddMulSlice length mismatch")
@@ -156,6 +179,34 @@ func AddMulSlice(dst, src []byte, c byte) {
 		xorSlice(dst, src)
 		return
 	}
+	if len(dst) >= kernelDispatchMin {
+		calibrateOnce.Do(calibrateKernel)
+		if wideKernel.Load() {
+			addMulSliceWide(dst, src, c)
+			return
+		}
+	}
+	addMulSliceTable(dst, src, c)
+}
+
+// AddMulSliceTable is the full-table kernel behind AddMulSlice: one 64 KiB
+// product table, one indexed load per byte. Exposed for benchmarking the
+// kernel dispatch.
+func AddMulSliceTable(dst, src []byte, c byte) {
+	if len(dst) != len(src) {
+		panic("gf: AddMulSlice length mismatch")
+	}
+	switch c {
+	case 0:
+		return
+	case 1:
+		xorSlice(dst, src)
+		return
+	}
+	addMulSliceTable(dst, src, c)
+}
+
+func addMulSliceTable(dst, src []byte, c byte) {
 	row := &_tables.mul[c]
 	// Process 8 bytes per iteration to amortize bounds checks.
 	n := len(src)
@@ -175,6 +226,104 @@ func AddMulSlice(dst, src []byte, c byte) {
 	for ; i < n; i++ {
 		dst[i] ^= row[src[i]]
 	}
+}
+
+// AddMulSliceWide is the 64-bit-wide split nibble-table kernel behind
+// AddMulSlice: the multiplier's two 16-entry tables (32 bytes, two cache
+// lines) are composed word-at-a-time, so the whole working set of the
+// multiply stays cache-resident no matter how many distinct coefficients a
+// recode mixes. Exposed for benchmarking the kernel dispatch.
+func AddMulSliceWide(dst, src []byte, c byte) {
+	if len(dst) != len(src) {
+		panic("gf: AddMulSlice length mismatch")
+	}
+	switch c {
+	case 0:
+		return
+	case 1:
+		xorSlice(dst, src)
+		return
+	}
+	addMulSliceWide(dst, src, c)
+}
+
+func addMulSliceWide(dst, src []byte, c byte) {
+	lo := &_tables.mulLo[c]
+	hi := &_tables.mulHi[c]
+	n := len(src)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		s := binary.LittleEndian.Uint64(src[i:])
+		r := uint64(lo[s&15] ^ hi[(s>>4)&15])
+		r |= uint64(lo[(s>>8)&15]^hi[(s>>12)&15]) << 8
+		r |= uint64(lo[(s>>16)&15]^hi[(s>>20)&15]) << 16
+		r |= uint64(lo[(s>>24)&15]^hi[(s>>28)&15]) << 24
+		r |= uint64(lo[(s>>32)&15]^hi[(s>>36)&15]) << 32
+		r |= uint64(lo[(s>>40)&15]^hi[(s>>44)&15]) << 40
+		r |= uint64(lo[(s>>48)&15]^hi[(s>>52)&15]) << 48
+		r |= uint64(lo[(s>>56)&15]^hi[(s>>60)&15]) << 56
+		d := binary.LittleEndian.Uint64(dst[i:])
+		binary.LittleEndian.PutUint64(dst[i:], d^r)
+	}
+	for ; i < n; i++ {
+		b := src[i]
+		dst[i] ^= lo[b&15] ^ hi[b>>4]
+	}
+}
+
+// kernelDispatchMin is the slice length below which AddMulSlice always uses
+// the table kernel: tiny slices (coefficient vectors) are dominated by call
+// overhead, not kernel choice.
+const kernelDispatchMin = 64
+
+var (
+	calibrateOnce sync.Once
+	wideKernel    atomic.Bool
+)
+
+// calibrateKernel times both kernels on an MTU-sized block and selects the
+// faster one. Ties go to the table kernel. The measurement costs a few
+// microseconds and runs once per process.
+func calibrateKernel() {
+	const reps = 64
+	src := make([]byte, 1460)
+	dst := make([]byte, 1460)
+	for i := range src {
+		src[i] = byte(i*31 + 7)
+	}
+	time.Sleep(0) // yield once so the timing slice starts fresh
+	run := func(f func(dst, src []byte, c byte)) time.Duration {
+		best := time.Duration(1<<63 - 1)
+		for trial := 0; trial < 3; trial++ {
+			start := time.Now()
+			for i := 0; i < reps; i++ {
+				f(dst, src, byte(i%254)+2)
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	table := run(addMulSliceTable)
+	wide := run(addMulSliceWide)
+	wideKernel.Store(wide < table)
+}
+
+// SetWideKernel forces AddMulSlice's kernel choice (true selects the split
+// nibble-table wide kernel, false the 64 KiB table kernel), overriding the
+// automatic calibration. Both kernels produce identical results; this only
+// affects speed. Intended for benchmarks and tests.
+func SetWideKernel(enabled bool) {
+	calibrateOnce.Do(func() {}) // disarm auto-calibration
+	wideKernel.Store(enabled)
+}
+
+// WideKernelSelected reports whether AddMulSlice currently dispatches large
+// slices to the wide kernel.
+func WideKernelSelected() bool {
+	calibrateOnce.Do(calibrateKernel)
+	return wideKernel.Load()
 }
 
 // xorSlice computes dst[i] ^= src[i] eight bytes at a time.

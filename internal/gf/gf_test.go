@@ -2,6 +2,7 @@ package gf
 
 import (
 	"bytes"
+	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -343,5 +344,89 @@ func BenchmarkAddMulSliceXOR1460(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		AddMulSlice(dst, src, 1)
+	}
+}
+
+func TestAddMulSliceWideMatchesTable(t *testing.T) {
+	// The wide nibble-table kernel and the 64 KiB table kernel must agree
+	// for every multiplier, across lengths covering the word loop, the
+	// byte tail, and the empty slice.
+	rng := rand.New(rand.NewSource(77))
+	for _, n := range []int{0, 1, 7, 8, 9, 15, 16, 63, 64, 65, 100, 1460} {
+		src := make([]byte, n)
+		base := make([]byte, n)
+		rng.Read(src)
+		rng.Read(base)
+		for c := 0; c < 256; c++ {
+			dt := append([]byte(nil), base...)
+			dw := append([]byte(nil), base...)
+			AddMulSliceTable(dt, src, byte(c))
+			AddMulSliceWide(dw, src, byte(c))
+			if !bytes.Equal(dt, dw) {
+				t.Fatalf("n=%d c=%d: kernels disagree", n, c)
+			}
+		}
+	}
+}
+
+func TestAddMulSliceDispatchBothKernels(t *testing.T) {
+	// Whatever calibration picked, forcing either kernel through the
+	// public dispatch must give identical results.
+	defer SetWideKernel(WideKernelSelected())
+	src := make([]byte, 1460)
+	rand.New(rand.NewSource(9)).Read(src)
+	want := make([]byte, 1460)
+	AddMulSliceTable(want, src, 0x5B)
+	for _, wide := range []bool{false, true} {
+		SetWideKernel(wide)
+		dst := make([]byte, 1460)
+		AddMulSlice(dst, src, 0x5B)
+		if !bytes.Equal(dst, want) {
+			t.Fatalf("wide=%v: dispatch result differs from table kernel", wide)
+		}
+	}
+}
+
+func TestAddMulSliceZeroAlloc(t *testing.T) {
+	// The AXPY kernels are the innermost hot path of every recode and
+	// decode; they must never touch the heap.
+	src := make([]byte, 1460)
+	dst := make([]byte, 1460)
+	rand.New(rand.NewSource(10)).Read(src)
+	for name, f := range map[string]func(){
+		"dispatch": func() { AddMulSlice(dst, src, 0xA7) },
+		"table":    func() { AddMulSliceTable(dst, src, 0xA7) },
+		"wide":     func() { AddMulSliceWide(dst, src, 0xA7) },
+		"xor":      func() { AddMulSlice(dst, src, 1) },
+	} {
+		if allocs := testing.AllocsPerRun(100, f); allocs != 0 {
+			t.Errorf("%s kernel: %v allocs per run, want 0", name, allocs)
+		}
+	}
+}
+
+func BenchmarkAddMulSliceTable1460(b *testing.B) {
+	src := make([]byte, 1460)
+	dst := make([]byte, 1460)
+	rand.New(rand.NewSource(4)).Read(src)
+	b.SetBytes(1460)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AddMulSliceTable(dst, src, byte(i%255)+1)
+	}
+}
+
+func BenchmarkAddMulSliceWide(b *testing.B) {
+	for _, n := range []int{64, 1460} {
+		b.Run(fmt.Sprintf("%dB", n), func(b *testing.B) {
+			src := make([]byte, n)
+			dst := make([]byte, n)
+			rand.New(rand.NewSource(5)).Read(src)
+			b.SetBytes(int64(n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				AddMulSliceWide(dst, src, byte(i%255)+1)
+			}
+		})
 	}
 }

@@ -105,18 +105,65 @@ func (p *Packet) Encode(buf []byte) []byte {
 // packet's Coeffs and Payload alias buf; callers that retain the packet
 // beyond the lifetime of buf must Clone it.
 func Decode(buf []byte, k int) (*Packet, error) {
+	p := new(Packet)
+	if err := DecodeInto(p, buf, k); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// DecodeInto parses an NC packet with a k-coefficient header into p,
+// overwriting its fields. It performs no allocation: p's Coeffs and Payload
+// are rebound to alias buf, so the data plane can reuse one Packet per
+// worker. Callers that retain p beyond the lifetime of buf must Clone it.
+func DecodeInto(p *Packet, buf []byte, k int) error {
 	if len(buf) < FixedHeaderLen+k {
-		return nil, fmt.Errorf("%w: %d bytes, need at least %d", ErrTooShort, len(buf), FixedHeaderLen+k)
+		return fmt.Errorf("%w: %d bytes, need at least %d", ErrTooShort, len(buf), FixedHeaderLen+k)
 	}
 	if buf[0] != Magic {
-		return nil, fmt.Errorf("%w: 0x%02X", ErrBadMagic, buf[0])
+		return fmt.Errorf("%w: 0x%02X", ErrBadMagic, buf[0])
 	}
-	return &Packet{
+	p.Flags = buf[1]
+	p.Session = SessionID(binary.BigEndian.Uint16(buf[2:]))
+	p.Generation = GenerationID(binary.BigEndian.Uint32(buf[4:]))
+	p.Coeffs = buf[FixedHeaderLen : FixedHeaderLen+k : FixedHeaderLen+k]
+	p.Payload = buf[FixedHeaderLen+k:]
+	return nil
+}
+
+// Header is the fixed 8-byte NC header, parsed without touching the
+// coefficient vector or payload. It is the value the data plane's receive
+// goroutine needs to classify and dispatch a datagram (control vs data,
+// which session shard) before any full parse.
+type Header struct {
+	Flags      byte
+	Session    SessionID
+	Generation GenerationID
+}
+
+// Systematic reports whether the packet carries an uncoded source block.
+func (h Header) Systematic() bool { return h.Flags&FlagSystematic != 0 }
+
+// EndOfSession reports whether the packet closes its session.
+func (h Header) EndOfSession() bool { return h.Flags&FlagEndOfSession != 0 }
+
+// Control reports whether the packet is in-band control traffic.
+func (h Header) Control() bool { return h.Flags&FlagControl != 0 }
+
+// PeekHeader parses the fixed header of an NC packet without allocating.
+// It returns the bare sentinel errors (ErrTooShort, ErrBadMagic) unwrapped
+// so the malformed-packet path is allocation-free too.
+func PeekHeader(buf []byte) (Header, error) {
+	if len(buf) < FixedHeaderLen {
+		return Header{}, ErrTooShort
+	}
+	if buf[0] != Magic {
+		return Header{}, ErrBadMagic
+	}
+	return Header{
 		Flags:      buf[1],
 		Session:    SessionID(binary.BigEndian.Uint16(buf[2:])),
 		Generation: GenerationID(binary.BigEndian.Uint32(buf[4:])),
-		Coeffs:     buf[FixedHeaderLen : FixedHeaderLen+k : FixedHeaderLen+k],
-		Payload:    buf[FixedHeaderLen+k:],
 	}, nil
 }
 
@@ -151,14 +198,19 @@ func EncodeAck(a Ack) []byte {
 	return p.Encode(nil)
 }
 
-// DecodeAck parses a control packet produced by EncodeAck.
+// ErrNotControl is returned by DecodeAck for well-formed non-control
+// packets.
+var ErrNotControl = errors.New("ncproto: not a control packet")
+
+// DecodeAck parses a control packet produced by EncodeAck. It does not
+// allocate.
 func DecodeAck(buf []byte) (Ack, error) {
-	p, err := Decode(buf, 0)
+	h, err := PeekHeader(buf)
 	if err != nil {
 		return Ack{}, err
 	}
-	if !p.Control() {
-		return Ack{}, errors.New("ncproto: not a control packet")
+	if !h.Control() {
+		return Ack{}, ErrNotControl
 	}
-	return Ack{Session: p.Session, Generation: p.Generation}, nil
+	return Ack{Session: h.Session, Generation: h.Generation}, nil
 }

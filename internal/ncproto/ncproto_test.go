@@ -187,3 +187,69 @@ func BenchmarkDecode(b *testing.B) {
 		}
 	}
 }
+
+func TestPeekHeaderMatchesDecode(t *testing.T) {
+	p := &Packet{
+		Flags:      FlagSystematic | FlagEndOfSession,
+		Session:    0xBEEF,
+		Generation: 0x01020304,
+		Coeffs:     []byte{1, 2, 3, 4},
+		Payload:    []byte{9, 8, 7},
+	}
+	buf := p.Encode(nil)
+	h, err := PeekHeader(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Flags != p.Flags || h.Session != p.Session || h.Generation != p.Generation {
+		t.Fatalf("header = %+v, want fields of %+v", h, p)
+	}
+	if h.Control() || !h.Systematic() || !h.EndOfSession() {
+		t.Fatal("header flag accessors wrong")
+	}
+	if _, err := PeekHeader([]byte{Magic, 0}); !errors.Is(err, ErrTooShort) {
+		t.Fatalf("short peek: %v", err)
+	}
+	if _, err := PeekHeader([]byte{0, 0, 0, 0, 0, 0, 0, 0}); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("bad magic peek: %v", err)
+	}
+}
+
+func TestDecodeIntoReusesPacket(t *testing.T) {
+	var p Packet
+	a := (&Packet{Session: 1, Generation: 2, Coeffs: []byte{1, 2}, Payload: []byte{3}}).Encode(nil)
+	b := (&Packet{Session: 9, Generation: 8, Coeffs: []byte{7, 6}, Payload: []byte{5}}).Encode(nil)
+	if err := DecodeInto(&p, a, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := DecodeInto(&p, b, 2); err != nil {
+		t.Fatal(err)
+	}
+	if p.Session != 9 || p.Generation != 8 || p.Coeffs[0] != 7 || p.Payload[0] != 5 {
+		t.Fatalf("reused packet holds stale fields: %+v", p)
+	}
+	if &p.Coeffs[0] != &b[FixedHeaderLen] {
+		t.Fatal("DecodeInto did not alias the packet buffer")
+	}
+}
+
+func TestHotPathZeroAlloc(t *testing.T) {
+	// The steady-state packet path encodes into a reused buffer, peeks
+	// the fixed header, and decodes in place — none of it may allocate.
+	p := &Packet{Session: 3, Generation: 4, Coeffs: []byte{1, 2, 3, 4}, Payload: make([]byte, 1460)}
+	wire := p.Encode(nil)
+	scratch := make([]byte, 0, p.WireLen())
+	var parsed Packet
+	cases := map[string]func(){
+		"Encode":     func() { p.Encode(scratch) },
+		"PeekHeader": func() { _, _ = PeekHeader(wire) },
+		"DecodeInto": func() { _ = DecodeInto(&parsed, wire, 4) },
+		"DecodeAck":  func() { _, _ = DecodeAck(wire) },
+		"PeekBad":    func() { _, _ = PeekHeader(wire[:3]) },
+	}
+	for name, f := range cases {
+		if allocs := testing.AllocsPerRun(100, f); allocs != 0 {
+			t.Errorf("%s: %v allocs per run, want 0", name, allocs)
+		}
+	}
+}

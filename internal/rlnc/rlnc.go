@@ -168,19 +168,114 @@ func (e *Encoder) Coded() CodedBlock {
 	return CodedBlock{Coeffs: coeffs, Payload: payload}
 }
 
-// Decoder recovers a generation from coded blocks via progressive Gaussian
-// elimination: every arriving block is reduced against the rows collected so
-// far, so decode cost is spread across arrivals. It is not safe for
-// concurrent use.
-type Decoder struct {
-	params Params
-	// rows[i], when pivots[i] is true, is a row with leading 1 at column i,
-	// reduced against all other pivot rows.
-	rows    [][]byte // coefficient part, len k
-	payload [][]byte // payload part, len blockSize
+// basis is the shared progressive-Gaussian-elimination core behind Decoder
+// and Recoder: a reduced row-echelon system of at most k rows, stored in a
+// preallocated arena so that inserting a block performs zero heap
+// allocations. The arena holds k+1 rows: up to k pivot rows plus one
+// scratch row the next arrival is reduced in; an innovative insert promotes
+// the scratch row to a pivot and adopts the next free arena row as scratch.
+type basis struct {
+	k, blockSize int
+	// rows[i] / payload[i], when pivots[i] is true, form a row with
+	// leading 1 at column i, reduced against all other pivot rows.
+	rows    [][]byte
+	payload [][]byte
 	pivots  []bool
 	rank    int
-	useless int // received blocks that were not innovative
+	useless int // inserted blocks that were not innovative
+
+	scratchC []byte // next incoming coefficient row (arena view)
+	scratchP []byte // next incoming payload row (arena view)
+	nextRow  int
+	arenaC   []byte
+	arenaP   []byte
+}
+
+func newBasis(k, blockSize int) *basis {
+	b := &basis{
+		k:         k,
+		blockSize: blockSize,
+		rows:      make([][]byte, k),
+		payload:   make([][]byte, k),
+		pivots:    make([]bool, k),
+		arenaC:    make([]byte, (k+1)*k),
+		arenaP:    make([]byte, (k+1)*blockSize),
+	}
+	b.scratchC, b.scratchP = b.arenaRow(0)
+	b.nextRow = 1
+	return b
+}
+
+func (b *basis) arenaRow(i int) (coeffs, payload []byte) {
+	return b.arenaC[i*b.k : (i+1)*b.k : (i+1)*b.k],
+		b.arenaP[i*b.blockSize : (i+1)*b.blockSize : (i+1)*b.blockSize]
+}
+
+// insert reduces one coded block against the stored pivot rows and, if it
+// is innovative, stores it and back-substitutes to keep the system in
+// reduced form. It reports whether the rank increased. insert performs no
+// heap allocation.
+func (b *basis) insert(coeffs, payload []byte) bool {
+	cs, ps := b.scratchC, b.scratchP
+	copy(cs, coeffs)
+	copy(ps, payload)
+
+	// Reduce the incoming vector against every existing pivot row. Each
+	// stored pivot row is zero at all other pivot columns, so one pass
+	// clears every pivot column of the incoming vector.
+	for col := 0; col < b.k; col++ {
+		if cs[col] == 0 || !b.pivots[col] {
+			continue
+		}
+		c := cs[col]
+		gf.AddMulSlice(cs, b.rows[col], c)
+		gf.AddMulSlice(ps, b.payload[col], c)
+	}
+	// The leading nonzero column (necessarily pivot-free now) becomes the
+	// new pivot; a fully-reduced zero vector was not innovative.
+	lead := -1
+	for col := 0; col < b.k; col++ {
+		if cs[col] != 0 {
+			lead = col
+			break
+		}
+	}
+	if lead < 0 {
+		b.useless++
+		return false
+	}
+	if c := cs[lead]; c != 1 {
+		inv := gf.Inv(c)
+		gf.MulSlice(cs, cs, inv)
+		gf.MulSlice(ps, ps, inv)
+	}
+	b.rows[lead] = cs
+	b.payload[lead] = ps
+	b.pivots[lead] = true
+	b.rank++
+	// Back-substitute: eliminate column lead from all other pivot rows.
+	for r := 0; r < b.k; r++ {
+		if r == lead || !b.pivots[r] {
+			continue
+		}
+		if c := b.rows[r][lead]; c != 0 {
+			gf.AddMulSlice(b.rows[r], b.rows[lead], c)
+			gf.AddMulSlice(b.payload[r], b.payload[lead], c)
+		}
+	}
+	b.scratchC, b.scratchP = b.arenaRow(b.nextRow)
+	b.nextRow++
+	return true
+}
+
+// Decoder recovers a generation from coded blocks via progressive Gaussian
+// elimination: every arriving block is reduced against the rows collected so
+// far, so decode cost is spread across arrivals. All row storage is
+// preallocated at construction; Add performs no heap allocations. It is not
+// safe for concurrent use.
+type Decoder struct {
+	params Params
+	b      *basis
 }
 
 // NewDecoder builds a decoder for one generation.
@@ -188,29 +283,25 @@ func NewDecoder(params Params) (*Decoder, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
-	k := params.GenerationBlocks
-	d := &Decoder{
-		params:  params,
-		rows:    make([][]byte, k),
-		payload: make([][]byte, k),
-		pivots:  make([]bool, k),
-	}
-	return d, nil
+	return &Decoder{
+		params: params,
+		b:      newBasis(params.GenerationBlocks, params.BlockSize),
+	}, nil
 }
 
 // Params returns the coding parameters.
 func (d *Decoder) Params() Params { return d.params }
 
 // Rank returns the number of linearly independent blocks received so far.
-func (d *Decoder) Rank() int { return d.rank }
+func (d *Decoder) Rank() int { return d.b.rank }
 
 // Useless returns the number of received blocks that were not innovative
 // (linearly dependent on earlier ones). With GF(2^8) coefficients this stays
 // near zero; it grows under GF(2), which the field-size ablation measures.
-func (d *Decoder) Useless() int { return d.useless }
+func (d *Decoder) Useless() int { return d.b.useless }
 
 // Complete reports whether the full generation can be recovered.
-func (d *Decoder) Complete() bool { return d.rank == d.params.GenerationBlocks }
+func (d *Decoder) Complete() bool { return d.b.rank == d.params.GenerationBlocks }
 
 // Add consumes one coded block and reports whether it was innovative
 // (increased the decoder's rank).
@@ -222,89 +313,43 @@ func (d *Decoder) Add(cb CodedBlock) (bool, error) {
 	if len(cb.Payload) != d.params.BlockSize {
 		return false, fmt.Errorf("%w: payload length %d, want %d", ErrParams, len(cb.Payload), d.params.BlockSize)
 	}
-	coeffs := append([]byte(nil), cb.Coeffs...)
-	payload := append([]byte(nil), cb.Payload...)
-
-	// Reduce the incoming vector against every existing pivot row. Each
-	// stored pivot row is zero at all other pivot columns, so one pass
-	// clears every pivot column of the incoming vector.
-	for col := 0; col < k; col++ {
-		if coeffs[col] == 0 || !d.pivots[col] {
-			continue
-		}
-		c := coeffs[col]
-		gf.AddMulSlice(coeffs, d.rows[col], c)
-		gf.AddMulSlice(payload, d.payload[col], c)
-	}
-	// The leading nonzero column (necessarily pivot-free now) becomes the
-	// new pivot; a fully-reduced zero vector was not innovative.
-	lead := -1
-	for col := 0; col < k; col++ {
-		if coeffs[col] != 0 {
-			lead = col
-			break
-		}
-	}
-	if lead < 0 {
-		d.useless++
-		return false, nil
-	}
-	if c := coeffs[lead]; c != 1 {
-		inv := gf.Inv(c)
-		gf.MulSlice(coeffs, coeffs, inv)
-		gf.MulSlice(payload, payload, inv)
-	}
-	d.rows[lead] = coeffs
-	d.payload[lead] = payload
-	d.pivots[lead] = true
-	d.rank++
-	d.backSubstitute(lead)
-	return true, nil
-}
-
-// backSubstitute eliminates column col from all other stored pivot rows,
-// keeping the stored system in reduced form.
-func (d *Decoder) backSubstitute(col int) {
-	for r := 0; r < d.params.GenerationBlocks; r++ {
-		if r == col || !d.pivots[r] {
-			continue
-		}
-		if c := d.rows[r][col]; c != 0 {
-			gf.AddMulSlice(d.rows[r], d.rows[col], c)
-			gf.AddMulSlice(d.payload[r], d.payload[col], c)
-		}
-	}
+	return d.b.insert(cb.Coeffs, cb.Payload), nil
 }
 
 // Block returns source block i once the generation is complete.
 func (d *Decoder) Block(i int) ([]byte, error) {
 	if !d.Complete() {
-		return nil, fmt.Errorf("rlnc: generation incomplete (rank %d/%d)", d.rank, d.params.GenerationBlocks)
+		return nil, fmt.Errorf("rlnc: generation incomplete (rank %d/%d)", d.b.rank, d.params.GenerationBlocks)
 	}
 	if i < 0 || i >= d.params.GenerationBlocks {
 		return nil, fmt.Errorf("%w: block index %d", ErrParams, i)
 	}
-	return d.payload[i], nil
+	return d.b.payload[i], nil
 }
 
 // Generation returns the concatenated decoded generation payload.
 func (d *Decoder) Generation() ([]byte, error) {
 	if !d.Complete() {
-		return nil, fmt.Errorf("rlnc: generation incomplete (rank %d/%d)", d.rank, d.params.GenerationBlocks)
+		return nil, fmt.Errorf("rlnc: generation incomplete (rank %d/%d)", d.b.rank, d.params.GenerationBlocks)
 	}
 	out := make([]byte, 0, d.params.GenerationBytes())
 	for i := 0; i < d.params.GenerationBlocks; i++ {
-		out = append(out, d.payload[i]...)
+		out = append(out, d.b.payload[i]...)
 	}
 	return out, nil
 }
 
 // Recoder combines coded blocks received so far into fresh coded blocks
 // without decoding — the core capability that lets intermediate VNFs mix
-// flows. It is not safe for concurrent use.
+// flows. It maintains a rank-limited reduced basis of what it has received
+// rather than every raw block, so per-generation memory is bounded by k+1
+// rows, Add performs no heap allocation, and the cost of an emission is
+// O(rank), not O(packets received) — the property that keeps a pipelined
+// VNF's per-packet work constant under sustained traffic. It is not safe
+// for concurrent use.
 type Recoder struct {
 	params Params
-	stored []CodedBlock
+	b      *basis
 	rng    *rand.Rand
 }
 
@@ -313,16 +358,22 @@ func NewRecoder(params Params, seed int64) (*Recoder, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
-	return &Recoder{params: params, rng: rand.New(rand.NewSource(seed))}, nil
+	return &Recoder{
+		params: params,
+		b:      newBasis(params.GenerationBlocks, params.BlockSize),
+		rng:    rand.New(rand.NewSource(seed)),
+	}, nil
 }
 
 // Params returns the coding parameters.
 func (r *Recoder) Params() Params { return r.params }
 
-// Stored returns the number of blocks buffered for recoding.
-func (r *Recoder) Stored() int { return len(r.stored) }
+// Stored returns the number of linearly independent blocks buffered for
+// recoding (the recoder's rank; dependent arrivals add no information and
+// are absorbed into the basis).
+func (r *Recoder) Stored() int { return r.b.rank }
 
-// Add buffers a received coded block for future recoding.
+// Add folds a received coded block into the recoding basis.
 func (r *Recoder) Add(cb CodedBlock) error {
 	if len(cb.Coeffs) != r.params.GenerationBlocks {
 		return fmt.Errorf("%w: coefficient vector length %d, want %d", ErrParams, len(cb.Coeffs), r.params.GenerationBlocks)
@@ -330,34 +381,68 @@ func (r *Recoder) Add(cb CodedBlock) error {
 	if len(cb.Payload) != r.params.BlockSize {
 		return fmt.Errorf("%w: payload length %d, want %d", ErrParams, len(cb.Payload), r.params.BlockSize)
 	}
-	r.stored = append(r.stored, cb.Clone())
+	r.b.insert(cb.Coeffs, cb.Payload)
 	return nil
 }
 
-// Recode emits a random linear combination of all buffered blocks. It
-// returns false if nothing is buffered yet.
+// Recode emits a random linear combination of the received span. It returns
+// false if nothing has been buffered yet.
 func (r *Recoder) Recode() (CodedBlock, bool) {
-	if len(r.stored) == 0 {
+	var cb CodedBlock
+	if !r.RecodeInto(&cb) {
 		return CodedBlock{}, false
 	}
+	return cb, true
+}
+
+// RecodeInto writes a fresh random combination of the received span into
+// cb, reusing cb's backing arrays when they have capacity — the data
+// plane's allocation-free emission path. It returns false if nothing has
+// been buffered yet.
+func (r *Recoder) RecodeInto(cb *CodedBlock) bool {
+	if r.b.rank == 0 {
+		return false
+	}
+	k := r.params.GenerationBlocks
+	cb.Coeffs = resizeZero(cb.Coeffs, k)
+	cb.Payload = resizeZero(cb.Payload, r.params.BlockSize)
 	field := r.params.field()
-	coeffs := make([]byte, r.params.GenerationBlocks)
-	payload := make([]byte, r.params.BlockSize)
 	mixed := false
-	for _, cb := range r.stored {
+	first := -1
+	for col := 0; col < k; col++ {
+		if !r.b.pivots[col] {
+			continue
+		}
+		if first < 0 {
+			first = col
+		}
 		w := field.ClampCoeff(byte(r.rng.Intn(256)))
 		if w == 0 {
 			continue
 		}
 		mixed = true
-		gf.AddMulSlice(coeffs, cb.Coeffs, w)
-		gf.AddMulSlice(payload, cb.Payload, w)
+		gf.AddMulSlice(cb.Coeffs, r.b.rows[col], w)
+		gf.AddMulSlice(cb.Payload, r.b.payload[col], w)
 	}
 	if !mixed {
-		// All weights were zero; fall back to forwarding the newest block.
-		return r.stored[len(r.stored)-1].Clone(), true
+		// All weights were zero; fall back to forwarding a basis row.
+		copy(cb.Coeffs, r.b.rows[first])
+		copy(cb.Payload, r.b.payload[first])
 	}
-	return CodedBlock{Coeffs: coeffs, Payload: payload}, true
+	return true
+}
+
+// resizeZero returns b resized to n zeroed bytes, reusing its backing array
+// when capacity allows.
+func resizeZero(b []byte, n int) []byte {
+	if cap(b) < n {
+		return make([]byte, n)
+	}
+	b = b[:n]
+	for i := range b {
+		b[i] = 0
+	}
+	return b
 }
 
 // SplitGenerations cuts data into generation-size chunks. The final chunk

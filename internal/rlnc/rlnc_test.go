@@ -517,3 +517,168 @@ func BenchmarkRecode(b *testing.B) {
 		rec.Recode()
 	}
 }
+
+func TestRecodeIntoReusesBuffers(t *testing.T) {
+	p := DefaultParams()
+	data := randomData(11, p.GenerationBytes())
+	enc, err := NewEncoder(p, data, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := NewRecoder(p, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < p.GenerationBlocks; i++ {
+		if err := rec.Add(enc.Coded()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var cb CodedBlock
+	if !rec.RecodeInto(&cb) {
+		t.Fatal("RecodeInto returned false with buffered blocks")
+	}
+	c0, p0 := &cb.Coeffs[0], &cb.Payload[0]
+	dec, err := NewDecoder(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !dec.Complete() {
+		if !rec.RecodeInto(&cb) {
+			t.Fatal("RecodeInto returned false")
+		}
+		if &cb.Coeffs[0] != c0 || &cb.Payload[0] != p0 {
+			t.Fatal("RecodeInto reallocated caller buffers that had capacity")
+		}
+		if _, err := dec.Add(cb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := dec.Generation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("recoded-into stream did not decode to the source data")
+	}
+}
+
+func TestRecodeIntoEmpty(t *testing.T) {
+	rec, err := NewRecoder(DefaultParams(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cb CodedBlock
+	if rec.RecodeInto(&cb) {
+		t.Fatal("RecodeInto reported success with nothing buffered")
+	}
+}
+
+// TestRecoderHotPathZeroAlloc pins the recoder's steady-state behavior: once
+// a generation's basis and the caller's emission block exist, neither
+// absorbing a packet (Add) nor emitting one (RecodeInto) may allocate.
+func TestRecoderHotPathZeroAlloc(t *testing.T) {
+	p := DefaultParams()
+	enc, err := NewEncoder(p, randomData(13, p.GenerationBytes()), 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := NewRecoder(p, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := enc.Coded()
+	var out CodedBlock
+	if allocs := testing.AllocsPerRun(100, func() {
+		if err := rec.Add(in); err != nil {
+			t.Fatal(err)
+		}
+		if !rec.RecodeInto(&out) {
+			t.Fatal("RecodeInto returned false")
+		}
+	}); allocs != 0 {
+		t.Fatalf("recoder hot path allocated %.1f times per packet, want 0", allocs)
+	}
+}
+
+// TestDecoderAddZeroAlloc pins the decoder's steady-state behavior: with the
+// basis arena preallocated, absorbing a packet never allocates, innovative
+// or not.
+func TestDecoderAddZeroAlloc(t *testing.T) {
+	p := DefaultParams()
+	enc, err := NewEncoder(p, randomData(15, p.GenerationBytes()), 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewDecoder(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := enc.Coded()
+	if allocs := testing.AllocsPerRun(100, func() {
+		if _, err := dec.Add(in); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("Decoder.Add allocated %.1f times per packet, want 0", allocs)
+	}
+}
+
+// TestRecoderBoundedUnderSustainedTraffic pins the rank-limited property:
+// feeding far more packets than the generation size must not grow state or
+// degrade emissions (the seed stored every packet and mixed all of them).
+func TestRecoderBoundedUnderSustainedTraffic(t *testing.T) {
+	p := DefaultParams()
+	data := randomData(17, p.GenerationBytes())
+	enc, err := NewEncoder(p, data, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := NewRecoder(p, 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100*p.GenerationBlocks; i++ {
+		if err := rec.Add(enc.Coded()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := rec.Stored(); got > p.GenerationBlocks {
+		t.Fatalf("Stored() = %d after sustained traffic, want <= %d", got, p.GenerationBlocks)
+	}
+	dec, err := NewDecoder(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4*p.GenerationBlocks && !dec.Complete(); i++ {
+		cb, ok := rec.Recode()
+		if !ok {
+			t.Fatal("Recode returned false")
+		}
+		if _, err := dec.Add(cb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := dec.Generation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("recoded stream did not decode to the source data")
+	}
+}
+
+func BenchmarkRecodeInto(b *testing.B) {
+	p := DefaultParams()
+	enc, _ := NewEncoder(p, randomData(3, p.GenerationBytes()), 3)
+	rec, _ := NewRecoder(p, 4)
+	for i := 0; i < p.GenerationBlocks; i++ {
+		rec.Add(enc.Coded())
+	}
+	var cb CodedBlock
+	b.SetBytes(int64(p.BlockSize))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.RecodeInto(&cb)
+	}
+}
