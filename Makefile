@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race vet bench bench-hotpath check
+.PHONY: build test test-race test-chaos vet bench bench-hotpath check
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,14 @@ test:
 
 test-race:
 	$(GO) test -race ./...
+
+# test-chaos runs the seeded fault-injection suites: the deterministic
+# end-to-end butterfly harness plus the emunet, cloud, and controller
+# resilience tests. Same seeds, same fault schedules, every run.
+test-chaos:
+	$(GO) test -count=1 -v -run 'TestGenerateSchedule|TestButterfly|TestSeededChaos' ./internal/chaostest/
+	$(GO) test -count=1 -run 'TestFault|TestPartition|TestBurstLoss|TestCrash|TestRestart|TestFailLaunches|TestSupervisor|TestRetry|TestPush|TestPoolLaunch' \
+		./internal/emunet/ ./internal/cloud/ ./internal/controller/
 
 vet:
 	$(GO) vet ./...

@@ -23,6 +23,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -71,8 +72,12 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("ncctl", flag.ContinueOnError)
 	configPath := fs.String("config", "", "deployment JSON (required)")
 	tau := fs.Duration("tau", 10*time.Minute, "shutdown delay for stop")
+	timeout := fs.Duration("timeout", controller.DefaultPushTimeout, "per-daemon push timeout")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *timeout > 0 {
+		pushTimeout = *timeout
 	}
 	if *configPath == "" {
 		return errors.New("-config is required")
@@ -112,21 +117,22 @@ func parseRole(s string) (dataplane.Role, error) {
 	}
 }
 
+// pushTimeout bounds each daemon exchange; a push never blocks forever on a
+// dead daemon (see -timeout).
+var pushTimeout = controller.DefaultPushTimeout
+
 // push sends messages to one daemon, waiting for per-message acks.
 func push(daemonAddr string, msgs []*controller.Message) error {
-	c, err := net.Dial("tcp", daemonAddr)
+	ctx, cancel := context.WithTimeout(context.Background(), pushTimeout)
+	defer cancel()
+	d := net.Dialer{}
+	c, err := d.DialContext(ctx, "tcp", daemonAddr)
 	if err != nil {
 		return fmt.Errorf("dial %s: %w", daemonAddr, err)
 	}
 	defer c.Close()
-	ack := make([]byte, 1)
-	for _, m := range msgs {
-		if err := m.Encode(c); err != nil {
-			return err
-		}
-		if _, err := c.Read(ack); err != nil {
-			return fmt.Errorf("await ack from %s: %w", daemonAddr, err)
-		}
+	if err := controller.PushMessages(ctx, c, msgs...); err != nil {
+		return fmt.Errorf("push to %s: %w", daemonAddr, err)
 	}
 	return nil
 }

@@ -269,6 +269,39 @@ func TestPacketPoolRoundTrip(t *testing.T) {
 	PutPacket(make([]byte, 100))
 }
 
+func TestPacketPoolDoublePutAccounting(t *testing.T) {
+	SetAccounting(true)
+	defer SetAccounting(false)
+
+	b := GetPacket(1472)
+	PutPacket(b)
+	if got := DoublePuts(); got != 0 {
+		t.Fatalf("DoublePuts after single put = %d, want 0", got)
+	}
+	PutPacket(b) // same backing array, still resident: a double put
+	if got := DoublePuts(); got != 1 {
+		t.Fatalf("DoublePuts after double put = %d, want 1", got)
+	}
+	// The double put must not have re-inserted the buffer: a get/put cycle
+	// keeps working and counts no further doubles.
+	c := GetPacket(64)
+	PutPacket(c)
+	if got := DoublePuts(); got != 1 {
+		t.Fatalf("DoublePuts after clean cycle = %d, want 1", got)
+	}
+	// Foreign buffers are ignored by accounting.
+	PutPacket(make([]byte, 100))
+	PutPacket(nil)
+	if got := DoublePuts(); got != 1 {
+		t.Fatalf("DoublePuts after foreign puts = %d, want 1", got)
+	}
+
+	SetAccounting(false)
+	if got := DoublePuts(); got != 0 {
+		t.Fatalf("DoublePuts after reset = %d, want 0", got)
+	}
+}
+
 func TestPacketPoolSteadyStateZeroAlloc(t *testing.T) {
 	if allocs := testing.AllocsPerRun(100, func() {
 		b := GetPacket(1472)

@@ -1,6 +1,10 @@
 package buffer
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
 
 // Packet buffer pool. The emulated network and the VNF data plane move one
 // []byte per datagram; without pooling every receive and every send copy
@@ -31,17 +35,83 @@ var (
 	maxPool = sync.Pool{New: func() any { return new([maxClass]byte) }}
 )
 
+// Double-put accounting. A buffer Put twice ends up handed to two owners at
+// once and corrupts packets in ways that surface far from the bug, so the
+// fuzz and chaos suites run with accounting on and assert DoublePuts() == 0.
+// Off by default: the tracking map serializes Get/Put and belongs in tests
+// only.
+var (
+	accounting atomic.Bool
+	doublePuts atomic.Uint64
+
+	acctMu sync.Mutex
+	// pooled marks backing arrays (by first-byte pointer) currently resident
+	// in a pool. Only arrays seen by GetPacket/PutPacket while accounting is
+	// on are tracked; foreign buffers are ignored.
+	pooled map[unsafe.Pointer]bool
+)
+
+// SetAccounting toggles double-put tracking and resets the counter and the
+// tracked set. Intended for tests; not for production data paths.
+func SetAccounting(on bool) {
+	acctMu.Lock()
+	defer acctMu.Unlock()
+	doublePuts.Store(0)
+	if on {
+		pooled = make(map[unsafe.Pointer]bool)
+	} else {
+		pooled = nil
+	}
+	accounting.Store(on)
+}
+
+// DoublePuts returns how many PutPacket calls returned a buffer that was
+// already resident in a pool since accounting was last enabled.
+func DoublePuts() uint64 { return doublePuts.Load() }
+
+// trackGet marks a buffer as checked out. b always has pool-class capacity.
+func trackGet(b []byte) {
+	p := unsafe.Pointer(unsafe.SliceData(b))
+	acctMu.Lock()
+	if pooled != nil {
+		pooled[p] = false
+	}
+	acctMu.Unlock()
+}
+
+// trackPut marks a buffer as returned, reporting whether this Put is a
+// double put (already resident) that must not reach the pool.
+func trackPut(b []byte) (double bool) {
+	p := unsafe.Pointer(unsafe.SliceData(b))
+	acctMu.Lock()
+	defer acctMu.Unlock()
+	if pooled == nil {
+		return false
+	}
+	if in, seen := pooled[p]; seen && in {
+		doublePuts.Add(1)
+		return true
+	}
+	pooled[p] = true
+	return false
+}
+
 // GetPacket returns a packet buffer of length n from the pool. The contents
 // are unspecified; callers overwrite the buffer before use.
 func GetPacket(n int) []byte {
+	var b []byte
 	switch {
 	case n <= mtuClass:
-		return mtuPool.Get().(*[mtuClass]byte)[:n]
+		b = mtuPool.Get().(*[mtuClass]byte)[:n]
 	case n <= maxClass:
-		return maxPool.Get().(*[maxClass]byte)[:n]
+		b = maxPool.Get().(*[maxClass]byte)[:n]
 	default:
 		return make([]byte, n)
 	}
+	if accounting.Load() {
+		trackGet(b)
+	}
+	return b
 }
 
 // PutPacket returns a buffer to the pool. Buffers whose capacity does not
@@ -51,8 +121,14 @@ func GetPacket(n int) []byte {
 func PutPacket(b []byte) {
 	switch cap(b) {
 	case mtuClass:
+		if accounting.Load() && trackPut(b) {
+			return
+		}
 		mtuPool.Put((*[mtuClass]byte)(b[:mtuClass]))
 	case maxClass:
+		if accounting.Load() && trackPut(b) {
+			return
+		}
 		maxPool.Put((*[maxClass]byte)(b[:maxClass]))
 	}
 }

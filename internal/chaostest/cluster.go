@@ -1,0 +1,480 @@
+package chaostest
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"ncfn/internal/cloud"
+	"ncfn/internal/controller"
+	"ncfn/internal/dataplane"
+	"ncfn/internal/emunet"
+	"ncfn/internal/ncproto"
+	"ncfn/internal/rlnc"
+	"ncfn/internal/simclock"
+	"ncfn/internal/topology"
+)
+
+// Session is the single multicast session the harness runs.
+const Session = ncproto.SessionID(1)
+
+// Tick is the virtual-time supervision interval: the cadence at which the
+// harness advances the clock and ticks the failover supervisor.
+const Tick = time.Second
+
+// hopSpec is one logical next hop in the butterfly plan.
+type hopSpec struct {
+	to     string
+	perGen int
+}
+
+// nodeSpec describes one coding VNF of the butterfly.
+type nodeSpec struct {
+	role     dataplane.Role
+	inPerGen int
+	hops     []hopSpec
+}
+
+// The paper's butterfly (Fig. 2): source V1 splits each k=4 generation into
+// two conceptual flows of 2 packets through O1 and C1; each relay recodes 2
+// packets down to its own sink and 2 toward the merge node T; T compresses
+// its 4 inbound packets to 2 for V2, which replicates them to both sinks.
+// Every sink thus receives exactly k = 4 packets per generation — the
+// multicast rate no routing-only scheme achieves on these link budgets.
+var butterflyPlan = map[string]nodeSpec{
+	"O1": {role: dataplane.RoleRecoder, inPerGen: 2, hops: []hopSpec{{to: "O2", perGen: 2}, {to: "T", perGen: 2}}},
+	"C1": {role: dataplane.RoleRecoder, inPerGen: 2, hops: []hopSpec{{to: "C2", perGen: 2}, {to: "T", perGen: 2}}},
+	"T":  {role: dataplane.RoleRecoder, inPerGen: 4, hops: []hopSpec{{to: "V2", perGen: 2}}},
+	"V2": {role: dataplane.RoleForwarder, hops: []hopSpec{{to: "O2"}, {to: "C2"}}},
+}
+
+// sourceHops is V1's conceptual-flow split.
+var sourceHops = []hopSpec{{to: "O1", perGen: 2}, {to: "C1", perGen: 2}}
+
+// sinkNodes are the decoding endpoints (fixed addresses; sinks don't fail
+// over in this harness — the paper's failover concerns coding VNFs).
+var sinkNodes = []string{"O2", "C2"}
+
+// RelayNodes lists the supervised coding VNFs in deterministic order.
+func RelayNodes() []string {
+	nodes := make([]string, 0, len(butterflyPlan))
+	for n := range butterflyPlan {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	return nodes
+}
+
+// Cluster is a running butterfly deployment under chaos supervision.
+type Cluster struct {
+	Net   *emunet.Network
+	Clock *simclock.Virtual
+	Cloud *cloud.Cloud
+	Sup   *controller.Supervisor
+
+	params rlnc.Params
+	seed   int64
+
+	mu        sync.Mutex
+	epoch     map[string]int               // logical node -> deployment count
+	addr      map[string]string            // logical node -> current address
+	daemons   map[string]*controller.Daemon // live daemons by logical node
+	instances map[string]string            // logical node -> cloud instance ID
+
+	src   *dataplane.Source
+	sinks map[string]*dataplane.Receiver
+	gens  [][]byte // payload of each generation sent (for resends)
+}
+
+// NewButterfly deploys the butterfly on a fresh virtual-clock stack. All
+// relay VMs are launched, brought to Running (advancing virtual time by the
+// launch latency), configured, and placed under supervision.
+func NewButterfly(seed int64) (*Cluster, error) {
+	clk := simclock.NewVirtual(time.Unix(0, 0))
+	relays := RelayNodes()
+	regions := make([]cloud.Region, 0, len(relays))
+	for _, n := range relays {
+		regions = append(regions, cloud.Region{ID: topologyID(n), BaseInMbps: 900, BaseOutMbps: 900})
+	}
+	cl := cloud.New(clk, seed, regions...)
+	c := &Cluster{
+		Net:       emunet.NewNetwork(emunet.AllowDefault()),
+		Clock:     clk,
+		Cloud:     cl,
+		params:    rlnc.Params{GenerationBlocks: 4, BlockSize: 32},
+		seed:      seed,
+		epoch:     make(map[string]int),
+		addr:      make(map[string]string),
+		daemons:   make(map[string]*controller.Daemon),
+		instances: make(map[string]string),
+		sinks:     make(map[string]*dataplane.Receiver),
+	}
+
+	// Launch one VM per relay and wait out the launch latency in virtual
+	// time, as the controller's initial deployment does.
+	for _, n := range relays {
+		inst, err := cl.LaunchInstance(topologyID(n))
+		if err != nil {
+			return nil, err
+		}
+		c.instances[n] = inst.ID
+	}
+	clk.Advance(cloud.DefaultLaunchDelay)
+
+	// Assign every relay its first address before any table is built, then
+	// configure and start the daemons.
+	c.mu.Lock()
+	for _, n := range relays {
+		c.epoch[n] = 1
+		c.addr[n] = fmt.Sprintf("%s#1", n)
+	}
+	for _, n := range relays {
+		if err := c.deployLocked(n); err != nil {
+			c.mu.Unlock()
+			return nil, err
+		}
+	}
+	c.mu.Unlock()
+
+	// Source and sinks.
+	src, err := dataplane.NewSource(c.Net.Host("V1"), dataplane.SourceConfig{
+		Session: Session,
+		Params:  c.params,
+		Seed:    seed,
+		Clock:   clk,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.src = src
+	src.SetHops(c.sourceGroups())
+	for _, s := range sinkNodes {
+		r, err := dataplane.NewReceiver(c.Net.Host(s), Session, c.params, "V1", clk, dataplane.WithSeed(seed))
+		if err != nil {
+			return nil, err
+		}
+		c.sinks[s] = r
+	}
+
+	// Supervision: cloud-level health checks, redeploy re-pushes tables.
+	c.Sup = controller.NewSupervisor(controller.SupervisorConfig{
+		Cloud:         cl,
+		Clock:         clk,
+		FailThreshold: 2,
+	})
+	for _, n := range relays {
+		node := n
+		c.Sup.Manage(topologyID(node), topologyID(node), c.instances[node],
+			controller.InstanceCheck(cl),
+			func(ctx context.Context, newInstance string) error {
+				return c.redeploy(node, newInstance)
+			})
+	}
+	return c, nil
+}
+
+// topologyID converts a logical node name to the topology.NodeID used by the
+// cloud and supervisor layers.
+func topologyID(n string) topology.NodeID { return topology.NodeID(n) }
+
+// Params returns the session's coding parameters.
+func (c *Cluster) Params() rlnc.Params { return c.params }
+
+// Addr returns a logical node's current data-plane address.
+func (c *Cluster) Addr(node string) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.addrLocked(node)
+}
+
+func (c *Cluster) addrLocked(node string) string {
+	for _, s := range sinkNodes {
+		if node == s {
+			return s
+		}
+	}
+	if node == "V1" {
+		return "V1"
+	}
+	return c.addr[node]
+}
+
+// sourceGroups builds V1's hop groups against current addresses.
+func (c *Cluster) sourceGroups() []dataplane.HopGroup {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	groups := make([]dataplane.HopGroup, 0, len(sourceHops))
+	for _, h := range sourceHops {
+		groups = append(groups, dataplane.HopGroup{Addrs: []string{c.addrLocked(h.to)}, PerGen: h.perGen})
+	}
+	return groups
+}
+
+// tableLocked builds a node's forwarding table against current addresses.
+func (c *Cluster) tableLocked(node string) map[ncproto.SessionID][]dataplane.HopGroup {
+	spec := butterflyPlan[node]
+	hops := make([]dataplane.HopGroup, 0, len(spec.hops))
+	for _, h := range spec.hops {
+		hops = append(hops, dataplane.HopGroup{Addrs: []string{c.addrLocked(h.to)}, PerGen: h.perGen})
+	}
+	return map[ncproto.SessionID][]dataplane.HopGroup{Session: hops}
+}
+
+// deployLocked starts a daemon+VNF for the node at its current address and
+// pushes settings, table, and start — the controller's deployment sequence.
+func (c *Cluster) deployLocked(node string) error {
+	spec := butterflyPlan[node]
+	d := controller.NewDaemon(c.Net.Host(c.addr[node]), c.Clock, dataplane.WithSeed(c.seed+int64(c.epoch[node])))
+	msgs := []*controller.Message{
+		{Signal: controller.NCSettings, Settings: &dataplane.SessionConfig{
+			ID:       Session,
+			Params:   c.params,
+			Role:     spec.role,
+			InPerGen: spec.inPerGen,
+		}},
+		{Signal: controller.NCForwardTab, Table: c.tableLocked(node)},
+		{Signal: controller.NCStart},
+	}
+	for _, m := range msgs {
+		if err := d.Apply(m); err != nil {
+			return fmt.Errorf("chaostest: deploy %s: %w", node, err)
+		}
+	}
+	c.daemons[node] = d
+	return nil
+}
+
+// redeploy is the supervisor's recovery callback: bring the replacement
+// instance into service at a fresh address (a new VM gets a new IP) and
+// re-push every forwarding table that referenced the dead one.
+func (c *Cluster) redeploy(node, newInstance string) error {
+	c.mu.Lock()
+	c.instances[node] = newInstance
+	c.epoch[node]++
+	c.addr[node] = fmt.Sprintf("%s#%d", node, c.epoch[node])
+	if err := c.deployLocked(node); err != nil {
+		c.mu.Unlock()
+		return err
+	}
+	// Re-push tables of upstream relays that point at this node.
+	for _, m := range RelayNodes() {
+		if m == node {
+			continue
+		}
+		for _, h := range butterflyPlan[m].hops {
+			if h.to != node {
+				continue
+			}
+			if d := c.daemons[m]; d != nil {
+				if err := d.Apply(&controller.Message{Signal: controller.NCForwardTab, Table: c.tableLocked(m)}); err != nil {
+					c.mu.Unlock()
+					return err
+				}
+			}
+			break
+		}
+	}
+	refreshSource := false
+	for _, h := range sourceHops {
+		if h.to == node {
+			refreshSource = true
+		}
+	}
+	c.mu.Unlock()
+	if refreshSource {
+		c.src.SetHops(c.sourceGroups())
+	}
+	return nil
+}
+
+// CrashVNF kills a relay the hard way: the VM crashes at the cloud layer and
+// the VNF process dies with it (all its coding state is lost). Detection and
+// recovery are the supervisor's job.
+func (c *Cluster) CrashVNF(node string) error {
+	c.mu.Lock()
+	inst := c.instances[node]
+	d := c.daemons[node]
+	c.daemons[node] = nil
+	c.mu.Unlock()
+	if err := c.Cloud.CrashInstance(inst); err != nil {
+		return err
+	}
+	if d != nil {
+		return d.Close()
+	}
+	return nil
+}
+
+// PartitionNode blackholes a relay's current address; the VM stays Running.
+func (c *Cluster) PartitionNode(node string) {
+	c.Net.PartitionHost(c.Addr(node))
+}
+
+// HealNode reconnects a partitioned relay. Partitions never trigger
+// redeploys (the VM stays Running), so the address is the one PartitionNode
+// isolated.
+func (c *Cluster) HealNode(node string) {
+	c.Net.HealHost(c.Addr(node))
+}
+
+// RunTicks advances virtual time by n supervision intervals, ticking the
+// failover supervisor at each step — the deterministic stand-in for
+// Supervisor.Run.
+func (c *Cluster) RunTicks(n int) {
+	for i := 0; i < n; i++ {
+		c.Clock.Advance(Tick)
+		c.Sup.Tick()
+	}
+}
+
+// RunTicksUntilRecovered ticks until the supervisor has logged at least
+// events failover events, up to max ticks. It returns the ticks consumed, or
+// -1 if recovery did not complete.
+func (c *Cluster) RunTicksUntilRecovered(events, max int) int {
+	for i := 0; i < max; i++ {
+		c.Clock.Advance(Tick)
+		c.Sup.Tick()
+		if len(c.Sup.Events()) >= events {
+			return i + 1
+		}
+	}
+	return -1
+}
+
+// SendGenerations encodes and sends n fresh generations of deterministic
+// payload, remembering each for later resends. It returns the payload sent.
+func (c *Cluster) SendGenerations(n int) ([]byte, error) {
+	genBytes := c.params.GenerationBytes()
+	var all []byte
+	for i := 0; i < n; i++ {
+		c.mu.Lock()
+		idx := len(c.gens)
+		c.mu.Unlock()
+		data := make([]byte, genBytes)
+		for j := range data {
+			data[j] = byte(idx*31 + j)
+		}
+		gid, err := c.src.SendGeneration(data, false)
+		if err != nil {
+			return nil, err
+		}
+		if int(gid) != idx {
+			return nil, fmt.Errorf("chaostest: generation id %d, expected %d", gid, idx)
+		}
+		c.mu.Lock()
+		c.gens = append(c.gens, data)
+		c.mu.Unlock()
+		all = append(all, data...)
+	}
+	return all, nil
+}
+
+// Sent returns how many generations have been sent.
+func (c *Cluster) Sent() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.gens)
+}
+
+// SinkGenerations returns a sink's decoded-generation count.
+func (c *Cluster) SinkGenerations(sink string) int {
+	return c.sinks[sink].Generations()
+}
+
+// SinkData reassembles a sink's decoded stream over all sent generations.
+func (c *Cluster) SinkData(sink string) ([]byte, bool) {
+	return c.sinks[sink].Data(c.Sent())
+}
+
+// WaitAllDecoded blocks until every sink has decoded every sent generation,
+// driving the source's reliability path (resend missing generations) while
+// it waits. The timeout is real time — it only bounds how long the harness
+// waits for in-process goroutines, not simulated time.
+func (c *Cluster) WaitAllDecoded(timeout time.Duration) error {
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	resend := time.NewTicker(25 * time.Millisecond)
+	defer resend.Stop()
+	for {
+		if c.allDecoded() {
+			return nil
+		}
+		select {
+		case <-c.src.Acks():
+			// Progress: a sink decoded something; loop re-checks.
+		case <-resend.C:
+			c.resendMissing()
+		case <-deadline.C:
+			return fmt.Errorf("chaostest: decode incomplete after %v: %s", timeout, c.describeProgress())
+		}
+	}
+}
+
+func (c *Cluster) allDecoded() bool {
+	total := c.Sent()
+	for _, s := range sinkNodes {
+		if c.sinks[s].Generations() < total {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *Cluster) describeProgress() string {
+	total := c.Sent()
+	var b bytes.Buffer
+	for _, s := range sinkNodes {
+		fmt.Fprintf(&b, "%s=%d/%d ", s, c.sinks[s].Generations(), total)
+	}
+	return b.String()
+}
+
+// resendMissing re-encodes every generation some sink is still missing —
+// the source-side reliability loop (ACK-timeout resend).
+func (c *Cluster) resendMissing() {
+	total := c.Sent()
+	missing := make(map[int]bool)
+	for _, s := range sinkNodes {
+		for _, g := range c.sinks[s].MissingBelow(total) {
+			missing[int(g)] = true
+		}
+	}
+	gids := make([]int, 0, len(missing))
+	for g := range missing {
+		gids = append(gids, g)
+	}
+	sort.Ints(gids)
+	c.mu.Lock()
+	gens := c.gens
+	c.mu.Unlock()
+	for _, g := range gids {
+		// Two extra packets per hop group per round: enough to regrow full
+		// rank at the relays within a few rounds without flooding.
+		_ = c.src.ResendGeneration(ncproto.GenerationID(g), gens[g], 2)
+	}
+}
+
+// Close tears the whole deployment down.
+func (c *Cluster) Close() error {
+	c.mu.Lock()
+	daemons := make([]*controller.Daemon, 0, len(c.daemons))
+	for _, d := range c.daemons {
+		if d != nil {
+			daemons = append(daemons, d)
+		}
+	}
+	c.mu.Unlock()
+	if c.src != nil {
+		c.src.Close()
+	}
+	for _, s := range c.sinks {
+		s.Close()
+	}
+	for _, d := range daemons {
+		d.Close()
+	}
+	return c.Net.Close()
+}

@@ -1,0 +1,134 @@
+// Package leakcheck verifies that a test leaves no goroutines behind — the
+// chaos suite's guard against control-plane loops, daemon accept loops, or
+// VNF shard workers surviving a scenario. It is dependency-free on purpose:
+// controller and dataplane tests import it, and chaostest itself imports
+// controller and dataplane, so the checker must sit below all of them.
+package leakcheck
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// ignoredPrefixes match goroutine stacks that are part of the runtime or
+// test harness rather than code under test.
+var ignoredPrefixes = []string{
+	"testing.RunTests",
+	"testing.(*T).Run",
+	"testing.(*M).",
+	"testing.runTests",
+	"testing.tRunner",
+	"testing.runFuzzing",
+	"testing.(*F).",
+	"runtime.goexit",
+	"runtime.gc",
+	"runtime.MHeap_Scavenger",
+	"runtime/pprof",
+	"signal.signal_recv",
+	"sigterm.handler",
+	"os/signal.loop",
+	"os/signal.signal_recv",
+	"runtime.ensureSigM",
+	"interestingGoroutines",
+	"leakcheck.",
+}
+
+// interestingGoroutines returns stacks of goroutines that are neither the
+// caller's nor known harness background goroutines.
+func interestingGoroutines() []string {
+	buf := make([]byte, 2<<20)
+	buf = buf[:runtime.Stack(buf, true)]
+	var gs []string
+outer:
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		sl := strings.SplitN(g, "\n", 2)
+		if len(sl) != 2 {
+			continue
+		}
+		stack := strings.TrimSpace(sl[1])
+		if stack == "" {
+			continue
+		}
+		for _, p := range ignoredPrefixes {
+			if strings.Contains(stack, p) {
+				continue outer
+			}
+		}
+		gs = append(gs, g)
+	}
+	sort.Strings(gs)
+	return gs
+}
+
+// Check registers a cleanup that fails the test if goroutines created during
+// it are still running when it ends. Shutdown is asynchronous (closed
+// connections unwind, shard workers drain), so the check retries for a grace
+// period before declaring a leak. Call it first in the test body:
+//
+//	func TestX(t *testing.T) {
+//		leakcheck.Check(t)
+//		...
+//	}
+func Check(t testing.TB) {
+	before := make(map[string]bool)
+	for _, g := range interestingGoroutines() {
+		before[g] = true
+	}
+	t.Cleanup(func() {
+		var leaked []string
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			leaked = leaked[:0]
+			for _, g := range interestingGoroutines() {
+				if !before[g] {
+					leaked = append(leaked, g)
+				}
+			}
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		for _, g := range leaked {
+			t.Errorf("leaked goroutine:\n%v", g)
+		}
+	})
+}
+
+// Snapshot captures the current interesting goroutines for use with Diff —
+// for callers that want an explicit region check instead of a t.Cleanup.
+func Snapshot() map[string]bool {
+	s := make(map[string]bool)
+	for _, g := range interestingGoroutines() {
+		s[g] = true
+	}
+	return s
+}
+
+// Diff reports goroutines running now that were not in the snapshot,
+// retrying until the grace period expires.
+func Diff(snap map[string]bool, grace time.Duration) error {
+	deadline := time.Now().Add(grace)
+	for {
+		var leaked []string
+		for _, g := range interestingGoroutines() {
+			if !snap[g] {
+				leaked = append(leaked, g)
+			}
+		}
+		if len(leaked) == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%d leaked goroutine(s):\n%s", len(leaked), strings.Join(leaked, "\n\n"))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -26,6 +26,12 @@ import (
 var (
 	ErrUnknownRegion   = errors.New("cloud: unknown region")
 	ErrUnknownInstance = errors.New("cloud: unknown instance")
+	// ErrLaunchFailed is the transient provider-side launch failure injected
+	// by FailLaunches (the EC2 "InsufficientInstanceCapacity" case the
+	// controller must retry through).
+	ErrLaunchFailed = errors.New("cloud: launch failed (injected)")
+	// ErrNotCrashed is returned by RestartInstance on a live instance.
+	ErrNotCrashed = errors.New("cloud: instance not crashed")
 )
 
 // DefaultLaunchDelay is the measured average time to launch a new VM
@@ -56,6 +62,10 @@ const (
 	StatePending InstanceState = iota + 1
 	StateRunning
 	StateTerminated
+	// StateCrashed marks a VM killed by fault injection (CrashInstance): it
+	// stops serving and billing, but unlike Terminated it can be restarted,
+	// paying the full launch latency again.
+	StateCrashed
 )
 
 // String names the state.
@@ -67,6 +77,8 @@ func (s InstanceState) String() string {
 		return "running"
 	case StateTerminated:
 		return "terminated"
+	case StateCrashed:
+		return "crashed"
 	default:
 		return "unknown"
 	}
@@ -98,8 +110,17 @@ type Cloud struct {
 	// bwScale lets experiments cut a region's bandwidth (Fig. 11's
 	// "cut inbound/outbound bandwidth of all our own VNFs ... by half").
 	bwScale map[topology.NodeID]float64
-	// launches counts LaunchInstance calls per region.
+	// launches counts successful LaunchInstance calls per region.
 	launches map[topology.NodeID]int
+	// failLaunch injects that many launch failures per region (chaos).
+	failLaunch map[topology.NodeID]int
+	// launchFails counts injected launch failures delivered per region.
+	launchFails map[topology.NodeID]int
+	// crashes counts CrashInstance calls per region.
+	crashes map[topology.NodeID]int
+	// retiredHours accumulates VM-hours of terminated/crashed segments, so
+	// restarts bill as fresh segments without losing history.
+	retiredHours float64
 }
 
 // New builds a cloud with the given regions.
@@ -108,13 +129,16 @@ func New(clk simclock.Clock, seed int64, regions ...Region) *Cloud {
 		clk = simclock.Real{}
 	}
 	c := &Cloud{
-		clock:     clk,
-		regions:   make(map[topology.NodeID]*Region, len(regions)),
-		instances: make(map[string]*Instance),
-		rng:       rand.New(rand.NewSource(seed)),
-		bwJitter:  0.03,
-		bwScale:   make(map[topology.NodeID]float64),
-		launches:  make(map[topology.NodeID]int),
+		clock:       clk,
+		regions:     make(map[topology.NodeID]*Region, len(regions)),
+		instances:   make(map[string]*Instance),
+		rng:         rand.New(rand.NewSource(seed)),
+		bwJitter:    0.03,
+		bwScale:     make(map[topology.NodeID]float64),
+		launches:    make(map[topology.NodeID]int),
+		failLaunch:  make(map[topology.NodeID]int),
+		launchFails: make(map[topology.NodeID]int),
+		crashes:     make(map[topology.NodeID]int),
 	}
 	for i := range regions {
 		r := regions[i]
@@ -155,6 +179,11 @@ func (c *Cloud) LaunchInstance(region topology.NodeID) (*Instance, error) {
 	r, ok := c.regions[region]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownRegion, region)
+	}
+	if c.failLaunch[region] > 0 {
+		c.failLaunch[region]--
+		c.launchFails[region]++
+		return nil, fmt.Errorf("%w in %s", ErrLaunchFailed, region)
 	}
 	delay := r.LaunchDelay
 	if delay <= 0 {
@@ -204,6 +233,14 @@ func (c *Cloud) ReadyAt(id string) (time.Time, error) {
 	return inst.readyAt, nil
 }
 
+// retireLocked ends an instance's current billing segment at now.
+func (c *Cloud) retireLocked(inst *Instance, now time.Time) {
+	inst.terminatedAt = now
+	if now.After(inst.launched) {
+		c.retiredHours += now.Sub(inst.launched).Hours()
+	}
+}
+
 // TerminateInstance shuts a VM down immediately.
 func (c *Cloud) TerminateInstance(id string) error {
 	c.mu.Lock()
@@ -212,11 +249,81 @@ func (c *Cloud) TerminateInstance(id string) error {
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownInstance, id)
 	}
-	if inst.state != StateTerminated {
-		inst.state = StateTerminated
-		inst.terminatedAt = c.clock.Now()
+	if inst.state != StateTerminated && inst.state != StateCrashed {
+		c.retireLocked(inst, c.clock.Now())
 	}
+	inst.state = StateTerminated
 	return nil
+}
+
+// CrashInstance fails a VM abruptly (fault injection): the instance stops
+// serving and billing, and stays visible in the Crashed state until
+// restarted or terminated. Crashing an already-dead instance is a no-op.
+func (c *Cloud) CrashInstance(id string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	inst, ok := c.instances[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownInstance, id)
+	}
+	if inst.state == StateTerminated || inst.state == StateCrashed {
+		return nil
+	}
+	c.retireLocked(inst, c.clock.Now())
+	inst.state = StateCrashed
+	c.crashes[inst.Region]++
+	return nil
+}
+
+// RestartInstance relaunches a crashed VM in place. The instance re-enters
+// Pending and pays the region's full launch latency (the paper's measured
+// 35 s, Sec. V-C5) before Running again; it returns the time the instance
+// will be ready.
+func (c *Cloud) RestartInstance(id string) (time.Time, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	inst, ok := c.instances[id]
+	if !ok {
+		return time.Time{}, fmt.Errorf("%w: %s", ErrUnknownInstance, id)
+	}
+	if inst.state != StateCrashed {
+		return time.Time{}, fmt.Errorf("%w: %s is %s", ErrNotCrashed, id, inst.state)
+	}
+	delay := DefaultLaunchDelay
+	if r, ok := c.regions[inst.Region]; ok && r.LaunchDelay > 0 {
+		delay = r.LaunchDelay
+	}
+	now := c.clock.Now()
+	inst.state = StatePending
+	inst.launched = now
+	inst.readyAt = now.Add(delay)
+	inst.terminatedAt = time.Time{}
+	c.launches[inst.Region]++
+	return inst.readyAt, nil
+}
+
+// FailLaunches makes the next n LaunchInstance calls in the region fail
+// with ErrLaunchFailed — transient provider capacity errors for exercising
+// the controller's retry path.
+func (c *Cloud) FailLaunches(region topology.NodeID, n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.failLaunch[region] = n
+}
+
+// Crashes returns how many instances were crashed in the region.
+func (c *Cloud) Crashes(region topology.NodeID) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.crashes[region]
+}
+
+// LaunchFailures returns how many injected launch failures the region has
+// delivered.
+func (c *Cloud) LaunchFailures(region topology.NodeID) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.launchFails[region]
 }
 
 // RunningInstances returns the Running instance count per region.
@@ -292,14 +399,13 @@ func (c *Cloud) AccruedVMHours() float64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	now := c.clock.Now()
-	total := 0.0
+	total := c.retiredHours
 	for _, inst := range c.instances {
-		end := now
-		if inst.state == StateTerminated {
-			end = inst.terminatedAt
+		if inst.state == StateTerminated || inst.state == StateCrashed {
+			continue // retired segments are already in retiredHours
 		}
-		if end.After(inst.launched) {
-			total += end.Sub(inst.launched).Hours()
+		if now.After(inst.launched) {
+			total += now.Sub(inst.launched).Hours()
 		}
 	}
 	return total

@@ -1,0 +1,123 @@
+package cloud
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"ncfn/internal/simclock"
+)
+
+func chaosCloud(t *testing.T) (*Cloud, *simclock.Virtual) {
+	t.Helper()
+	clk := simclock.NewVirtual(time.Unix(0, 0))
+	return New(clk, 1, Region{ID: "oregon", Provider: "ec2", BaseInMbps: 900, BaseOutMbps: 900}), clk
+}
+
+func TestCrashInstanceLifecycle(t *testing.T) {
+	c, clk := chaosCloud(t)
+	inst, err := c.LaunchInstance("oregon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(DefaultLaunchDelay)
+	if st, _ := c.InstanceState(inst.ID); st != StateRunning {
+		t.Fatalf("state before crash = %s", st)
+	}
+	if err := c.CrashInstance(inst.ID); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := c.InstanceState(inst.ID); st != StateCrashed {
+		t.Fatalf("state after crash = %s", st)
+	}
+	if got := c.Crashes("oregon"); got != 1 {
+		t.Fatalf("Crashes = %d, want 1", got)
+	}
+	// Crashing again is a no-op.
+	if err := c.CrashInstance(inst.ID); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Crashes("oregon"); got != 1 {
+		t.Fatalf("Crashes after double crash = %d, want 1", got)
+	}
+	if err := c.CrashInstance("i-nope"); !errors.Is(err, ErrUnknownInstance) {
+		t.Fatalf("crash unknown = %v", err)
+	}
+}
+
+func TestRestartPaysFullLaunchDelay(t *testing.T) {
+	c, clk := chaosCloud(t)
+	inst, _ := c.LaunchInstance("oregon")
+	clk.Advance(DefaultLaunchDelay)
+
+	// Restarting a live instance is rejected.
+	if _, err := c.RestartInstance(inst.ID); !errors.Is(err, ErrNotCrashed) {
+		t.Fatalf("restart running = %v, want ErrNotCrashed", err)
+	}
+
+	if err := c.CrashInstance(inst.ID); err != nil {
+		t.Fatal(err)
+	}
+	readyAt, err := c.RestartInstance(inst.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := clk.Now().Add(DefaultLaunchDelay); !readyAt.Equal(want) {
+		t.Fatalf("readyAt = %v, want %v (the paper's 35 s relaunch)", readyAt, want)
+	}
+	if st, _ := c.InstanceState(inst.ID); st != StatePending {
+		t.Fatalf("state right after restart = %s", st)
+	}
+	clk.Advance(DefaultLaunchDelay - time.Second)
+	if st, _ := c.InstanceState(inst.ID); st != StatePending {
+		t.Fatalf("state 1s before ready = %s", st)
+	}
+	clk.Advance(time.Second)
+	if st, _ := c.InstanceState(inst.ID); st != StateRunning {
+		t.Fatalf("state at ready = %s", st)
+	}
+	// The restart counts as a launch.
+	if got := c.Launches("oregon"); got != 2 {
+		t.Fatalf("Launches = %d, want 2", got)
+	}
+}
+
+func TestFailLaunchesInjection(t *testing.T) {
+	c, _ := chaosCloud(t)
+	c.FailLaunches("oregon", 2)
+	for i := 0; i < 2; i++ {
+		if _, err := c.LaunchInstance("oregon"); !errors.Is(err, ErrLaunchFailed) {
+			t.Fatalf("launch %d = %v, want ErrLaunchFailed", i, err)
+		}
+	}
+	if _, err := c.LaunchInstance("oregon"); err != nil {
+		t.Fatalf("launch after budget spent = %v", err)
+	}
+	if got := c.LaunchFailures("oregon"); got != 2 {
+		t.Fatalf("LaunchFailures = %d, want 2", got)
+	}
+	if got := c.Launches("oregon"); got != 1 {
+		t.Fatalf("Launches = %d, want 1 (failures must not count)", got)
+	}
+}
+
+func TestCrashStopsBilling(t *testing.T) {
+	c, clk := chaosCloud(t)
+	inst, _ := c.LaunchInstance("oregon")
+	clk.Advance(time.Hour)
+	if err := c.CrashInstance(inst.ID); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(10 * time.Hour) // dead time must not bill
+	if got := c.AccruedVMHours(); got < 0.99 || got > 1.01 {
+		t.Fatalf("AccruedVMHours = %.3f, want ~1.0", got)
+	}
+	// Restart opens a fresh billing segment.
+	if _, err := c.RestartInstance(inst.ID); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(30 * time.Minute)
+	if got := c.AccruedVMHours(); got < 1.49 || got > 1.51 {
+		t.Fatalf("AccruedVMHours after restart = %.3f, want ~1.5", got)
+	}
+}

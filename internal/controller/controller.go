@@ -37,6 +37,9 @@ type Config struct {
 	// Tau2/Rho2 confirm delay changes (Alg. 2).
 	Tau2 time.Duration
 	Rho2 float64
+	// Retry bounds cloud launch attempts (zero fields take the defaults of
+	// DefaultRetryPolicy).
+	Retry RetryPolicy
 }
 
 // DefaultTau matches the evaluation's 10-minute threshold values.
@@ -108,7 +111,7 @@ func New(cfg Config) *Controller {
 		pendingDelay: make(map[[2]topology.NodeID]*pendingChange),
 	}
 	for _, dc := range cfg.Optimize.DataCenters {
-		c.pools[dc.ID] = newVNFPool(dc.ID, cfg.Cloud, cfg.Clock, cfg.Tau)
+		c.pools[dc.ID] = newVNFPool(dc.ID, cfg.Cloud, cfg.Clock, cfg.Tau, cfg.Retry)
 	}
 	return c
 }

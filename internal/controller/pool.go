@@ -1,6 +1,7 @@
 package controller
 
 import (
+	"fmt"
 	"sort"
 	"time"
 
@@ -18,6 +19,7 @@ type vnfPool struct {
 	cloud *cloud.Cloud
 	clock simclock.Clock
 	tau   time.Duration
+	retry RetryPolicy
 
 	// active instances are serving traffic.
 	active []string
@@ -25,16 +27,38 @@ type vnfPool struct {
 	idle map[string]time.Time
 	// reused counts idle VNFs brought back within τ.
 	reused int
+	// launchRetries counts launch attempts beyond the first.
+	launchRetries int
 }
 
-func newVNFPool(dc topology.NodeID, cl *cloud.Cloud, clk simclock.Clock, tau time.Duration) *vnfPool {
+func newVNFPool(dc topology.NodeID, cl *cloud.Cloud, clk simclock.Clock, tau time.Duration, retry RetryPolicy) *vnfPool {
 	return &vnfPool{
 		dc:    dc,
 		cloud: cl,
 		clock: clk,
 		tau:   tau,
+		retry: retry.withDefaults(),
 		idle:  make(map[string]time.Time),
 	}
+}
+
+// launch starts one VM, retrying transient provider failures up to the
+// policy's attempt budget. Retries here are immediate — the pool is called
+// with the controller mutex held, so it must not sleep; backoff-paced
+// relaunches of whole VNFs are the Supervisor's job.
+func (p *vnfPool) launch() (*cloud.Instance, error) {
+	var last error
+	for attempt := 1; attempt <= p.retry.MaxAttempts; attempt++ {
+		inst, err := p.cloud.LaunchInstance(p.dc)
+		if err == nil {
+			return inst, nil
+		}
+		last = err
+		if attempt < p.retry.MaxAttempts {
+			p.launchRetries++
+		}
+	}
+	return nil, fmt.Errorf("%w: launch in %s (%d attempts): %v", ErrRetriesExhausted, p.dc, p.retry.MaxAttempts, last)
 }
 
 // ensure scales the pool to n active instances. Scale-out prefers reusing
@@ -49,7 +73,7 @@ func (p *vnfPool) ensure(n int) (launched int, err error) {
 			p.reused++
 			continue
 		}
-		inst, lerr := p.cloud.LaunchInstance(p.dc)
+		inst, lerr := p.launch()
 		if lerr != nil {
 			return launched, lerr
 		}

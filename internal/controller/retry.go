@@ -1,0 +1,114 @@
+package controller
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"ncfn/internal/simclock"
+)
+
+// RetryPolicy bounds a control-plane RPC: per-attempt timeouts, a capped
+// exponential backoff between attempts, and a total attempt budget. The
+// paper's controller drives real cloud APIs (EC2 CLI, Linode API) whose
+// launch and configuration calls fail transiently; the policy converts
+// those into bounded, predictable retry behavior instead of indefinite
+// blocking or immediate session failure.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries (default 4).
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt (default 500 ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential backoff (default 8 s).
+	MaxDelay time.Duration
+	// Timeout bounds each individual attempt (default 10 s).
+	Timeout time.Duration
+}
+
+// DefaultRetryPolicy matches the constants documented in DESIGN.md: four
+// attempts, 500 ms base doubling to an 8 s cap, 10 s per-attempt timeout.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: 4,
+		BaseDelay:   500 * time.Millisecond,
+		MaxDelay:    8 * time.Second,
+		Timeout:     10 * time.Second,
+	}
+}
+
+// withDefaults fills zero fields from DefaultRetryPolicy.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	d := DefaultRetryPolicy()
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = d.MaxAttempts
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = d.BaseDelay
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = d.MaxDelay
+	}
+	if p.Timeout <= 0 {
+		p.Timeout = d.Timeout
+	}
+	return p
+}
+
+// Backoff returns the delay before attempt n (n = 1 is the first retry):
+// BaseDelay · 2^(n−1), capped at MaxDelay. Deterministic — no jitter — so
+// chaos schedules replay identically under a fixed seed.
+func (p RetryPolicy) Backoff(n int) time.Duration {
+	p = p.withDefaults()
+	if n < 1 {
+		n = 1
+	}
+	d := p.BaseDelay
+	for i := 1; i < n; i++ {
+		d *= 2
+		if d >= p.MaxDelay {
+			return p.MaxDelay
+		}
+	}
+	if d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	return d
+}
+
+// ErrRetriesExhausted wraps the last error after MaxAttempts failures.
+var ErrRetriesExhausted = errors.New("controller: retries exhausted")
+
+// Do runs op under the policy: each attempt gets a context with a Timeout
+// deadline, failures back off exponentially on clk, and the parent context
+// cancels the whole loop. Backoff waits use clk so virtual-clock tests can
+// drive them deterministically; attempt deadlines use the real clock (they
+// bound I/O, not simulation time).
+func (p RetryPolicy) Do(ctx context.Context, clk simclock.Clock, op func(context.Context) error) error {
+	p = p.withDefaults()
+	if clk == nil {
+		clk = simclock.Real{}
+	}
+	var last error
+	for attempt := 1; attempt <= p.MaxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		actx, cancel := context.WithTimeout(ctx, p.Timeout)
+		err := op(actx)
+		cancel()
+		if err == nil {
+			return nil
+		}
+		last = err
+		if attempt == p.MaxAttempts {
+			break
+		}
+		select {
+		case <-clk.After(p.Backoff(attempt)):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return fmt.Errorf("%w after %d attempts: %v", ErrRetriesExhausted, p.MaxAttempts, last)
+}

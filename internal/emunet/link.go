@@ -106,6 +106,14 @@ type LinkConfig struct {
 	// (netem's duplication impairment). RLNC receivers absorb duplicates:
 	// a repeated coded packet is simply not innovative.
 	DuplicateProb float64
+	// ReorderProb holds back each delivered packet with this probability by
+	// an extra ReorderDelay (netem's reorder impairment), letting packets
+	// sent later overtake it. RLNC absorbs reordering: any sufficient set
+	// of coded packets decodes regardless of arrival order.
+	ReorderProb float64
+	// ReorderDelay is the extra hold-back applied to reordered packets;
+	// zero with a nonzero ReorderProb selects DefaultReorderDelay.
+	ReorderDelay time.Duration
 	// QueuePackets bounds the sender-side queue; packets arriving at a
 	// full queue are tail-dropped. Zero selects DefaultQueuePackets.
 	QueuePackets int
@@ -115,15 +123,20 @@ type LinkConfig struct {
 // bandwidth-delay product of a fast WAN path at MTU packets.
 const DefaultQueuePackets = 256
 
+// DefaultReorderDelay is the hold-back applied to reordered packets when
+// ReorderProb is set without an explicit ReorderDelay.
+const DefaultReorderDelay = 2 * time.Millisecond
+
 // link is the runtime state of one directed link.
 type link struct {
-	mu      sync.Mutex
-	cfg     LinkConfig
-	nextTx  time.Time // when the serializer is next free
-	queued  int       // packets accepted but not yet delivered
-	dropped uint64    // tail drops + loss-model drops
-	sent    uint64
-	jrng    *rand.Rand
+	mu        sync.Mutex
+	cfg       LinkConfig
+	nextTx    time.Time // when the serializer is next free
+	queued    int       // packets accepted but not yet delivered
+	dropped   uint64    // tail drops + loss-model drops + partition drops
+	sent      uint64
+	reordered uint64
+	jrng      *rand.Rand
 }
 
 // setConfig atomically replaces the link configuration (used by the
@@ -185,13 +198,21 @@ func (l *link) admit(now time.Time, n int) (time.Time, bool) {
 	l.mu.Lock()
 	l.sent++
 	extra := time.Duration(0)
-	if cfg.Jitter > 0 || cfg.DuplicateProb > 0 {
+	if cfg.Jitter > 0 || cfg.DuplicateProb > 0 || cfg.ReorderProb > 0 {
 		if l.jrng == nil {
 			l.jrng = rand.New(rand.NewSource(int64(l.sent) + 12345))
 		}
 	}
 	if cfg.Jitter > 0 {
 		extra = time.Duration(l.jrng.Int63n(int64(cfg.Jitter)))
+	}
+	if cfg.ReorderProb > 0 && l.jrng.Float64() < cfg.ReorderProb {
+		hold := cfg.ReorderDelay
+		if hold <= 0 {
+			hold = DefaultReorderDelay
+		}
+		extra += hold
+		l.reordered++
 	}
 	l.mu.Unlock()
 	return depart.Add(cfg.Delay + extra), true
@@ -218,15 +239,24 @@ func (l *link) release() {
 	l.mu.Unlock()
 }
 
+// drop counts one packet lost outside admit's own accounting (partition
+// faults charge their drops to the link they would have traversed).
+func (l *link) drop() {
+	l.mu.Lock()
+	l.dropped++
+	l.mu.Unlock()
+}
+
 // Stats reports cumulative link counters.
 type Stats struct {
-	Sent    uint64
-	Dropped uint64
-	Queued  int
+	Sent      uint64
+	Dropped   uint64
+	Reordered uint64
+	Queued    int
 }
 
 func (l *link) stats() Stats {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return Stats{Sent: l.sent, Dropped: l.dropped, Queued: l.queued}
+	return Stats{Sent: l.sent, Dropped: l.dropped, Reordered: l.reordered, Queued: l.queued}
 }

@@ -44,6 +44,10 @@ type Network struct {
 	mu    sync.Mutex
 	hosts map[string]*Host
 	links map[[2]string]*link
+	// partHosts and partLinks are the active partition faults (fault.go):
+	// isolated hosts and blackholed directed links.
+	partHosts map[string]bool
+	partLinks map[[2]string]bool
 	// allowDefault, when true, lets unconfigured pairs communicate over a
 	// perfect link. Tests use it; experiments configure links explicitly.
 	allowDefault bool
@@ -64,9 +68,11 @@ func AllowDefault() Option {
 // NewNetwork returns an empty network.
 func NewNetwork(opts ...Option) *Network {
 	n := &Network{
-		hosts:  make(map[string]*Host),
-		links:  make(map[[2]string]*link),
-		timers: make(map[*time.Timer]struct{}),
+		hosts:     make(map[string]*Host),
+		links:     make(map[[2]string]*link),
+		partHosts: make(map[string]bool),
+		partLinks: make(map[[2]string]bool),
+		timers:    make(map[*time.Timer]struct{}),
 	}
 	for _, o := range opts {
 		o(n)
@@ -207,6 +213,11 @@ func (h *Host) Send(dst string, pkt []byte) error {
 		}
 		l = &link{}
 		n.links[[2]string{h.addr, dst}] = l
+	}
+	if n.partitionedLocked(h.addr, dst) {
+		n.mu.Unlock()
+		l.drop()
+		return nil // blackholed, like UDP into a partition: no error
 	}
 	n.mu.Unlock()
 

@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 )
 
 // Solver failure modes.
@@ -273,8 +274,14 @@ func (b *Builder) Constraint(label string, coeffs map[string]float64, rhs float6
 // NumConstraints returns the number of rows added.
 func (b *Builder) NumConstraints() int { return len(b.rows) }
 
-// Build materializes the dense Problem.
+// Build materializes the dense Problem in canonical form: variables are
+// reordered by name and rows by label. Callers assemble problems by ranging
+// over Go maps, so without this the matrix layout — and, on degenerate
+// optima, the exact vertex the simplex returns — varies run to run. The
+// builder's own indices are permuted to match, so Name and Value stay valid
+// after Build.
 func (b *Builder) Build() Problem {
+	b.canonicalize()
 	n := len(b.names)
 	c := make([]float64, n)
 	for i, v := range b.obj {
@@ -289,6 +296,49 @@ func (b *Builder) Build() Problem {
 		a[i] = dense
 	}
 	return Problem{C: c, A: a, B: append([]float64(nil), b.rhs...)}
+}
+
+// canonicalize sorts variables by name and rows by label (stable, so rows
+// sharing a label keep their insertion order), rewriting every index the
+// builder holds. Idempotent.
+func (b *Builder) canonicalize() {
+	perm := make([]int, len(b.names))
+	sorted := append([]string(nil), b.names...)
+	sort.Strings(sorted)
+	for newIdx, name := range sorted {
+		perm[b.index[name]] = newIdx
+	}
+	b.names = sorted
+	for name, old := range b.index {
+		b.index[name] = perm[old]
+	}
+	obj := make(map[int]float64, len(b.obj))
+	for i, v := range b.obj {
+		obj[perm[i]] = v
+	}
+	b.obj = obj
+	for r, row := range b.rows {
+		remapped := make(map[int]float64, len(row))
+		for i, v := range row {
+			remapped[perm[i]] = v
+		}
+		b.rows[r] = remapped
+	}
+
+	order := make([]int, len(b.rows))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(x, y int) bool { return b.labels[order[x]] < b.labels[order[y]] })
+	rows := make([]map[int]float64, len(b.rows))
+	rhs := make([]float64, len(b.rhs))
+	labels := make([]string, len(b.labels))
+	for newIdx, old := range order {
+		rows[newIdx] = b.rows[old]
+		rhs[newIdx] = b.rhs[old]
+		labels[newIdx] = b.labels[old]
+	}
+	b.rows, b.rhs, b.labels = rows, rhs, labels
 }
 
 // Value extracts a named variable from a solution produced by solving a

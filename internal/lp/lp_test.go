@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 )
 
@@ -255,6 +256,42 @@ func TestBuilderBasics(t *testing.T) {
 	}
 	if b.Value(s, "missing") != 0 {
 		t.Fatal("missing variable should read zero")
+	}
+}
+
+func TestBuildCanonicalOrder(t *testing.T) {
+	// Callers assemble constraints by ranging over Go maps, so Build must
+	// produce the same matrix no matter the declaration order: variables
+	// sorted by name, rows sorted by label, indices rewritten to match.
+	b := NewBuilder()
+	b.Constraint("z-row", map[string]float64{"beta": 1, "alpha": 2}, 5)
+	b.Constraint("a-row", map[string]float64{"gamma": 1}, 3)
+	b.SetObjective("beta", 1)
+	p := b.Build()
+	for i, want := range []string{"alpha", "beta", "gamma"} {
+		if b.Name(i) != want {
+			t.Fatalf("Name(%d) = %q, want %q", i, b.Name(i), want)
+		}
+	}
+	if p.B[0] != 3 || p.A[0][2] != 1 {
+		t.Fatalf("row 0 not a-row: A=%v B=%v", p.A[0], p.B[0])
+	}
+	if p.B[1] != 5 || p.A[1][0] != 2 || p.A[1][1] != 1 {
+		t.Fatalf("row 1 not z-row: A=%v B=%v", p.A[1], p.B[1])
+	}
+	if p.C[0] != 0 || p.C[1] != 1 {
+		t.Fatalf("objective not permuted: %v", p.C)
+	}
+	// Value must follow the permuted indices.
+	s := &Solution{X: []float64{10, 20, 30}}
+	if b.Value(s, "beta") != 20 || b.Value(s, "gamma") != 30 {
+		t.Fatalf("Value broken after canonicalize: beta=%v gamma=%v",
+			b.Value(s, "beta"), b.Value(s, "gamma"))
+	}
+	// Idempotent: a second Build yields the identical problem.
+	q := b.Build()
+	if !reflect.DeepEqual(p, q) {
+		t.Fatal("Build is not idempotent")
 	}
 }
 
