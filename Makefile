@@ -27,8 +27,9 @@ vet:
 
 # bench runs the data-plane micro-benchmarks that gate hot-path changes.
 bench:
-	$(GO) test -run 'XXX' -bench 'BenchmarkAddMulSlice|BenchmarkRecode|BenchmarkVNFPipeline|BenchmarkRecoderPacketProcessing' -benchmem \
+	$(GO) test -run 'XXX' -bench 'BenchmarkAddMulSlice|BenchmarkDotProduct|BenchmarkRecode|BenchmarkVNFPipeline|BenchmarkRecoderPacketProcessing|BenchmarkDecoderBatch|BenchmarkEncodeCodedInto' -benchmem \
 		./internal/gf/ ./internal/rlnc/ ./internal/dataplane/
+	$(GO) test -run 'XXX' -bench 'BenchmarkInverse|BenchmarkMulInto' -benchmem ./internal/matrix/
 
 # bench-hotpath is the quick subset: GF kernels and the VNF pipeline.
 bench-hotpath:

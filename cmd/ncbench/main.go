@@ -8,6 +8,8 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -15,6 +17,7 @@ import (
 	"path/filepath"
 
 	"ncfn/internal/bench"
+	"ncfn/internal/metrics"
 )
 
 func main() {
@@ -30,8 +33,9 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "random seed")
 	list := fs.Bool("list", false, "list experiments and exit")
 	outDir := fs.String("out", "", "also write each experiment's output to <dir>/<name>.txt")
+	asJSON := fs.Bool("json", false, "emit results as JSON (parsed tables) instead of text")
 	fs.Usage = func() {
-		fmt.Fprintln(fs.Output(), "usage: ncbench [-quick] [-seed N] [-out dir] <experiment>|all")
+		fmt.Fprintln(fs.Output(), "usage: ncbench [-quick] [-seed N] [-out dir] [-json] <experiment>|all")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -49,6 +53,9 @@ func run(args []string) error {
 	}
 	opts := bench.Options{Quick: *quick, Seed: *seed}
 	name := fs.Arg(0)
+	if *asJSON {
+		return runJSON(os.Stdout, name, opts)
+	}
 	if name == "all" {
 		if *outDir != "" {
 			return runAllToDir(*outDir, opts)
@@ -69,6 +76,52 @@ func run(args []string) error {
 		w = io.MultiWriter(os.Stdout, f)
 	}
 	return e.Run(w, opts)
+}
+
+// jsonResult is one experiment's structured output: the tables parsed back
+// out of its text report, plus the options it ran with.
+type jsonResult struct {
+	Experiment string          `json:"experiment"`
+	What       string          `json:"what"`
+	Quick      bool            `json:"quick"`
+	Seed       int64           `json:"seed"`
+	Tables     []metrics.Table `json:"tables"`
+}
+
+// runJSON runs one experiment (or all) with output captured, parses the
+// tables, and writes a JSON array of results to w. Progress text goes to
+// stderr so stdout stays machine-readable.
+func runJSON(w io.Writer, name string, opts bench.Options) error {
+	var exps []bench.Experiment
+	if name == "all" {
+		exps = bench.List()
+	} else {
+		e, ok := bench.Lookup(name)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (try -list)", name)
+		}
+		exps = []bench.Experiment{e}
+	}
+	results := make([]jsonResult, 0, len(exps))
+	for _, e := range exps {
+		fmt.Fprintf(os.Stderr, "ncbench: running %s\n", e.Name)
+		var buf bytes.Buffer
+		if err := e.Run(&buf, opts); err != nil {
+			return fmt.Errorf("%s: %w", e.Name, err)
+		}
+		tables, err := metrics.ParseTables(&buf)
+		if err != nil {
+			return fmt.Errorf("%s: parsing output: %w", e.Name, err)
+		}
+		results = append(results, jsonResult{
+			Experiment: e.Name, What: e.What,
+			Quick: opts.Quick, Seed: opts.Seed,
+			Tables: tables,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
 }
 
 // teeFile opens <dir>/<name>.txt for an experiment's copy of the output.

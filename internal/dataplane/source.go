@@ -43,6 +43,13 @@ type Source struct {
 	mu      sync.Mutex
 	nextGen ncproto.GenerationID
 
+	// emitMu guards the emission scratch: one reusable coded block and one
+	// wire buffer, so the steady-state send path allocates only its
+	// per-generation encoder.
+	emitMu sync.Mutex
+	emCB   rlnc.CodedBlock
+	wire   []byte
+
 	acks      chan AckFrom
 	wg        sync.WaitGroup
 	closeOnce sync.Once
@@ -192,13 +199,16 @@ func (s *Source) ResendGeneration(gid ncproto.GenerationID, data []byte, extra i
 	if len(groups) == 0 {
 		return fmt.Errorf("dataplane: source has no next hops")
 	}
+	s.emitMu.Lock()
+	defer s.emitMu.Unlock()
 	for _, h := range groups {
 		dst := h.Pick(s.cfg.Session, gid)
 		if dst == "" {
 			continue
 		}
 		for i := 0; i < extra; i++ {
-			if err := s.emit(gid, enc.Coded(), false, false, dst); err != nil {
+			enc.CodedInto(&s.emCB)
+			if err := s.emit(gid, s.emCB, false, false, dst); err != nil {
 				return err
 			}
 		}
@@ -223,6 +233,8 @@ func (s *Source) sendGenerationAs(gid ncproto.GenerationID, data []byte, last bo
 	k := s.cfg.Params.GenerationBlocks
 	def := k + s.cfg.Redundancy
 	emittedTotal := 0
+	s.emitMu.Lock()
+	defer s.emitMu.Unlock()
 	for _, h := range groups {
 		dst := h.Pick(s.cfg.Session, gid)
 		if dst == "" {
@@ -230,17 +242,21 @@ func (s *Source) sendGenerationAs(gid ncproto.GenerationID, data []byte, last bo
 		}
 		quota := h.quota(def)
 		for i := 0; i < quota; i++ {
-			var cb rlnc.CodedBlock
+			cb := s.emCB
 			systematic := false
 			if s.cfg.Systematic && emittedTotal < k {
 				var ok bool
 				cb, ok = enc.Systematic()
 				systematic = ok
 				if !ok {
-					cb = enc.Coded()
+					enc.CodedInto(&s.emCB)
+					cb = s.emCB
 				}
 			} else {
-				cb = enc.Coded()
+				// Allocation-free emission: encode into the reusable block
+				// (conn.Send copies the wire bytes before returning).
+				enc.CodedInto(&s.emCB)
+				cb = s.emCB
 			}
 			emittedTotal++
 			if err := s.emit(gid, cb, systematic, last, dst); err != nil {
@@ -251,7 +267,8 @@ func (s *Source) sendGenerationAs(gid ncproto.GenerationID, data []byte, last bo
 	return nil
 }
 
-// emit sends one coded block to one destination.
+// emit sends one coded block to one destination, encoding into the source's
+// reusable wire buffer (callers hold emitMu).
 func (s *Source) emit(gid ncproto.GenerationID, cb rlnc.CodedBlock, systematic, last bool, dst string) error {
 	var flags byte
 	if systematic {
@@ -260,14 +277,14 @@ func (s *Source) emit(gid ncproto.GenerationID, cb rlnc.CodedBlock, systematic, 
 	if last {
 		flags |= ncproto.FlagEndOfSession
 	}
-	wire := (&ncproto.Packet{
+	s.wire = (&ncproto.Packet{
 		Flags:      flags,
 		Session:    s.cfg.Session,
 		Generation: gid,
 		Coeffs:     cb.Coeffs,
 		Payload:    cb.Payload,
-	}).Encode(nil)
-	if err := s.conn.Send(dst, wire); err != nil {
+	}).Encode(s.wire)
+	if err := s.conn.Send(dst, s.wire); err != nil {
 		return fmt.Errorf("dataplane: emit to %s: %w", dst, err)
 	}
 	return nil

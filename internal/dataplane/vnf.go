@@ -147,6 +147,8 @@ type vnfShard struct {
 	groups []HopGroup        // recoder hop-group scratch
 	emDst  []string          // emission destinations, parallel to emCB
 	emCB   []rlnc.CodedBlock // reusable emission blocks
+	jobs   []pktJob          // dequeued run of datagrams (worker batch drain)
+	batch  []rlnc.CodedBlock // decoder-batch views into the run's buffers
 }
 
 type sessionState struct {
@@ -194,9 +196,12 @@ func WithWorkers(n int) VNFOption {
 }
 
 // WithCodingCost models the CPU cost of GF(2^8) coding at the given
-// effective rate (bytes of generation data combined per second). Encoding
-// or decoding one packet of a k-block generation touches k·blockSize
-// bytes, so large generations throttle a VNF's packet rate — the
+// effective rate (bytes of generation data combined per second). The data
+// plane charges the actual kernel traffic its codecs report (TakeWork):
+// incremental elimination costs O(rank) row operations per packet while the
+// deferred batch path costs one copy per packet plus a single blocked
+// inverse + fused multiply per generation — so large generations throttle a
+// VNF's packet rate exactly as far as their real row traffic demands, the
 // "encoding and decoding complexity is high" effect behind Fig. 4's
 // throughput plunge. Zero (the default) disables the model; the experiment
 // harness calibrates it to the paper's VM class.
@@ -450,17 +455,92 @@ func (v *VNF) run() {
 	}
 }
 
-// worker drains one shard's queue. The recv buffer is owned by the worker
-// from dequeue to PutPacket; nothing downstream retains it (coding state is
-// copied into recoder/decoder arenas, emissions are encoded into shard
-// scratch, and conn.Send copies before returning).
+// drainBatch bounds how many queued datagrams a shard worker dequeues per
+// lock acquisition. Under load the queue runs deep, so decoder packets for
+// the same generation arrive at the coding layer as one batch and deferred
+// elimination materializes; when traffic is light the worker degenerates to
+// one packet per wakeup and adds no latency.
+const drainBatch = 32
+
+// worker drains one shard's queue in runs of up to drainBatch datagrams.
+// Every recv buffer of a run is owned by the worker from dequeue to
+// PutPacket; nothing downstream retains it (coding state is copied into
+// recoder/decoder arenas, emissions are encoded into shard scratch, and
+// conn.Send copies before returning). Holding the buffers across the whole
+// run is what lets decoder batches alias packet payloads in place.
 func (v *VNF) worker(sh *vnfShard) {
 	defer v.wg.Done()
-	for job := range sh.in {
+	for {
+		job, ok := <-sh.in
+		if !ok {
+			return
+		}
+		sh.jobs = append(sh.jobs[:0], job)
+	drain:
+		for len(sh.jobs) < drainBatch {
+			select {
+			case j, ok := <-sh.in:
+				if !ok {
+					break drain
+				}
+				sh.jobs = append(sh.jobs, j)
+			default:
+				break drain
+			}
+		}
 		sh.pauseMu.Lock()
-		v.process(sh, job.pkt, job.hdr)
+		v.processRun(sh, sh.jobs)
 		sh.pauseMu.Unlock()
-		buffer.PutPacket(job.pkt)
+		for i := range sh.jobs {
+			buffer.PutPacket(sh.jobs[i].pkt)
+			sh.jobs[i] = pktJob{}
+		}
+	}
+}
+
+// processRun handles one dequeued run of datagrams under the shard lock.
+// Consecutive decoder-role packets for the same (session, generation) are
+// handed to the decoder as one AddBatch call; everything else takes the
+// per-packet path in arrival order, so per-session packet order is
+// preserved exactly.
+func (v *VNF) processRun(sh *vnfShard, jobs []pktJob) {
+	for i := 0; i < len(jobs); {
+		hdr := jobs[i].hdr
+		v.mu.RLock()
+		st := v.sessions[hdr.Session]
+		v.mu.RUnlock()
+		if st == nil {
+			v.packetsDropped.Add(1)
+			i++
+			continue
+		}
+		if st.cfg.Role != RoleDecoder {
+			v.processWith(sh, st, jobs[i].pkt, hdr)
+			i++
+			continue
+		}
+		run := i + 1
+		for run < len(jobs) &&
+			jobs[run].hdr.Session == hdr.Session &&
+			jobs[run].hdr.Generation == hdr.Generation {
+			run++
+		}
+		k := st.cfg.Params.GenerationBlocks
+		sh.batch = sh.batch[:0]
+		for _, job := range jobs[i:run] {
+			p := &sh.pkt
+			if err := ncproto.DecodeInto(p, job.pkt, k); err != nil ||
+				len(p.Payload) != st.cfg.Params.BlockSize {
+				v.packetsDropped.Add(1)
+				continue
+			}
+			st.pktsIn.Add(1)
+			// The views stay valid: the run's recv buffers are held until
+			// the whole run is processed.
+			sh.batch = append(sh.batch, rlnc.CodedBlock{Coeffs: p.Coeffs, Payload: p.Payload})
+		}
+		v.decodeBatch(st, hdr.Session, hdr.Generation, sh.batch)
+		i = run
 	}
 }
 
@@ -500,9 +580,8 @@ func (v *VNF) handlePacket(pkt []byte, _ string) {
 	sh.pauseMu.Unlock()
 }
 
-// process runs the session-role work for one datagram on its shard. The
-// header has already been validated; the single full parse of the packet
-// happens here, into the shard's reusable Packet.
+// process runs the session-role work for one datagram on its shard — the
+// single-packet semantic reference the batched run path must match.
 func (v *VNF) process(sh *vnfShard, pkt []byte, hdr ncproto.Header) {
 	v.mu.RLock()
 	st := v.sessions[hdr.Session]
@@ -511,6 +590,13 @@ func (v *VNF) process(sh *vnfShard, pkt []byte, hdr ncproto.Header) {
 		v.packetsDropped.Add(1)
 		return
 	}
+	v.processWith(sh, st, pkt, hdr)
+}
+
+// processWith runs the role work for one datagram whose session state has
+// been resolved. The header has already been validated; the single full
+// parse of the packet happens here, into the shard's reusable Packet.
+func (v *VNF) processWith(sh *vnfShard, st *sessionState, pkt []byte, hdr ncproto.Header) {
 	p := &sh.pkt
 	if err := ncproto.DecodeInto(p, pkt, st.cfg.Params.GenerationBlocks); err != nil ||
 		len(p.Payload) != st.cfg.Params.BlockSize {
@@ -525,7 +611,8 @@ func (v *VNF) process(sh *vnfShard, pkt []byte, hdr ncproto.Header) {
 	case RoleRecoder:
 		v.recode(sh, st, p)
 	case RoleDecoder:
-		v.decode(st, p)
+		sh.batch = append(sh.batch[:0], rlnc.CodedBlock{Coeffs: p.Coeffs, Payload: p.Payload})
+		v.decodeBatch(st, p.Session, p.Generation, sh.batch)
 	case RoleCustom:
 		v.runCustom(st, p)
 	}
@@ -661,10 +748,13 @@ func (v *VNF) recode(sh *vnfShard, st *sessionState, p *ncproto.Packet) {
 		}
 	}
 	st.emitted[p.Generation] = counters
+	// The recoder's work meter covers both the raw-row insert (one payload
+	// copy, coefficient-gated) and the fused gather behind each emission.
+	work := rec.TakeWork()
 	st.mu.Unlock()
 
-	if nem > 0 {
-		v.chargeCodingCost(nem * k * st.cfg.Params.BlockSize)
+	if work > 0 {
+		v.chargeCodingCost(int(work))
 	}
 	for i := 0; i < nem; i++ {
 		outPkt := ncproto.Packet{
@@ -682,63 +772,77 @@ func (v *VNF) recode(sh *vnfShard, st *sessionState, p *ncproto.Packet) {
 	}
 }
 
-// decode implements the receiver-side function.
-func (v *VNF) decode(st *sessionState, p *ncproto.Packet) {
+// decodeBatch implements the receiver-side function for a run of packets
+// belonging to one generation. A single-element batch reproduces the old
+// per-packet decode exactly; deeper batches amortize lock traffic and let
+// the deferred-elimination engine (Decoder.AddBatch) skip per-packet
+// back-substitution. Coding CPU is charged from the decoder's own work
+// meter, so the end-of-generation blocked inverse + fused multiply is paid
+// when it actually runs.
+func (v *VNF) decodeBatch(st *sessionState, sess ncproto.SessionID, gen ncproto.GenerationID, batch []rlnc.CodedBlock) {
+	if len(batch) == 0 {
+		return
+	}
 	st.mu.Lock()
-	if st.delivered[p.Generation] {
+	if st.delivered[gen] {
 		st.mu.Unlock()
 		return
 	}
-	dec, ok := st.decoders[p.Generation]
+	dec, ok := st.decoders[gen]
 	if !ok {
 		var err error
 		dec, err = rlnc.NewDecoder(st.cfg.Params)
 		if err != nil {
 			st.mu.Unlock()
-			v.packetsDropped.Add(1)
+			v.packetsDropped.Add(uint64(len(batch)))
 			return
 		}
-		st.decoders[p.Generation] = dec
+		st.decoders[gen] = dec
 	}
-	if _, err := dec.Add(rlnc.CodedBlock{Coeffs: p.Coeffs, Payload: p.Payload}); err != nil {
+	if _, err := dec.AddBatch(batch); err != nil {
 		st.mu.Unlock()
-		v.packetsDropped.Add(1)
+		v.packetsDropped.Add(uint64(len(batch)))
 		return
 	}
-	v.chargeCodingCost(st.cfg.Params.GenerationBlocks * st.cfg.Params.BlockSize)
 	if !dec.Complete() {
+		work := dec.TakeWork()
 		st.mu.Unlock()
+		v.chargeCodingCost(int(work))
 		return
 	}
 	data, err := dec.Generation()
 	if err != nil {
+		work := dec.TakeWork()
 		st.mu.Unlock()
+		v.chargeCodingCost(int(work))
 		return
 	}
-	st.delivered[p.Generation] = true
-	delete(st.decoders, p.Generation)
+	st.delivered[gen] = true
+	delete(st.decoders, gen)
 	// Prune stale decoder state: generations far behind the newest one
 	// will never complete (their packets are gone), and the delivered set
 	// only needs to cover the reordering window.
 	const window = 4096
 	if len(st.delivered) > 2*window || len(st.decoders) > 2*window {
 		for gid := range st.delivered {
-			if gid+window < p.Generation {
+			if gid+window < gen {
 				delete(st.delivered, gid)
 			}
 		}
 		for gid := range st.decoders {
-			if gid+window < p.Generation {
+			if gid+window < gen {
 				delete(st.decoders, gid)
 			}
 		}
 	}
+	work := dec.TakeWork() // includes the blocked inverse + multiply
 	st.mu.Unlock()
+	v.chargeCodingCost(int(work))
 
 	v.generationsDone.Add(1)
 	st.done.Add(1)
 	select {
-	case v.deliveries <- Delivery{Session: p.Session, Generation: p.Generation, Data: data}:
+	case v.deliveries <- Delivery{Session: sess, Generation: gen, Data: data}:
 	default:
 		// Application not draining; drop oldest behavior is up to it.
 	}

@@ -342,10 +342,32 @@ func xorSlice(dst, src []byte) {
 
 // DotProduct returns the inner product of two coefficient vectors,
 // sum_i a[i]*b[i], in GF(2^8). The vectors must have equal length.
+//
+// The inner loop goes through the log/exp tables rather than the 64 KiB
+// product table: with both operands varying per element, product-table
+// lookups touch a different 256-byte row every iteration (a random walk over
+// the full 64 KiB), while log (256 B), log, exp (510 B) stay L1-resident no
+// matter what the data looks like.
 func DotProduct(a, b []byte) byte {
 	if len(a) != len(b) {
 		panic("gf: DotProduct length mismatch")
 	}
+	log := &_tables.log
+	exp := &_tables.exp
+	var acc byte
+	for i, av := range a {
+		bv := b[i]
+		if av == 0 || bv == 0 {
+			continue
+		}
+		acc ^= exp[int(log[av])+int(log[bv])]
+	}
+	return acc
+}
+
+// dotProductTable is the product-table reference implementation, kept for
+// the differential test and the BenchmarkDotProduct comparison.
+func dotProductTable(a, b []byte) byte {
 	var acc byte
 	for i := range a {
 		acc ^= _tables.mul[a[i]][b[i]]

@@ -1,0 +1,118 @@
+package metrics
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Table is a parsed experiment table — the inverse of Series.WriteTable.
+// ncbench uses it to re-emit the text output of an experiment as structured
+// JSON without every experiment runner needing a second output path.
+type Table struct {
+	Title   string   `json:"title"`
+	Columns []string `json:"columns"`
+	Rows    [][]Cell `json:"rows"`
+	// Notes carries the trailing "# ..." annotation lines (paper reference
+	// values, warnings) attached to the table they follow.
+	Notes []string `json:"notes,omitempty"`
+}
+
+// Cell is one table value: numeric when the text parses as a float, raw
+// text otherwise (e.g. the scheme names in the Fig 7 table).
+type Cell struct {
+	Text   string
+	Number float64
+	IsNum  bool
+}
+
+// MarshalJSON renders numeric cells as JSON numbers and everything else as
+// strings, so plotting scripts get usable values without re-parsing.
+func (c Cell) MarshalJSON() ([]byte, error) {
+	if c.IsNum {
+		return json.Marshal(c.Number)
+	}
+	return json.Marshal(c.Text)
+}
+
+// UnmarshalJSON accepts either form, mirroring MarshalJSON.
+func (c *Cell) UnmarshalJSON(data []byte) error {
+	var f float64
+	if err := json.Unmarshal(data, &f); err == nil {
+		*c = Cell{Number: f, IsNum: true, Text: strconv.FormatFloat(f, 'g', -1, 64)}
+		return nil
+	}
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	*c = parseCell(s)
+	return nil
+}
+
+func parseCell(s string) Cell {
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return Cell{Text: s, Number: f, IsNum: true}
+	}
+	return Cell{Text: s}
+}
+
+// ParseTables scans experiment output in the WriteTable format and returns
+// every table found. A table starts at a "# <title>" line whose next line
+// is a tab-separated header; subsequent tab-separated lines are rows, and
+// later "# ..." lines (until the next table) become the table's notes.
+// Text outside any table is ignored, so it is safe to run over the whole
+// output of an experiment.
+func ParseTables(r io.Reader) ([]Table, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+
+	var tables []Table
+	var cur *Table
+	var pendingTitle string
+	havePending := false
+	for sc.Scan() {
+		line := strings.TrimRight(sc.Text(), "\r")
+		switch {
+		case strings.HasPrefix(line, "# "):
+			note := strings.TrimPrefix(line, "# ")
+			if havePending && cur != nil {
+				// Two consecutive "# " lines: the first was a note, not a
+				// title.
+				cur.Notes = append(cur.Notes, pendingTitle)
+			}
+			pendingTitle = note
+			havePending = true
+		case strings.Contains(line, "\t"):
+			fields := strings.Split(line, "\t")
+			if havePending {
+				tables = append(tables, Table{Title: pendingTitle, Columns: fields})
+				cur = &tables[len(tables)-1]
+				havePending = false
+				continue
+			}
+			if cur == nil || len(fields) != len(cur.Columns) {
+				continue // stray tabbed prose, or a row with no table
+			}
+			row := make([]Cell, len(fields))
+			for i, f := range fields {
+				row[i] = parseCell(f)
+			}
+			cur.Rows = append(cur.Rows, row)
+		default:
+			if havePending {
+				// A "# " line not followed by a header is an annotation.
+				if cur != nil {
+					cur.Notes = append(cur.Notes, pendingTitle)
+				}
+				havePending = false
+			}
+		}
+	}
+	if havePending && cur != nil {
+		cur.Notes = append(cur.Notes, pendingTitle)
+	}
+	return tables, sc.Err()
+}

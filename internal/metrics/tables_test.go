@@ -1,0 +1,116 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestParseTablesRoundTrip renders a Series with WriteTable and checks the
+// parser recovers the same title, columns, and values.
+func TestParseTablesRoundTrip(t *testing.T) {
+	s := NewSeries("Fig X: demo", "blocks", "nc_mbps", "tcp_mbps")
+	s.Add(4, map[string]float64{"nc_mbps": 69.21, "tcp_mbps": 15.5})
+	s.Add(64, map[string]float64{"nc_mbps": 40.1})
+	var buf bytes.Buffer
+	if err := s.WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString("# paper: peak ~68 Mbps at 4 blocks\n")
+
+	tables, err := ParseTables(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 {
+		t.Fatalf("got %d tables, want 1", len(tables))
+	}
+	tb := tables[0]
+	if tb.Title != "Fig X: demo" {
+		t.Fatalf("title = %q", tb.Title)
+	}
+	wantCols := []string{"blocks", "nc_mbps", "tcp_mbps"}
+	if len(tb.Columns) != len(wantCols) {
+		t.Fatalf("columns = %v", tb.Columns)
+	}
+	for i, c := range wantCols {
+		if tb.Columns[i] != c {
+			t.Fatalf("columns = %v, want %v", tb.Columns, wantCols)
+		}
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(tb.Rows))
+	}
+	if !tb.Rows[0][1].IsNum || tb.Rows[0][1].Number != 69.21 {
+		t.Fatalf("row 0 nc_mbps = %+v, want 69.21", tb.Rows[0][1])
+	}
+	// The missing tcp_mbps sample prints as "-", which must stay textual.
+	if tb.Rows[1][2].IsNum || tb.Rows[1][2].Text != "-" {
+		t.Fatalf("row 1 tcp_mbps = %+v, want text \"-\"", tb.Rows[1][2])
+	}
+	if len(tb.Notes) != 1 || !strings.HasPrefix(tb.Notes[0], "paper:") {
+		t.Fatalf("notes = %v", tb.Notes)
+	}
+}
+
+// TestParseTablesMultiple covers back-to-back tables with interleaved notes
+// and text cells, like ncbench "all" output.
+func TestParseTablesMultiple(t *testing.T) {
+	input := strings.Join([]string{
+		"prose that is ignored",
+		"# Fig 7: butterfly throughput by scheme",
+		"scheme\tthroughput_mbps",
+		"NC\t68.02",
+		"DirectTCP\t15.11",
+		"# WARNING: ordering not reproduced",
+		"# paper: NC ~68",
+		"# Table II: delay comparison",
+		"path\treceiver\tavg",
+		"direct\tr1\t77.0",
+		"",
+	}, "\n")
+	tables, err := ParseTables(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("got %d tables, want 2", len(tables))
+	}
+	if got := tables[0].Rows[0][0]; got.IsNum || got.Text != "NC" {
+		t.Fatalf("scheme cell = %+v", got)
+	}
+	if len(tables[0].Notes) != 2 {
+		t.Fatalf("fig7 notes = %v", tables[0].Notes)
+	}
+	if tables[1].Title != "Table II: delay comparison" {
+		t.Fatalf("second title = %q", tables[1].Title)
+	}
+	if v := tables[1].Rows[0][2]; !v.IsNum || v.Number != 77.0 {
+		t.Fatalf("avg cell = %+v", v)
+	}
+}
+
+// TestCellJSON checks cells marshal as numbers or strings and round-trip.
+func TestCellJSON(t *testing.T) {
+	tb := Table{
+		Title:   "t",
+		Columns: []string{"a", "b"},
+		Rows:    [][]Cell{{parseCell("1.5"), parseCell("x")}},
+	}
+	out, err := json.Marshal(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"title":"t","columns":["a","b"],"rows":[[1.5,"x"]]}`
+	if string(out) != want {
+		t.Fatalf("json = %s, want %s", out, want)
+	}
+	var back Table
+	if err := json.Unmarshal(out, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !back.Rows[0][0].IsNum || back.Rows[0][0].Number != 1.5 || back.Rows[0][1].Text != "x" {
+		t.Fatalf("round-trip = %+v", back.Rows[0])
+	}
+}

@@ -75,6 +75,17 @@ func (p Params) field() gf.Field {
 	return p.Field
 }
 
+// checkBlock validates a coded block's dimensions against the parameters.
+func (p Params) checkBlock(cb CodedBlock) error {
+	if len(cb.Coeffs) != p.GenerationBlocks {
+		return fmt.Errorf("%w: coefficient vector length %d, want %d", ErrParams, len(cb.Coeffs), p.GenerationBlocks)
+	}
+	if len(cb.Payload) != p.BlockSize {
+		return fmt.Errorf("%w: payload length %d, want %d", ErrParams, len(cb.Payload), p.BlockSize)
+	}
+	return nil
+}
+
 // CodedBlock is one coded block together with its coefficient vector: the
 // payload equals sum_i Coeffs[i] * block_i of the source generation.
 type CodedBlock struct {
@@ -98,7 +109,8 @@ type Encoder struct {
 	params Params
 	blocks [][]byte
 	rng    *rand.Rand
-	next   int // next systematic block index
+	next   int    // next systematic block index
+	work   uint64 // payload-equivalent kernel traffic, in bytes
 }
 
 // NewEncoder builds an encoder for one generation of source data. data must
@@ -142,30 +154,50 @@ func (e *Encoder) Systematic() (CodedBlock, bool) {
 	coeffs[e.next] = 1
 	cb := CodedBlock{Coeffs: coeffs, Payload: append([]byte(nil), e.blocks[e.next]...)}
 	e.next++
+	e.work += uint64(e.params.BlockSize)
 	return cb, true
 }
 
 // Coded returns a fresh random linear combination of the generation.
 func (e *Encoder) Coded() CodedBlock {
+	var cb CodedBlock
+	e.CodedInto(&cb)
+	return cb
+}
+
+// CodedInto writes a fresh random combination of the generation into cb,
+// reusing cb's backing arrays when they have capacity — the data plane's
+// allocation-free emission path. The payload is produced by one fused gather
+// over the source blocks (gf.CombineSlices), so the destination strip stays
+// cache-resident while every source row streams through it once.
+func (e *Encoder) CodedInto(cb *CodedBlock) {
 	k := e.params.GenerationBlocks
-	coeffs := make([]byte, k)
+	cb.Coeffs = resizeBuf(cb.Coeffs, k)
+	cb.Payload = resizeBuf(cb.Payload, e.params.BlockSize)
 	field := e.params.field()
 	allZero := true
-	for i := range coeffs {
-		coeffs[i] = field.ClampCoeff(byte(e.rng.Intn(256)))
-		if coeffs[i] != 0 {
+	for i := range cb.Coeffs {
+		cb.Coeffs[i] = field.ClampCoeff(byte(e.rng.Intn(256)))
+		if cb.Coeffs[i] != 0 {
 			allZero = false
 		}
 	}
 	if allZero {
 		// A zero vector carries no information; force one nonzero entry.
-		coeffs[e.rng.Intn(k)] = 1
+		cb.Coeffs[e.rng.Intn(k)] = 1
 	}
-	payload := make([]byte, e.params.BlockSize)
-	for i, c := range coeffs {
-		gf.AddMulSlice(payload, e.blocks[i], c)
-	}
-	return CodedBlock{Coeffs: coeffs, Payload: payload}
+	gf.CombineSlices(cb.Payload, e.blocks, cb.Coeffs)
+	// Fused gather traffic: (k+1)/2 rows of blockSize per emission.
+	e.work += uint64(k+1) * uint64(e.params.BlockSize) / 2
+}
+
+// TakeWork returns the coding work performed since the last call, measured
+// in bytes of equivalent single-row kernel traffic, and resets the counter.
+// The data plane charges its simulated coding budget from these deltas.
+func (e *Encoder) TakeWork() uint64 {
+	w := e.work
+	e.work = 0
+	return w
 }
 
 // basis is the shared progressive-Gaussian-elimination core behind Decoder
@@ -182,7 +214,8 @@ type basis struct {
 	payload [][]byte
 	pivots  []bool
 	rank    int
-	useless int // inserted blocks that were not innovative
+	useless int    // inserted blocks that were not innovative
+	work    uint64 // payload-equivalent kernel traffic, in bytes
 
 	scratchC []byte // next incoming coefficient row (arena view)
 	scratchP []byte // next incoming payload row (arena view)
@@ -219,6 +252,7 @@ func (b *basis) insert(coeffs, payload []byte) bool {
 	cs, ps := b.scratchC, b.scratchP
 	copy(cs, coeffs)
 	copy(ps, payload)
+	rowOps := 1 // the payload copy
 
 	// Reduce the incoming vector against every existing pivot row. Each
 	// stored pivot row is zero at all other pivot columns, so one pass
@@ -230,6 +264,7 @@ func (b *basis) insert(coeffs, payload []byte) bool {
 		c := cs[col]
 		gf.AddMulSlice(cs, b.rows[col], c)
 		gf.AddMulSlice(ps, b.payload[col], c)
+		rowOps++
 	}
 	// The leading nonzero column (necessarily pivot-free now) becomes the
 	// new pivot; a fully-reduced zero vector was not innovative.
@@ -242,12 +277,14 @@ func (b *basis) insert(coeffs, payload []byte) bool {
 	}
 	if lead < 0 {
 		b.useless++
+		b.work += uint64(rowOps) * uint64(b.blockSize)
 		return false
 	}
 	if c := cs[lead]; c != 1 {
 		inv := gf.Inv(c)
 		gf.MulSlice(cs, cs, inv)
 		gf.MulSlice(ps, ps, inv)
+		rowOps++
 	}
 	b.rows[lead] = cs
 	b.payload[lead] = ps
@@ -261,21 +298,33 @@ func (b *basis) insert(coeffs, payload []byte) bool {
 		if c := b.rows[r][lead]; c != 0 {
 			gf.AddMulSlice(b.rows[r], b.rows[lead], c)
 			gf.AddMulSlice(b.payload[r], b.payload[lead], c)
+			rowOps++
 		}
 	}
 	b.scratchC, b.scratchP = b.arenaRow(b.nextRow)
 	b.nextRow++
+	b.work += uint64(rowOps) * uint64(b.blockSize)
 	return true
 }
 
-// Decoder recovers a generation from coded blocks via progressive Gaussian
-// elimination: every arriving block is reduced against the rows collected so
-// far, so decode cost is spread across arrivals. All row storage is
-// preallocated at construction; Add performs no heap allocations. It is not
-// safe for concurrent use.
+// Decoder recovers a generation from coded blocks. It runs one of two
+// engines, selected lazily by the first call:
+//
+//   - Add (incremental): every arriving block is reduced against the rows
+//     collected so far via progressive Gaussian elimination, spreading decode
+//     cost across arrivals — lowest per-generation latency jitter.
+//   - AddBatch (deferred): arriving rows are rank-gated on coefficients only
+//     and stored raw; one blocked inverse + fused multiply recovers the
+//     generation at full rank — far less total work for large generations.
+//
+// Either engine accepts both calls once selected (the other call delegates),
+// and both decode to identical bytes. All row storage is preallocated when
+// the engine is created; steady-state Add/AddBatch performs no heap
+// allocations. It is not safe for concurrent use.
 type Decoder struct {
 	params Params
-	b      *basis
+	b      *basis    // incremental engine, created by a first Add
+	def    *deferred // batched engine, created by a first AddBatch
 }
 
 // NewDecoder builds a decoder for one generation.
@@ -283,35 +332,66 @@ func NewDecoder(params Params) (*Decoder, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
-	return &Decoder{
-		params: params,
-		b:      newBasis(params.GenerationBlocks, params.BlockSize),
-	}, nil
+	return &Decoder{params: params}, nil
 }
 
 // Params returns the coding parameters.
 func (d *Decoder) Params() Params { return d.params }
 
 // Rank returns the number of linearly independent blocks received so far.
-func (d *Decoder) Rank() int { return d.b.rank }
+func (d *Decoder) Rank() int {
+	switch {
+	case d.b != nil:
+		return d.b.rank
+	case d.def != nil:
+		return d.def.span.n
+	}
+	return 0
+}
 
 // Useless returns the number of received blocks that were not innovative
 // (linearly dependent on earlier ones). With GF(2^8) coefficients this stays
 // near zero; it grows under GF(2), which the field-size ablation measures.
-func (d *Decoder) Useless() int { return d.b.useless }
+func (d *Decoder) Useless() int {
+	switch {
+	case d.b != nil:
+		return d.b.useless
+	case d.def != nil:
+		return d.def.span.useless
+	}
+	return 0
+}
 
 // Complete reports whether the full generation can be recovered.
-func (d *Decoder) Complete() bool { return d.b.rank == d.params.GenerationBlocks }
+func (d *Decoder) Complete() bool { return d.Rank() == d.params.GenerationBlocks }
+
+// TakeWork returns the coding work performed since the last call, measured
+// in bytes of equivalent single-row kernel traffic, and resets the counter.
+// For the deferred engine this includes the end-of-generation inverse and
+// multiply once they have run.
+func (d *Decoder) TakeWork() uint64 {
+	var w uint64
+	if d.b != nil {
+		w += d.b.work
+		d.b.work = 0
+	}
+	if d.def != nil {
+		w += d.def.takeWork()
+	}
+	return w
+}
 
 // Add consumes one coded block and reports whether it was innovative
 // (increased the decoder's rank).
 func (d *Decoder) Add(cb CodedBlock) (bool, error) {
-	k := d.params.GenerationBlocks
-	if len(cb.Coeffs) != k {
-		return false, fmt.Errorf("%w: coefficient vector length %d, want %d", ErrParams, len(cb.Coeffs), k)
+	if err := d.params.checkBlock(cb); err != nil {
+		return false, err
 	}
-	if len(cb.Payload) != d.params.BlockSize {
-		return false, fmt.Errorf("%w: payload length %d, want %d", ErrParams, len(cb.Payload), d.params.BlockSize)
+	if d.def != nil {
+		return d.def.span.insert(cb.Coeffs, cb.Payload), nil
+	}
+	if d.b == nil {
+		d.b = newBasis(d.params.GenerationBlocks, d.params.BlockSize)
 	}
 	return d.b.insert(cb.Coeffs, cb.Payload), nil
 }
@@ -319,10 +399,16 @@ func (d *Decoder) Add(cb CodedBlock) (bool, error) {
 // Block returns source block i once the generation is complete.
 func (d *Decoder) Block(i int) ([]byte, error) {
 	if !d.Complete() {
-		return nil, fmt.Errorf("rlnc: generation incomplete (rank %d/%d)", d.b.rank, d.params.GenerationBlocks)
+		return nil, fmt.Errorf("rlnc: generation incomplete (rank %d/%d)", d.Rank(), d.params.GenerationBlocks)
 	}
 	if i < 0 || i >= d.params.GenerationBlocks {
 		return nil, fmt.Errorf("%w: block index %d", ErrParams, i)
+	}
+	if d.def != nil {
+		if err := d.def.finalize(); err != nil {
+			return nil, err
+		}
+		return d.def.decoded[i], nil
 	}
 	return d.b.payload[i], nil
 }
@@ -330,27 +416,34 @@ func (d *Decoder) Block(i int) ([]byte, error) {
 // Generation returns the concatenated decoded generation payload.
 func (d *Decoder) Generation() ([]byte, error) {
 	if !d.Complete() {
-		return nil, fmt.Errorf("rlnc: generation incomplete (rank %d/%d)", d.b.rank, d.params.GenerationBlocks)
+		return nil, fmt.Errorf("rlnc: generation incomplete (rank %d/%d)", d.Rank(), d.params.GenerationBlocks)
 	}
 	out := make([]byte, 0, d.params.GenerationBytes())
 	for i := 0; i < d.params.GenerationBlocks; i++ {
-		out = append(out, d.b.payload[i]...)
+		row, err := d.Block(i)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, row...)
 	}
 	return out, nil
 }
 
 // Recoder combines coded blocks received so far into fresh coded blocks
 // without decoding — the core capability that lets intermediate VNFs mix
-// flows. It maintains a rank-limited reduced basis of what it has received
-// rather than every raw block, so per-generation memory is bounded by k+1
-// rows, Add performs no heap allocation, and the cost of an emission is
-// O(rank), not O(packets received) — the property that keeps a pipelined
-// VNF's per-packet work constant under sustained traffic. It is not safe
-// for concurrent use.
+// flows. It stores the raw innovative rows it receives, gated by a
+// coefficient-only rank check: a recoder never needs payload elimination at
+// all, because any random combination of the raw rows spans the same space
+// as a reduced basis. Per-generation memory is bounded by k rows, absorbing
+// a packet costs one payload copy, and an emission is a single fused gather
+// over the stored span — O(rank) row reads, not O(packets received). Add
+// and RecodeInto perform no heap allocation. It is not safe for concurrent
+// use.
 type Recoder struct {
-	params Params
-	b      *basis
-	rng    *rand.Rand
+	params  Params
+	span    *rawSpan
+	rng     *rand.Rand
+	weights []byte // emission draw scratch
 }
 
 // NewRecoder builds a recoder for one generation.
@@ -359,9 +452,10 @@ func NewRecoder(params Params, seed int64) (*Recoder, error) {
 		return nil, err
 	}
 	return &Recoder{
-		params: params,
-		b:      newBasis(params.GenerationBlocks, params.BlockSize),
-		rng:    rand.New(rand.NewSource(seed)),
+		params:  params,
+		span:    newRawSpan(params.GenerationBlocks, params.BlockSize),
+		rng:     rand.New(rand.NewSource(seed)),
+		weights: make([]byte, params.GenerationBlocks),
 	}, nil
 }
 
@@ -370,18 +464,23 @@ func (r *Recoder) Params() Params { return r.params }
 
 // Stored returns the number of linearly independent blocks buffered for
 // recoding (the recoder's rank; dependent arrivals add no information and
-// are absorbed into the basis).
-func (r *Recoder) Stored() int { return r.b.rank }
+// are dropped by the coefficient gate).
+func (r *Recoder) Stored() int { return r.span.n }
 
-// Add folds a received coded block into the recoding basis.
+// TakeWork returns the coding work performed since the last call, measured
+// in bytes of equivalent single-row kernel traffic, and resets the counter.
+func (r *Recoder) TakeWork() uint64 {
+	w := r.span.work
+	r.span.work = 0
+	return w
+}
+
+// Add folds a received coded block into the recoding span.
 func (r *Recoder) Add(cb CodedBlock) error {
-	if len(cb.Coeffs) != r.params.GenerationBlocks {
-		return fmt.Errorf("%w: coefficient vector length %d, want %d", ErrParams, len(cb.Coeffs), r.params.GenerationBlocks)
+	if err := r.params.checkBlock(cb); err != nil {
+		return err
 	}
-	if len(cb.Payload) != r.params.BlockSize {
-		return fmt.Errorf("%w: payload length %d, want %d", ErrParams, len(cb.Payload), r.params.BlockSize)
-	}
-	r.b.insert(cb.Coeffs, cb.Payload)
+	r.span.insert(cb.Coeffs, cb.Payload)
 	return nil
 }
 
@@ -400,49 +499,42 @@ func (r *Recoder) Recode() (CodedBlock, bool) {
 // plane's allocation-free emission path. It returns false if nothing has
 // been buffered yet.
 func (r *Recoder) RecodeInto(cb *CodedBlock) bool {
-	if r.b.rank == 0 {
+	n := r.span.n
+	if n == 0 {
 		return false
 	}
-	k := r.params.GenerationBlocks
-	cb.Coeffs = resizeZero(cb.Coeffs, k)
-	cb.Payload = resizeZero(cb.Payload, r.params.BlockSize)
+	cb.Coeffs = resizeBuf(cb.Coeffs, r.params.GenerationBlocks)
+	cb.Payload = resizeBuf(cb.Payload, r.params.BlockSize)
 	field := r.params.field()
 	mixed := false
-	first := -1
-	for col := 0; col < k; col++ {
-		if !r.b.pivots[col] {
-			continue
+	w := r.weights[:n]
+	for i := range w {
+		w[i] = field.ClampCoeff(byte(r.rng.Intn(256)))
+		if w[i] != 0 {
+			mixed = true
 		}
-		if first < 0 {
-			first = col
-		}
-		w := field.ClampCoeff(byte(r.rng.Intn(256)))
-		if w == 0 {
-			continue
-		}
-		mixed = true
-		gf.AddMulSlice(cb.Coeffs, r.b.rows[col], w)
-		gf.AddMulSlice(cb.Payload, r.b.payload[col], w)
 	}
 	if !mixed {
-		// All weights were zero; fall back to forwarding a basis row.
-		copy(cb.Coeffs, r.b.rows[first])
-		copy(cb.Payload, r.b.payload[first])
+		// All weights were zero; fall back to forwarding a stored row.
+		copy(cb.Coeffs, r.span.rawC[0])
+		copy(cb.Payload, r.span.rawP[0])
+		r.span.work += uint64(r.params.BlockSize)
+		return true
 	}
+	gf.CombineSlices(cb.Coeffs, r.span.rawC[:n], w)
+	gf.CombineSlices(cb.Payload, r.span.rawP[:n], w)
+	// Fused gather traffic: (n+1)/2 rows of blockSize per emission.
+	r.span.work += uint64(n+1) * uint64(r.params.BlockSize) / 2
 	return true
 }
 
-// resizeZero returns b resized to n zeroed bytes, reusing its backing array
-// when capacity allows.
-func resizeZero(b []byte, n int) []byte {
+// resizeBuf returns b resized to n bytes, reusing its backing array when
+// capacity allows. Contents are unspecified; callers overwrite fully.
+func resizeBuf(b []byte, n int) []byte {
 	if cap(b) < n {
 		return make([]byte, n)
 	}
-	b = b[:n]
-	for i := range b {
-		b[i] = 0
-	}
-	return b
+	return b[:n]
 }
 
 // SplitGenerations cuts data into generation-size chunks. The final chunk
