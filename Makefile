@@ -1,14 +1,29 @@
 # Tier-1 verification plus the extended checks: `make check` runs build,
-# vet, tests, and the race detector as one command.
+# vet, nclint, tests, and the race detector as one command.
 
 GO ?= go
 
-.PHONY: build test test-race test-chaos vet bench bench-hotpath check
+NCLINT := bin/nclint
+NCLINT_SRCS := $(shell find cmd/nclint internal/analysis -name '*.go' -not -path '*/testdata/*')
+
+.PHONY: build test test-race test-chaos vet lint bench bench-hotpath check
 
 build:
 	$(GO) build ./...
 
-test:
+# nclint is the repo's own analyzer suite (cmd/nclint): buffer-pool
+# discipline, recv-buffer aliasing, hot-path allocation bans, simulated-time
+# purity, and control-plane error handling. See DESIGN.md ("Statically
+# enforced invariants") for the full list and the suppression syntax.
+$(NCLINT): $(NCLINT_SRCS) go.mod
+	$(GO) build -o $(NCLINT) ./cmd/nclint
+
+lint: vet $(NCLINT)
+	./$(NCLINT) ./...
+
+# test builds the linter first so a broken analyzer fails fast even when
+# only the test target runs.
+test: $(NCLINT)
 	$(GO) test ./...
 
 test-race:
@@ -36,4 +51,4 @@ bench-hotpath:
 	$(GO) test -run 'XXX' -bench 'BenchmarkAddMulSlice' -benchmem ./internal/gf/
 	$(GO) test -run 'XXX' -bench 'BenchmarkVNFPipeline' -benchmem ./internal/dataplane/
 
-check: build vet test test-race
+check: build lint test test-race

@@ -1,0 +1,133 @@
+// Command nclint is the repo's multichecker: it runs the custom analyzers
+// of internal/analysis/... over Go package patterns and exits nonzero when
+// any finding survives //nolint:nc filtering.
+//
+// Usage:
+//
+//	nclint [flags] [packages]
+//
+// With no packages it checks ./... . Each analyzer has an enable flag named
+// after it (-poolcheck=false disables poolcheck); -json emits findings as a
+// JSON array for tooling. The exit status is 0 for a clean tree, 1 when
+// findings were reported, 2 for usage or loading errors — the same contract
+// as go vet, so `make lint` and CI can treat it as a blocking check.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"ncfn/internal/analysis"
+	"ncfn/internal/analysis/ncanalysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("nclint", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit findings as JSON")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	dir := fs.String("C", ".", "directory to run the go tool from (the module root)")
+
+	all := analysis.All()
+	enabled := map[string]*bool{}
+	for _, a := range all {
+		doc := a.Doc
+		if i := indexByte(doc, '\n'); i >= 0 {
+			doc = doc[:i]
+		}
+		enabled[a.Name] = fs.Bool(a.Name, true, "enable "+a.Name+": "+doc)
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	var active []*ncanalysis.Analyzer
+	for _, a := range all {
+		if *enabled[a.Name] {
+			active = append(active, a)
+		}
+	}
+	if len(active) == 0 {
+		fmt.Fprintln(os.Stderr, "nclint: every analyzer is disabled")
+		return 2
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := ncanalysis.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nclint: %v\n", err)
+		return 2
+	}
+	res, err := ncanalysis.Run(pkgs, active)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nclint: %v\n", err)
+		return 2
+	}
+
+	if *jsonOut {
+		type finding struct {
+			Analyzer string `json:"analyzer"`
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Col      int    `json:"col"`
+			Message  string `json:"message"`
+		}
+		out := struct {
+			Findings   []finding `json:"findings"`
+			Suppressed int       `json:"suppressed"`
+		}{Findings: []finding{}, Suppressed: res.Suppressed}
+		for _, d := range res.Diagnostics {
+			out.Findings = append(out.Findings, finding{
+				Analyzer: d.Analyzer,
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "nclint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range res.Diagnostics {
+			fmt.Println(d.String())
+		}
+		if res.Suppressed > 0 {
+			fmt.Fprintf(os.Stderr, "nclint: %d finding(s) suppressed by //nolint:nc\n", res.Suppressed)
+		}
+	}
+
+	if len(res.Diagnostics) > 0 {
+		fmt.Fprintf(os.Stderr, "nclint: %d finding(s) in %d package(s)\n", len(res.Diagnostics), len(pkgs))
+		return 1
+	}
+	return 0
+}
+
+func indexByte(s string, b byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,272 @@
+// Package aliascheck guards the batch-view aliasing contract of the shard
+// run (PR 1/PR 2): ncproto.DecodeInto parses a datagram in place, so the
+// resulting Packet's Coeffs/Payload — and every rlnc.CodedBlock built from
+// them — alias the receive buffer's wire bytes. Those views stay valid only
+// until the buffer is recycled; the worker therefore holds every buffer of a
+// run until the whole run (including Decoder.AddBatch, which copies rows
+// into its arena) has been processed, and only then calls PutPacket.
+//
+// The check finds the ways that discipline breaks inside one function:
+// recycling a buffer with buffer.PutPacket and afterwards touching a view
+// that still aliases it — directly (the Packet), or through a derived value
+// (p.Payload pulled into a local, a CodedBlock literal, a batch slice it was
+// appended to). Tracking is lexical def-use with position-aware rebinding:
+// re-parsing into the same Packet variable starts a fresh view, so loops
+// that decode/consume/recycle per iteration stay clean.
+package aliascheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"ncfn/internal/analysis/ncanalysis"
+)
+
+const (
+	poolPkg  = "ncfn/internal/buffer"
+	protoPkg = "ncfn/internal/ncproto"
+)
+
+// Analyzer is the aliascheck check.
+var Analyzer = &ncanalysis.Analyzer{
+	Name: "aliascheck",
+	Doc: "a DecodeInto/batch view aliases its receive buffer's wire bytes; flag any use of such a " +
+		"view after the buffer was recycled with PutPacket",
+	Run: run,
+}
+
+func run(pass *ncanalysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					analyzeFunc(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				analyzeFunc(pass, fn.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// binding records that, from pos on, a variable's bytes alias the given
+// receive buffers.
+type binding struct {
+	pos  token.Pos
+	bufs map[types.Object]bool
+}
+
+// putEvent is one PutPacket(b) site.
+type putEvent struct {
+	pos token.Pos
+	buf types.Object
+	ln  int
+}
+
+type tracker struct {
+	pass *ncanalysis.Pass
+	// bindings, per aliasing variable, in source order.
+	bindings map[types.Object][]binding
+	puts     []putEvent
+	reported map[token.Pos]bool
+}
+
+func analyzeFunc(pass *ncanalysis.Pass, body *ast.BlockStmt) {
+	tr := &tracker{
+		pass:     pass,
+		bindings: map[types.Object][]binding{},
+		reported: map[token.Pos]bool{},
+	}
+	// Pass 1 (source order): collect view bindings, derived aliases, and
+	// PutPacket events.
+	tr.collect(body)
+	if len(tr.puts) == 0 || len(tr.bindings) == 0 {
+		return
+	}
+	// Pass 2: every identifier use is checked against the puts that
+	// happened between its current binding and the use.
+	tr.checkUses(body)
+}
+
+func (tr *tracker) collect(body *ast.BlockStmt) {
+	info := tr.pass.TypesInfo
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // analyzed as its own function
+		case *ast.CallExpr:
+			fn := ncanalysis.CalleeOf(info, n)
+			if ncanalysis.IsFunc(fn, protoPkg, "DecodeInto") && len(n.Args) >= 2 {
+				view := lvalueObj(info, n.Args[0])
+				buf := identObj(info, n.Args[1])
+				if view != nil && buf != nil {
+					tr.bind(view, n.Pos(), map[types.Object]bool{buf: true}, false)
+				}
+				return true
+			}
+			if ncanalysis.IsFunc(fn, poolPkg, "PutPacket") && len(n.Args) == 1 {
+				if buf := identObj(info, n.Args[0]); buf != nil {
+					tr.puts = append(tr.puts, putEvent{
+						pos: n.Pos(),
+						buf: buf,
+						ln:  tr.pass.Fset.Position(n.Pos()).Line,
+					})
+				}
+			}
+		case *ast.AssignStmt:
+			tr.collectAssign(n)
+		}
+		return true
+	})
+}
+
+// collectAssign propagates aliasing through assignments: any LHS variable
+// whose RHS mentions a currently-bound view (or derived alias) becomes an
+// alias itself. Self-appends union with the variable's previous alias set —
+// a batch slice accumulates views from the whole run.
+func (tr *tracker) collectAssign(as *ast.AssignStmt) {
+	info := tr.pass.TypesInfo
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, rhs := range as.Rhs {
+		lhs := lvalueObj(info, as.Lhs[i])
+		if lhs == nil {
+			continue
+		}
+		bufs := map[types.Object]bool{}
+		isAppend := false
+		if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && ncanalysis.IsBuiltin(info, call, "append") {
+			isAppend = true
+		}
+		ast.Inspect(rhs, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := identObjDirect(info, id)
+			if obj == nil || obj == lhs {
+				return true
+			}
+			if b := tr.bindingAt(obj, as.Pos()); b != nil {
+				for buf := range b.bufs {
+					bufs[buf] = true
+				}
+			}
+			return true
+		})
+		if len(bufs) > 0 {
+			tr.bind(lhs, as.Pos(), bufs, isAppend)
+		} else if !isAppend {
+			// Rebound to something unrelated: later uses are clean.
+			if tr.bindingAt(lhs, as.Pos()) != nil {
+				tr.bind(lhs, as.Pos(), nil, false)
+			}
+		}
+	}
+}
+
+func (tr *tracker) bind(obj types.Object, pos token.Pos, bufs map[types.Object]bool, union bool) {
+	if union {
+		if prev := tr.bindingAt(obj, pos); prev != nil {
+			merged := map[types.Object]bool{}
+			for b := range prev.bufs {
+				merged[b] = true
+			}
+			for b := range bufs {
+				merged[b] = true
+			}
+			bufs = merged
+		}
+	}
+	tr.bindings[obj] = append(tr.bindings[obj], binding{pos: pos, bufs: bufs})
+}
+
+// bindingAt returns the variable's binding in effect at pos (the last one
+// established strictly before it), or nil.
+func (tr *tracker) bindingAt(obj types.Object, pos token.Pos) *binding {
+	bs := tr.bindings[obj]
+	for i := len(bs) - 1; i >= 0; i-- {
+		if bs[i].pos < pos {
+			if bs[i].bufs == nil {
+				return nil
+			}
+			return &bs[i]
+		}
+	}
+	return nil
+}
+
+func (tr *tracker) checkUses(body *ast.BlockStmt) {
+	info := tr.pass.TypesInfo
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := identObjDirect(info, id)
+		if obj == nil {
+			return true
+		}
+		b := tr.bindingAt(obj, id.Pos())
+		if b == nil {
+			return true
+		}
+		for _, put := range tr.puts {
+			if put.pos <= b.pos || put.pos >= id.Pos() {
+				continue
+			}
+			if !b.bufs[put.buf] {
+				continue
+			}
+			if tr.reported[id.Pos()] {
+				return true
+			}
+			tr.reported[id.Pos()] = true
+			tr.pass.Reportf(id.Pos(),
+				"%s still aliases receive buffer %q recycled by PutPacket (line %d); views of a buffer must not outlive its Put",
+				obj.Name(), put.buf.Name(), put.ln)
+			return true
+		}
+		return true
+	})
+}
+
+// lvalueObj resolves the variable behind p or &p or a plain identifier LHS.
+func lvalueObj(info *types.Info, e ast.Expr) types.Object {
+	e = ast.Unparen(e)
+	if ue, ok := e.(*ast.UnaryExpr); ok && ue.Op == token.AND {
+		e = ast.Unparen(ue.X)
+	}
+	return identObj(info, e)
+}
+
+func identObj(info *types.Info, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return identObjDirect(info, id)
+}
+
+func identObjDirect(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		if _, ok := obj.(*types.Var); ok {
+			return obj
+		}
+		return nil
+	}
+	if obj := info.Defs[id]; obj != nil {
+		if _, ok := obj.(*types.Var); ok {
+			return obj
+		}
+	}
+	return nil
+}

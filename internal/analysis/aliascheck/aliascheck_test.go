@@ -1,0 +1,12 @@
+package aliascheck_test
+
+import (
+	"testing"
+
+	"ncfn/internal/analysis/aliascheck"
+	"ncfn/internal/analysis/analysistest"
+)
+
+func TestAliascheck(t *testing.T) {
+	analysistest.Run(t, aliascheck.Analyzer, "a")
+}

@@ -1,0 +1,69 @@
+// Fixture package a exercises aliascheck: views of a receive buffer
+// (Packet fields from DecodeInto, CodedBlocks built from them, batch slices
+// they were appended to) must not be used after the buffer is recycled.
+package a
+
+import (
+	"ncfn/internal/buffer"
+	"ncfn/internal/ncproto"
+	"ncfn/internal/rlnc"
+)
+
+// ok: parse, consume the view, then recycle.
+func parseThenRecycle(dec *rlnc.Decoder, pkt []byte) {
+	var p ncproto.Packet
+	if err := ncproto.DecodeInto(&p, pkt, 8); err != nil {
+		return
+	}
+	cb := rlnc.CodedBlock{Coeffs: p.Coeffs, Payload: p.Payload}
+	dec.AddBatch([]rlnc.CodedBlock{cb})
+	buffer.PutPacket(pkt)
+}
+
+func useViewAfterPut(pkt []byte) byte {
+	var p ncproto.Packet
+	if err := ncproto.DecodeInto(&p, pkt, 8); err != nil {
+		return 0
+	}
+	buffer.PutPacket(pkt)
+	return p.Payload[0] // want `still aliases receive buffer "pkt" recycled by PutPacket`
+}
+
+func useDerivedAfterPut(pkt []byte) byte {
+	var p ncproto.Packet
+	_ = ncproto.DecodeInto(&p, pkt, 8)
+	payload := p.Payload
+	buffer.PutPacket(pkt)
+	return payload[0] // want `payload still aliases receive buffer "pkt"`
+}
+
+func batchAliasAfterPut(dec *rlnc.Decoder, batch []rlnc.CodedBlock, pkt []byte) {
+	var p ncproto.Packet
+	_ = ncproto.DecodeInto(&p, pkt, 8)
+	batch = append(batch[:0], rlnc.CodedBlock{Coeffs: p.Coeffs, Payload: p.Payload})
+	buffer.PutPacket(pkt)
+	dec.AddBatch(batch) // want `batch still aliases receive buffer "pkt"`
+}
+
+// ok: the loop re-parses into the same Packet each iteration; the Put at
+// the bottom recycles only the current buffer, and the next iteration's
+// uses sit on a fresh binding.
+func loopPerIteration(dec *rlnc.Decoder, pkts [][]byte) {
+	var p ncproto.Packet
+	for _, pkt := range pkts {
+		if err := ncproto.DecodeInto(&p, pkt, 8); err != nil {
+			continue
+		}
+		dec.AddBatch([]rlnc.CodedBlock{{Coeffs: p.Coeffs, Payload: p.Payload}})
+		buffer.PutPacket(pkt)
+	}
+}
+
+// ok: rebinding the view to a different buffer clears the old aliasing.
+func rebindClears(pkt1, pkt2 []byte) byte {
+	var p ncproto.Packet
+	_ = ncproto.DecodeInto(&p, pkt1, 8)
+	buffer.PutPacket(pkt1)
+	_ = ncproto.DecodeInto(&p, pkt2, 8)
+	return p.Payload[0]
+}

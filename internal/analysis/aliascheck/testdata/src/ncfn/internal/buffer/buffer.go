@@ -1,0 +1,6 @@
+// Package buffer fakes the pooled-packet API for aliascheck fixtures.
+package buffer
+
+func GetPacket(n int) []byte { return make([]byte, n) }
+
+func PutPacket(b []byte) { _ = b }

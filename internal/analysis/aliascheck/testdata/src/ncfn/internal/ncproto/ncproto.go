@@ -1,0 +1,14 @@
+// Package ncproto fakes the wire codec for aliascheck fixtures: DecodeInto
+// parses in place, so the Packet's fields alias buf.
+package ncproto
+
+type Packet struct {
+	Coeffs  []byte
+	Payload []byte
+}
+
+func DecodeInto(p *Packet, buf []byte, k int) error {
+	p.Coeffs = buf[:k]
+	p.Payload = buf[k:]
+	return nil
+}

@@ -1,0 +1,12 @@
+// Package rlnc fakes the coded-block and decoder types for aliascheck
+// fixtures.
+package rlnc
+
+type CodedBlock struct {
+	Coeffs  []byte
+	Payload []byte
+}
+
+type Decoder struct{}
+
+func (d *Decoder) AddBatch(blocks []CodedBlock) (int, error) { return len(blocks), nil }

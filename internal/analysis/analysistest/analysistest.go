@@ -1,0 +1,286 @@
+// Package analysistest runs an ncanalysis.Analyzer over fixture packages and
+// checks its findings against // want "regexp" comments, mirroring the
+// golden-test workflow of golang.org/x/tools/go/analysis/analysistest with
+// no dependency outside the standard library.
+//
+// Fixtures live under <analyzer pkg>/testdata/src/<import path>/. The import
+// path is meaningful: fixtures that fake a repo package (say
+// ncfn/internal/buffer) sit at that path and are resolved from testdata
+// source, so analyzers that key on real import paths see the same world as
+// in the live tree. Imports that do not resolve inside testdata/src fall
+// back to the toolchain's gc export data via `go list -export`.
+//
+// An expectation trails the offending line:
+//
+//	buffer.PutPacket(b) // want `already recycled`
+//
+// Every reported diagnostic must match a want-pattern on its exact line and
+// every pattern must be matched, or the test fails. //nolint:nc directives
+// are honored (the finding counts as suppressed, not missing), so fixtures
+// can also pin the suppression behavior.
+package analysistest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"ncfn/internal/analysis/ncanalysis"
+)
+
+// Run loads each fixture package under testdata/src, applies the analyzer,
+// and asserts findings == want-comments. It returns the combined result for
+// extra assertions (e.g. suppression counts).
+func Run(t *testing.T, a *ncanalysis.Analyzer, pkgPaths ...string) ncanalysis.Result {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := filepath.Join(wd, "testdata", "src")
+	im := &fixtureImporter{root: root, fset: token.NewFileSet(), srcPkgs: map[string]*types.Package{}}
+
+	var total ncanalysis.Result
+	for _, path := range pkgPaths {
+		pkg, wants, err := im.load(path)
+		if err != nil {
+			t.Fatalf("load fixture %s: %v", path, err)
+		}
+		res, err := ncanalysis.Run([]*ncanalysis.Package{pkg}, []*ncanalysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("run %s on %s: %v", a.Name, path, err)
+		}
+		checkWants(t, res.Diagnostics, wants)
+		total.Diagnostics = append(total.Diagnostics, res.Diagnostics...)
+		total.Suppressed += res.Suppressed
+	}
+	return total
+}
+
+// expectation is one // want pattern with its location.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// parseWants extracts expectations from a parsed file's comments.
+func parseWants(fset *token.FileSet, f *ast.File) ([]*expectation, error) {
+	var wants []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := wantRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			rest := strings.TrimSpace(m[1])
+			for rest != "" {
+				pat, remainder, err := unquoteFirst(rest)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: malformed want: %v", pos.Filename, pos.Line, err)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+				}
+				wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: pat})
+				rest = strings.TrimSpace(remainder)
+			}
+		}
+	}
+	return wants, nil
+}
+
+// unquoteFirst splits one leading Go string literal (quoted or backquoted)
+// off s.
+func unquoteFirst(s string) (pat, rest string, err error) {
+	if s == "" {
+		return "", "", fmt.Errorf("empty pattern")
+	}
+	switch s[0] {
+	case '`':
+		end := strings.IndexByte(s[1:], '`')
+		if end < 0 {
+			return "", "", fmt.Errorf("unterminated backquote in %q", s)
+		}
+		return s[1 : 1+end], s[2+end:], nil
+	case '"':
+		for i := 1; i < len(s); i++ {
+			if s[i] == '"' && s[i-1] != '\\' {
+				pat, err := strconv.Unquote(s[:i+1])
+				return pat, s[i+1:], err
+			}
+		}
+		return "", "", fmt.Errorf("unterminated quote in %q", s)
+	default:
+		return "", "", fmt.Errorf("pattern must be a string literal, got %q", s)
+	}
+}
+
+// checkWants cross-matches diagnostics against expectations.
+func checkWants(t *testing.T, diags []ncanalysis.Diagnostic, wants []*expectation) {
+	t.Helper()
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// fixtureImporter resolves import paths from testdata/src source first and
+// gc export data second.
+type fixtureImporter struct {
+	root    string
+	fset    *token.FileSet
+	srcPkgs map[string]*types.Package
+	gc      types.Importer
+	exports map[string]string
+}
+
+// load parses + type-checks the fixture package at path and collects its
+// want-expectations.
+func (im *fixtureImporter) load(path string) (*ncanalysis.Package, []*expectation, error) {
+	files, err := im.parseDir(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var wants []*expectation
+	for _, f := range files {
+		w, err := parseWants(im.fset, f)
+		if err != nil {
+			return nil, nil, err
+		}
+		wants = append(wants, w...)
+	}
+	info := ncanalysis.NewInfo()
+	conf := types.Config{Importer: im}
+	tpkg, err := conf.Check(path, im.fset, files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("typecheck: %w", err)
+	}
+	im.srcPkgs[path] = tpkg
+	return &ncanalysis.Package{
+		Path:      path,
+		Variant:   path,
+		Fset:      im.fset,
+		Syntax:    files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, wants, nil
+}
+
+func (im *fixtureImporter) parseDir(path string) ([]*ast.File, error) {
+	dir := filepath.Join(im.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(im.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// Import implements types.Importer.
+func (im *fixtureImporter) Import(path string) (*types.Package, error) {
+	if p, ok := im.srcPkgs[path]; ok {
+		return p, nil
+	}
+	if _, err := os.Stat(filepath.Join(im.root, filepath.FromSlash(path))); err == nil {
+		pkg, _, err := im.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	if im.gc == nil {
+		im.exports = map[string]string{}
+		im.gc = importer.ForCompiler(im.fset, "gc", func(p string) (io.ReadCloser, error) {
+			f, ok := im.exports[p]
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q", p)
+			}
+			return os.Open(f)
+		})
+	}
+	if _, ok := im.exports[path]; !ok && path != "unsafe" {
+		if err := im.listExports(path); err != nil {
+			return nil, err
+		}
+	}
+	return im.gc.Import(path)
+}
+
+// listExports asks the go tool for export data of path and its deps.
+func (im *fixtureImporter) listExports(path string) error {
+	cmd := exec.Command("go", "list", "-export", "-deps", "-json=ImportPath,Export", path)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("go list -export %s: %v\n%s", path, err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p struct{ ImportPath, Export string }
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return err
+		}
+		if p.Export != "" {
+			im.exports[p.ImportPath] = p.Export
+		}
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+// Package errcheckctl forbids silently dropped errors in the control-plane
+// packages. The data plane is allowed to shed best-effort sends — at Fig. 4
+// packet rates a lost datagram is the protocol's business — but the control
+// plane (controller, cloud, probe, transfer) makes decisions: a dropped
+// error there turns a failed deploy, a dead VNF, or a truncated transfer
+// into silent state divergence, exactly the class of bug PR 3's chaos
+// harness exists to surface.
+//
+// The check flags statement-position calls (plain, go, defer) whose result
+// set includes an error that no variable receives. Explicitly assigning the
+// error to _ is allowed — it reads as a decision, is greppable, and matches
+// how the stdlib's errcheck exemptions work. A small allowlist covers the
+// idiomatic best-effort cases (Close on readers, bodies already drained);
+// everything else needs handling or a //nolint:nc with a reason.
+package errcheckctl
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"ncfn/internal/analysis/ncanalysis"
+)
+
+// guarded lists the control-plane package paths (the package itself and
+// everything under it).
+var guarded = []string{
+	"ncfn/internal/controller",
+	"ncfn/internal/cloud",
+	"ncfn/internal/probe",
+	"ncfn/internal/transfer",
+}
+
+// Allowlist holds method/function names whose dropped error is accepted
+// best-effort everywhere in the guarded packages. Close covers the
+// defer-close idiom on things whose write path is separately checked.
+var Allowlist = map[string]bool{
+	"Close": true,
+}
+
+// Analyzer is the errcheck-ctl check.
+var Analyzer = &ncanalysis.Analyzer{
+	Name: "errcheckctl",
+	Doc: "control-plane packages (controller, cloud, probe, transfer) may not discard error results; " +
+		"assign to _ to accept one deliberately, or suppress best-effort sends with //nolint:nc",
+	Run: run,
+}
+
+func run(pass *ncanalysis.Pass) error {
+	if !inScope(pass.Path) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			kind := "call"
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = s.X.(*ast.CallExpr)
+			case *ast.GoStmt:
+				call = s.Call
+				kind = "go statement"
+			case *ast.DeferStmt:
+				call = s.Call
+				kind = "deferred call"
+			default:
+				return true
+			}
+			if call == nil {
+				return true
+			}
+			if !returnsError(pass.TypesInfo, call) {
+				return true
+			}
+			name := calleeName(pass.TypesInfo, call)
+			if Allowlist[name] {
+				return true
+			}
+			pass.Reportf(call.Pos(), "%s discards the error returned by %s; handle it, assign to _, or //nolint:nc with a reason",
+				kind, name)
+			return true
+		})
+	}
+	return nil
+}
+
+// returnsError reports whether the call's result set includes an error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if ncanalysis.IsErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return ncanalysis.IsErrorType(tv.Type)
+	}
+}
+
+// calleeName renders the called function for the message and the allowlist.
+func calleeName(info *types.Info, call *ast.CallExpr) string {
+	if fn := ncanalysis.CalleeOf(info, call); fn != nil {
+		return fn.Name()
+	}
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		return f.Sel.Name
+	}
+	return "function value"
+}
+
+func inScope(path string) bool {
+	for _, g := range guarded {
+		if path == g || strings.HasPrefix(path, g+"/") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,15 @@
+package errcheckctl_test
+
+import (
+	"testing"
+
+	"ncfn/internal/analysis/analysistest"
+	"ncfn/internal/analysis/errcheckctl"
+)
+
+func TestErrcheckctl(t *testing.T) {
+	res := analysistest.Run(t, errcheckctl.Analyzer, "ncfn/internal/controller/fix", "clean")
+	if res.Suppressed != 1 {
+		t.Fatalf("suppressed = %d, want 1 (the nolint'd best-effort send)", res.Suppressed)
+	}
+}

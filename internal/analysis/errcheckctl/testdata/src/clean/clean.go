@@ -1,0 +1,11 @@
+// Fixture package clean is outside the control-plane trees: the data plane
+// may shed best-effort sends without errcheckctl's involvement.
+package clean
+
+import "errors"
+
+func send() error { return errors.New("lost") }
+
+func FireAndForget() {
+	send()
+}

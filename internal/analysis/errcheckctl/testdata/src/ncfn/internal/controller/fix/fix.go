@@ -1,0 +1,44 @@
+// Fixture package fix sits under the guarded controller tree: discarded
+// errors are violations unless explicitly assigned to _, allowlisted
+// (Close), or suppressed.
+package fix
+
+import "errors"
+
+type conn struct{}
+
+func (conn) Send(b []byte) error        { return nil }
+func (conn) Close() error               { return nil }
+func (conn) SetDeadline(s string) error { return nil }
+
+func launch() (int, error) { return 0, errors.New("boom") }
+
+func report() {}
+
+// ok: handled, blanked, allowlisted, or error-free.
+func handled(c conn) error {
+	if err := c.Send(nil); err != nil {
+		return err
+	}
+	_ = c.SetDeadline("later") // explicit decision, greppable
+	defer c.Close()            // allowlisted best-effort
+	report()                   // no error to drop
+	return nil
+}
+
+func dropped(c conn) {
+	c.Send(nil) // want `call discards the error returned by Send`
+	launch()    // want `call discards the error returned by launch`
+}
+
+func droppedGo(c conn) {
+	go c.Send(nil) // want `go statement discards the error returned by Send`
+}
+
+func droppedDefer(c conn) {
+	defer c.SetDeadline("never") // want `deferred call discards the error returned by SetDeadline`
+}
+
+func bestEffort(c conn) {
+	c.Send(nil) //nolint:nc best-effort wake of a peer that may be gone
+}

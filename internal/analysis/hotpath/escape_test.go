@@ -1,0 +1,158 @@
+package hotpath_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"ncfn/internal/analysis/hotpath"
+)
+
+// The hotpath analyzer bans the allocation *patterns* it can see in the
+// AST; this test closes the loop with the compiler's own escape analysis.
+// For every //nc:hotpath function in the packages below, `go build
+// -gcflags=<pkg>=-m` must report no value escaping to the heap inside the
+// function body. Panic messages are exempt: a constant string boxed for a
+// never-taken panic is a static symbol, not a per-call allocation.
+var hotPackages = []string{
+	"ncfn/internal/gf",
+	"ncfn/internal/rlnc",
+	"ncfn/internal/dataplane",
+}
+
+type lineRange struct {
+	file       string // base name, e.g. "fused.go"
+	start, end int
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above test working directory")
+		}
+		dir = parent
+	}
+}
+
+// hotRanges parses a package directory and returns the line span of every
+// //nc:hotpath function in it.
+func hotRanges(t *testing.T, dir string) []lineRange {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parsing %s: %v", dir, err)
+	}
+	var ranges []lineRange
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || !hotpath.IsHot(fd) {
+					continue
+				}
+				start := fset.Position(fd.Pos())
+				end := fset.Position(fd.End())
+				ranges = append(ranges, lineRange{
+					file:  filepath.Base(start.Filename),
+					start: start.Line,
+					end:   end.Line,
+				})
+			}
+		}
+	}
+	return ranges
+}
+
+// sourceLine returns line n (1-based) of a file path that may be relative
+// to the module root; files are cached across calls.
+var sourceCache = map[string][]string{}
+
+func sourceLine(t *testing.T, path, root string, n int) string {
+	t.Helper()
+	if !filepath.IsAbs(path) {
+		path = filepath.Join(root, path)
+	}
+	lines, ok := sourceCache[path]
+	if !ok {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("reading flagged source file: %v", err)
+		}
+		lines = strings.Split(string(data), "\n")
+		sourceCache[path] = lines
+	}
+	if n < 1 || n > len(lines) {
+		return ""
+	}
+	return lines[n-1]
+}
+
+// escapeLine matches the -m diagnostics we care about, e.g.
+// "internal/gf/fused.go:42:9: <subject> escapes to heap".
+var escapeLine = regexp.MustCompile(`^(.+\.go):(\d+):\d+: (.+?) (?:escapes to heap|moved to heap:.*)$`)
+
+func TestHotFunctionsDoNotEscape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go compiler")
+	}
+	root := moduleRoot(t)
+	for _, pkg := range hotPackages {
+		dir := filepath.Join(root, strings.TrimPrefix(pkg, "ncfn/"))
+		ranges := hotRanges(t, dir)
+		if len(ranges) == 0 {
+			t.Errorf("%s: no //nc:hotpath functions found; annotations lost?", pkg)
+			continue
+		}
+		cmd := exec.Command("go", "build", "-gcflags="+pkg+"=-m", pkg)
+		cmd.Dir = root
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("go build -gcflags=%s=-m: %v\n%s", pkg, err, out)
+		}
+		for _, line := range strings.Split(string(out), "\n") {
+			m := escapeLine.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			file := filepath.Base(m[1])
+			lineNo, _ := strconv.Atoi(m[2])
+			subject := m[3]
+			// Constant panic messages are boxed statically.
+			if strings.HasPrefix(subject, `"`) {
+				continue
+			}
+			// resizeBuf is the sanctioned amortized-growth primitive of
+			// the emission paths: its inlined make fires only when the
+			// caller-provided buffer lacks capacity, and the AllocsPerRun
+			// regression tests pin the steady state at zero.
+			if strings.Contains(sourceLine(t, m[1], root, lineNo), "resizeBuf(") {
+				continue
+			}
+			for _, r := range ranges {
+				if file == r.file && lineNo >= r.start && lineNo <= r.end {
+					t.Errorf("%s: heap allocation inside //nc:hotpath function (%s-%d..%d): %s",
+						pkg, r.file, r.start, r.end, line)
+				}
+			}
+		}
+	}
+}

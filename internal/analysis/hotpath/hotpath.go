@@ -1,0 +1,239 @@
+// Package hotpath enforces the allocation discipline of functions annotated
+// //nc:hotpath. PR 1 and PR 2 made the shard worker loop, the recoder and
+// encoder emission paths, and the GF(2^8) fused kernels allocation-free in
+// steady state; the benchmarks assert 0 allocs/op. But a benchmark only
+// guards the paths it exercises — an innocent fmt.Errorf on an error branch
+// or an append to a fresh slice reintroduces GC pressure that surfaces as
+// Fig. 4 tail latency under load, not as a test failure.
+//
+// A function (or method) carrying the //nc:hotpath directive in its doc
+// comment may not contain:
+//
+//   - make, new, or &T{...} composite-literal allocations
+//   - append, unless it is the self-append scratch idiom x = append(x, ...)
+//     or x = append(x[:n], ...), whose growth amortizes to zero
+//   - function literals (closures allocate)
+//   - any call into the fmt package
+//   - interface conversions of non-constant concrete values (implicit in
+//     call arguments or explicit), which box and allocate
+//   - range over a map (unordered, and the hidden iterator defeats the
+//     flat loops the kernels are written as)
+//
+// The companion escape_test.go cross-checks the annotation against the real
+// compiler: -gcflags=-m must report no heap escapes inside annotated
+// functions.
+package hotpath
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"ncfn/internal/analysis/ncanalysis"
+)
+
+// Directive marks a function as a guarded hot path.
+const Directive = "//nc:hotpath"
+
+// Analyzer is the hotpath check.
+var Analyzer = &ncanalysis.Analyzer{
+	Name: "hotpath",
+	Doc: "functions annotated //nc:hotpath may not allocate: no make/new/&T{}/closures, no growing " +
+		"append (self-append scratch reuse is allowed), no fmt calls, no interface boxing, no map iteration",
+	Run: run,
+}
+
+func run(pass *ncanalysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !IsHot(fn) {
+				continue
+			}
+			checkBody(pass, fn)
+		}
+	}
+	return nil
+}
+
+// IsHot reports whether the declaration carries the //nc:hotpath directive.
+func IsHot(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.TrimSpace(c.Text) == Directive {
+			return true
+		}
+	}
+	return false
+}
+
+func checkBody(pass *ncanalysis.Pass, fn *ast.FuncDecl) {
+	name := fn.Name.Name
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkCall(pass, name, n)
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "%s is //nc:hotpath: function literal allocates a closure", name)
+			return false // its body is the closure's problem, not this path's
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "%s is //nc:hotpath: &composite literal allocates", name)
+				}
+			}
+		case *ast.RangeStmt:
+			if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					pass.Reportf(n.Pos(), "%s is //nc:hotpath: range over map hides an iterator and randomizes order", name)
+				}
+			}
+		case *ast.AssignStmt:
+			checkAppend(pass, name, n)
+		}
+		return true
+	})
+}
+
+// checkCall flags allocating builtins, fmt, and interface boxing at call
+// boundaries.
+func checkCall(pass *ncanalysis.Pass, name string, call *ast.CallExpr) {
+	switch {
+	case ncanalysis.IsBuiltin(pass.TypesInfo, call, "make"):
+		pass.Reportf(call.Pos(), "%s is //nc:hotpath: make allocates; use a preallocated arena or scratch field", name)
+		return
+	case ncanalysis.IsBuiltin(pass.TypesInfo, call, "new"):
+		pass.Reportf(call.Pos(), "%s is //nc:hotpath: new allocates", name)
+		return
+	case ncanalysis.IsBuiltin(pass.TypesInfo, call, "append"):
+		// Statement-position appends are vetted by checkAppend; an append
+		// whose result is not reassigned anywhere is always suspect.
+		return
+	}
+	if fn := ncanalysis.CalleeOf(pass.TypesInfo, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		pass.Reportf(call.Pos(), "%s is //nc:hotpath: fmt.%s allocates (formatting boxes its operands)", name, fn.Name())
+		return
+	}
+	// Interface boxing: a non-constant concrete argument passed to an
+	// interface-typed parameter allocates.
+	sig := signatureOf(pass.TypesInfo, call)
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if len(call.Args) == params.Len() && call.Ellipsis != token.NoPos && i == params.Len()-1 {
+				pt = params.At(params.Len() - 1).Type() // f(xs...): no boxing
+			} else if s, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil {
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		tv, ok := pass.TypesInfo.Types[arg]
+		if !ok || tv.Value != nil { // constants box into static data
+			continue
+		}
+		if tv.Type == nil || types.IsInterface(tv.Type) || isUntypedNil(tv.Type) {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "%s is //nc:hotpath: passing %s as interface %s boxes and may allocate",
+			name, tv.Type, pt)
+	}
+}
+
+// checkAppend allows only the self-append scratch idiom: the destination of
+// the append must be the same lvalue the result is assigned to, optionally
+// resliced (x = append(x[:0], ...)). Anything else can grow a fresh or
+// foreign slice on the hot path.
+func checkAppend(pass *ncanalysis.Pass, name string, as *ast.AssignStmt) {
+	for i, rhs := range as.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || !ncanalysis.IsBuiltin(pass.TypesInfo, call, "append") || len(call.Args) == 0 {
+			continue
+		}
+		if i >= len(as.Lhs) {
+			continue
+		}
+		dst := call.Args[0]
+		if se, ok := ast.Unparen(dst).(*ast.SliceExpr); ok {
+			dst = se.X
+		}
+		if !sameLvalue(pass.TypesInfo, as.Lhs[i], dst) {
+			pass.Reportf(call.Pos(), "%s is //nc:hotpath: append may grow a slice that is not the reused scratch (%s = append(%s, ...))",
+				name, exprString(as.Lhs[i]), exprString(call.Args[0]))
+		}
+	}
+}
+
+// sameLvalue reports whether two expressions denote the same variable or
+// field chain (x, s.f, s.f[i] with identical idents).
+func sameLvalue(info *types.Info, a, b ast.Expr) bool {
+	a, b = ast.Unparen(a), ast.Unparen(b)
+	switch ax := a.(type) {
+	case *ast.Ident:
+		bx, ok := b.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		ao, bo := objOf(info, ax), objOf(info, bx)
+		return ao != nil && ao == bo
+	case *ast.SelectorExpr:
+		bx, ok := b.(*ast.SelectorExpr)
+		return ok && ax.Sel.Name == bx.Sel.Name && sameLvalue(info, ax.X, bx.X)
+	case *ast.IndexExpr:
+		bx, ok := b.(*ast.IndexExpr)
+		return ok && sameLvalue(info, ax.X, bx.X) && exprString(ax.Index) == exprString(bx.Index)
+	}
+	return false
+}
+
+func signatureOf(info *types.Info, call *ast.CallExpr) *types.Signature {
+	t := info.TypeOf(call.Fun)
+	if t == nil {
+		return nil
+	}
+	sig, _ := t.Underlying().(*types.Signature)
+	return sig
+}
+
+func isUntypedNil(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}
+
+// exprString renders a small expression for messages.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[" + exprString(e.Index) + "]"
+	case *ast.SliceExpr:
+		return exprString(e.X) + "[...]"
+	case *ast.BasicLit:
+		return e.Value
+	}
+	return "expr"
+}

@@ -1,0 +1,93 @@
+// Fixture package a exercises hotpath: only functions annotated
+// //nc:hotpath are constrained, and within them every allocating construct
+// is flagged.
+package a
+
+import "fmt"
+
+type shard struct {
+	jobs  []int
+	wire  []byte
+	table map[string]int
+}
+
+type block struct{ payload []byte }
+
+// kernel is a clean hot function: flat loops, self-append scratch reuse,
+// constant panics.
+//
+//nc:hotpath
+func kernel(sh *shard, src []byte) {
+	if len(src) == 0 {
+		panic("a: empty src")
+	}
+	sh.wire = append(sh.wire[:0], src...)
+	sh.jobs = append(sh.jobs, len(src))
+	for i := range sh.wire {
+		sh.wire[i] ^= 0x1d
+	}
+	if n, ok := sh.table["x"]; ok { // map read is fine; only iteration is not
+		_ = n
+	}
+}
+
+// cold is unconstrained: everything below is legal without the annotation.
+func cold(sh *shard) []byte {
+	out := make([]byte, 16)
+	fmt.Println(len(out))
+	for k := range sh.table {
+		_ = k
+	}
+	return out
+}
+
+//nc:hotpath
+func hotAllocs(sh *shard, n int) {
+	buf := make([]byte, n) // want `make allocates`
+	_ = buf
+	p := new(block) // want `new allocates`
+	_ = p
+	b := &block{} // want `&composite literal allocates`
+	_ = b
+}
+
+//nc:hotpath
+func hotAppendForeign(sh *shard, rows [][]byte, src []byte) [][]byte {
+	rows = append(rows, src) // ok: self-append grows the caller's scratch
+	var fresh []byte
+	fresh = append(sh.wire, src...) // want `append may grow a slice that is not the reused scratch`
+	_ = fresh
+	return rows
+}
+
+//nc:hotpath
+func hotFmt(n int) {
+	fmt.Println(n) // want `fmt.Println allocates`
+}
+
+//nc:hotpath
+func hotMapRange(sh *shard) int {
+	total := 0
+	for _, v := range sh.table { // want `range over map`
+		total += v
+	}
+	return total
+}
+
+//nc:hotpath
+func hotClosure(sh *shard) func() {
+	return func() {} // want `function literal allocates a closure`
+}
+
+var boxSink interface{ Len() int }
+
+type lener struct{ n int }
+
+func (l lener) Len() int { return l.n }
+
+func take(v interface{ Len() int }) { boxSink = v }
+
+//nc:hotpath
+func hotBoxing(l lener) {
+	take(l) // want `boxes and may allocate`
+}

@@ -1,0 +1,183 @@
+package ncanalysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// Path is the plain import path ("ncfn/internal/rlnc"), with any
+	// " [foo.test]" variant suffix stripped.
+	Path string
+	// Variant is the full go-list import path, which differs from Path for
+	// test variants.
+	Variant   string
+	Fset      *token.FileSet
+	Syntax    []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	ForTest    string
+	DepOnly    bool
+}
+
+// Load type-checks the packages matched by patterns (run from dir, typically
+// the module root) and returns them ready for analysis. Test variants are
+// loaded in place of their plain package so _test.go files are covered; the
+// synthetic ".test" main packages are skipped. Imports resolve against the
+// gc export data `go list -export` reports, so the only requirement is that
+// the tree builds.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-export", "-deps", "-test",
+		"-json=ImportPath,Dir,Export,GoFiles,Standard,ForTest,DepOnly",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	exports := map[string]string{} // exact go-list ImportPath -> export file
+	targets := map[string]listPkg{}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %w", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		base := basePath(p.ImportPath)
+		if p.Standard || p.DepOnly || strings.HasSuffix(base, ".test") {
+			continue
+		}
+		// Prefer the test variant (its GoFiles include the _test.go files);
+		// external _test packages have their own base path and coexist.
+		if old, ok := targets[base]; !ok || (old.ForTest == "" && p.ForTest != "") {
+			targets[base] = p
+		}
+	}
+
+	bases := make([]string, 0, len(targets))
+	for b := range targets {
+		bases = append(bases, b)
+	}
+	sort.Strings(bases)
+
+	fset := token.NewFileSet()
+	var pkgs []*Package
+	for _, base := range bases {
+		t := targets[base]
+		pkg, err := check(fset, t, exports)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// check parses and type-checks one target package from source.
+func check(fset *token.FileSet, t listPkg, exports map[string]string) (*Package, error) {
+	var files []*ast.File
+	for _, gf := range t.GoFiles {
+		fn := gf
+		if !filepath.IsAbs(fn) {
+			fn = filepath.Join(t.Dir, gf)
+		}
+		f, err := parser.ParseFile(fset, fn, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %w", fn, err)
+		}
+		files = append(files, f)
+	}
+
+	// A test variant's imports may themselves be test variants (an external
+	// _test package imports the in-test build of the package under test), so
+	// resolution prefers the export of "path [x.test]" when this target is
+	// part of x's test build. The importer is per-target because go/types'
+	// gc importer caches by plain path.
+	variantSuffix := ""
+	if i := strings.Index(t.ImportPath, " ["); i >= 0 {
+		variantSuffix = t.ImportPath[i:]
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if variantSuffix != "" {
+			if f, ok := exports[path+variantSuffix]; ok {
+				return os.Open(f)
+			}
+		}
+		if f, ok := exports[path]; ok {
+			return os.Open(f)
+		}
+		return nil, fmt.Errorf("no export data for %q (dep of %s)", path, t.ImportPath)
+	}
+
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	info := NewInfo()
+	tpkg, err := conf.Check(basePath(t.ImportPath), fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", t.ImportPath, err)
+	}
+	return &Package{
+		Path:      basePath(t.ImportPath),
+		Variant:   t.ImportPath,
+		Fset:      fset,
+		Syntax:    files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}
+
+// NewInfo returns a types.Info with every map analyzers rely on allocated.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}
+
+// basePath strips the " [foo.test]" variant suffix go list appends to
+// in-test package builds.
+func basePath(importPath string) string {
+	if i := strings.Index(importPath, " ["); i >= 0 {
+		return importPath[:i]
+	}
+	return importPath
+}

@@ -1,0 +1,113 @@
+// Package ncanalysis is a small, dependency-free analysis framework in the
+// spirit of golang.org/x/tools/go/analysis, built on the standard library
+// only (the container that grows this repo cannot add modules). It provides
+// the Analyzer/Pass/Diagnostic vocabulary the nclint suite is written
+// against, a package loader that type-checks module source against the gc
+// export data `go list -export` reports, and the //nolint:nc suppression
+// directive.
+//
+// The framework is deliberately narrower than x/tools: analyzers receive a
+// fully type-checked package (syntax + types.Info) and report diagnostics;
+// there are no facts, no dependency ordering, and no SSA. The five nclint
+// analyzers are AST def-use analyses, which this is enough for. If the
+// toolchain ever gains x/tools as a dependency, each analyzer's Run can be
+// ported mechanically.
+package ncanalysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check. Name must be a valid flag name; it is
+// how the driver enables/disables the check and how JSON output labels
+// findings.
+type Analyzer struct {
+	Name string
+	// Doc is a one-paragraph description: first line is a summary, the rest
+	// explains the invariant the analyzer guards.
+	Doc string
+	// Run inspects one package and reports diagnostics via pass.Report.
+	// The returned error aborts the whole nclint run (reserved for internal
+	// failures, not findings).
+	Run func(pass *Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	// Path is the package's import path as the build system names it
+	// (test variants keep their plain path: "ncfn/internal/chaostest", not
+	// "ncfn/internal/chaostest [ncfn/internal/chaostest.test]").
+	Path      string
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the go-vet-style one-line form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Result is the outcome of running a set of analyzers over a set of
+// packages: the findings that survived //nolint:nc filtering, plus how many
+// findings the directives suppressed.
+type Result struct {
+	Diagnostics []Diagnostic
+	Suppressed  int
+}
+
+// Run applies every analyzer to every package and filters the findings
+// through the packages' //nolint:nc directives.
+func Run(pkgs []*Package, analyzers []*Analyzer) (Result, error) {
+	var res Result
+	for _, pkg := range pkgs {
+		sup := collectNolint(pkg.Fset, pkg.Syntax)
+		var diags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Syntax,
+				Pkg:       pkg.Types,
+				Path:      pkg.Path,
+				TypesInfo: pkg.TypesInfo,
+				diags:     &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return res, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+		for _, d := range diags {
+			if sup.suppresses(d.Pos) {
+				res.Suppressed++
+				continue
+			}
+			res.Diagnostics = append(res.Diagnostics, d)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,62 @@
+package ncanalysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The suppression directive. A comment of the form
+//
+//	//nolint:nc <reason>
+//
+// placed on the flagged line (trailing) or on the line immediately above it
+// silences every nclint finding for that line. The reason is mandatory by
+// convention — the self-check test greps for bare directives — and the
+// driver counts how many findings each run suppressed so silenced debt stays
+// visible.
+const nolintPrefix = "nolint:nc"
+
+// suppressions records, per file, the set of source lines a //nolint:nc
+// directive covers.
+type suppressions struct {
+	lines map[string]map[int]bool
+}
+
+// collectNolint scans the comment groups of every file for nolint:nc
+// directives. A directive covers its own line and the following line, so it
+// works both trailing a statement and on its own line above one.
+func collectNolint(fset *token.FileSet, files []*ast.File) suppressions {
+	s := suppressions{lines: make(map[string]map[int]bool)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimPrefix(text, "/*")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, nolintPrefix) {
+					continue
+				}
+				rest := text[len(nolintPrefix):]
+				// Reject look-alikes such as nolint:ncfoo.
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				m := s.lines[pos.Filename]
+				if m == nil {
+					m = make(map[int]bool)
+					s.lines[pos.Filename] = m
+				}
+				m[pos.Line] = true
+				m[pos.Line+1] = true
+			}
+		}
+	}
+	return s
+}
+
+// suppresses reports whether a finding at pos is covered by a directive.
+func (s suppressions) suppresses(pos token.Position) bool {
+	return s.lines[pos.Filename][pos.Line]
+}

@@ -1,0 +1,571 @@
+// Package poolcheck enforces the packet-pool ownership discipline of
+// internal/buffer (PR 1): a []byte obtained from buffer.GetPacket is owned
+// by the holder and must, on every path that keeps ownership, either be
+// recycled with exactly one buffer.PutPacket or be handed off (returned,
+// stored, sent, passed to a callee). The compiler sees none of this — a
+// leaked buffer silently degrades the pool to GC churn, a double Put hands
+// one buffer to two owners, and a use after Put races the next owner.
+//
+// The analysis is a structured abstract interpretation over the AST: each
+// function body is walked in control-flow order, tracking every local bound
+// to a GetPacket result through a small lattice (live → put / escaped, with
+// a maybe-put join for diverging branches). It is deliberately conservative:
+// a buffer that escapes in any way stops being tracked, and a Put that only
+// happens on some branches downgrades to maybe-put rather than flagging the
+// other branch, so every diagnostic is a hard violation on some concrete
+// path.
+package poolcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"ncfn/internal/analysis/ncanalysis"
+)
+
+// poolPkg is the import path of the pooled-buffer package; fixtures fake a
+// package at the same path.
+const poolPkg = "ncfn/internal/buffer"
+
+// Analyzer is the poolcheck check.
+var Analyzer = &ncanalysis.Analyzer{
+	Name: "poolcheck",
+	Doc: "enforce buffer.GetPacket/PutPacket pairing: no leaked pool buffers on any return path, " +
+		"no double Put, no use of a buffer after it was Put",
+	Run: run,
+}
+
+func run(pass *ncanalysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					analyzeFunc(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				analyzeFunc(pass, fn.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// state is the tracking lattice for one buffer variable.
+type state int
+
+const (
+	live     state = iota // obtained, not yet recycled
+	put                   // definitely recycled
+	maybePut              // recycled on some branches only
+	escaped               // ownership handed off; no longer checked
+)
+
+// walker carries the per-function analysis.
+type walker struct {
+	pass *ncanalysis.Pass
+	// getPos remembers where each tracked buffer was obtained, for messages.
+	getPos map[types.Object]token.Pos
+	// deferred marks buffers recycled by a defer'd PutPacket.
+	deferred map[types.Object]bool
+}
+
+func analyzeFunc(pass *ncanalysis.Pass, body *ast.BlockStmt) {
+	w := &walker{
+		pass:     pass,
+		getPos:   map[types.Object]token.Pos{},
+		deferred: map[types.Object]bool{},
+	}
+	st, terminated := w.stmts(body.List, map[types.Object]state{})
+	if !terminated {
+		w.checkExit(st, body.End())
+	}
+}
+
+// stmts walks a statement sequence, returning the resulting state and
+// whether control definitely left the function (return / panic).
+func (w *walker) stmts(list []ast.Stmt, st map[types.Object]state) (map[types.Object]state, bool) {
+	for _, s := range list {
+		var term bool
+		st, term = w.stmt(s, st)
+		if term {
+			return st, true
+		}
+	}
+	return st, false
+}
+
+func (w *walker) stmt(s ast.Stmt, st map[types.Object]state) (map[types.Object]state, bool) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		return w.assign(s, st), false
+
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if w.isPanic(call) {
+				w.exprs(call.Args, st)
+				return st, true
+			}
+			return w.call(call, st), false
+		}
+		w.expr(s.X, st)
+		return st, false
+
+	case *ast.DeferStmt:
+		if obj := w.putArg(s.Call); obj != nil {
+			if st[obj] == put {
+				w.report(s.Call.Pos(), obj, "deferred PutPacket recycles a buffer already recycled")
+			}
+			w.deferred[obj] = true
+			return st, false
+		}
+		// Any other defer: tracked vars referenced by it escape.
+		w.escapeAll(s.Call, st)
+		return st, false
+
+	case *ast.GoStmt:
+		w.escapeAll(s.Call, st)
+		return st, false
+
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.escapeOrUse(r, st) // returning a buffer hands it to the caller
+		}
+		w.checkExit(st, s.Pos())
+		return st, true
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st, _ = w.stmt(s.Init, st)
+		}
+		w.expr(s.Cond, st)
+		thenSt, thenTerm := w.stmts(s.Body.List, clone(st))
+		elseSt, elseTerm := clone(st), false
+		if s.Else != nil {
+			elseSt, elseTerm = w.stmt(s.Else, elseSt)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return st, true
+		case thenTerm:
+			return elseSt, false
+		case elseTerm:
+			return thenSt, false
+		default:
+			return merge(thenSt, elseSt), false
+		}
+
+	case *ast.BlockStmt:
+		return w.stmts(s.List, st)
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st, _ = w.stmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			w.expr(s.Tag, st)
+		}
+		return w.clauses(s.Body.List, st)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			st, _ = w.stmt(s.Init, st)
+		}
+		st, _ = w.stmt(s.Assign, st)
+		return w.clauses(s.Body.List, st)
+
+	case *ast.SelectStmt:
+		return w.clauses(s.Body.List, st)
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st, _ = w.stmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			w.expr(s.Cond, st)
+		}
+		bodySt, _ := w.stmts(s.Body.List, clone(st))
+		if s.Post != nil {
+			bodySt, _ = w.stmt(s.Post, bodySt)
+		}
+		// The body runs zero or more times; join both possibilities.
+		return merge(st, bodySt), false
+
+	case *ast.RangeStmt:
+		w.expr(s.X, st)
+		bodySt, _ := w.stmts(s.Body.List, clone(st))
+		return merge(st, bodySt), false
+
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, st)
+
+	case *ast.SendStmt:
+		w.expr(s.Chan, st)
+		w.escapeOrUse(s.Value, st)
+		return st, false
+
+	case *ast.IncDecStmt:
+		w.expr(s.X, st)
+		return st, false
+
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					w.exprs(vs.Values, st)
+				}
+			}
+		}
+		return st, false
+
+	case *ast.BranchStmt:
+		// break/continue/goto: approximate as falling through. The loop
+		// join already accounts for bodies that run partially.
+		return st, false
+
+	default:
+		return st, false
+	}
+}
+
+// clauses analyzes switch/select case bodies as diverging branches.
+func (w *walker) clauses(list []ast.Stmt, st map[types.Object]state) (map[types.Object]state, bool) {
+	var results []map[types.Object]state
+	hasDefault := false
+	allTerm := len(list) > 0
+	for _, c := range list {
+		var body []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			w.exprs(c.List, st)
+			if c.List == nil {
+				hasDefault = true
+			}
+			body = c.Body
+		case *ast.CommClause:
+			cst := clone(st)
+			if c.Comm == nil {
+				hasDefault = true
+			} else {
+				cst, _ = w.stmt(c.Comm, cst)
+			}
+			bodySt, term := w.stmts(c.Body, cst)
+			if !term {
+				results = append(results, bodySt)
+				allTerm = false
+			}
+			continue
+		default:
+			continue
+		}
+		bodySt, term := w.stmts(body, clone(st))
+		if !term {
+			results = append(results, bodySt)
+			allTerm = false
+		}
+	}
+	if !hasDefault {
+		results = append(results, st)
+		allTerm = false
+	}
+	if allTerm {
+		return st, true
+	}
+	out := results[0]
+	for _, r := range results[1:] {
+		out = merge(out, r)
+	}
+	return out, false
+}
+
+// assign handles x := buffer.GetPacket(n) bindings, reassignment, and
+// escapes through the RHS.
+func (w *walker) assign(s *ast.AssignStmt, st map[types.Object]state) map[types.Object]state {
+	// Evaluate RHS uses first (an escape like y := x happens before x is
+	// rebound on the LHS).
+	gets := map[int]bool{}
+	if len(s.Lhs) == len(s.Rhs) {
+		for i, rhs := range s.Rhs {
+			if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && w.isGet(call) {
+				w.exprs(call.Args, st)
+				gets[i] = true
+				continue
+			}
+			// Assigning a tracked buffer (or a slice of it) anywhere creates
+			// an alias: ownership is no longer this variable's alone.
+			w.escapeOrUse(rhs, st)
+		}
+	} else {
+		for _, rhs := range s.Rhs {
+			w.escapeOrUse(rhs, st)
+		}
+	}
+	for i, lhs := range s.Lhs {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			w.expr(lhs, st) // x[i] = ..., x.f = ...: reads of tracked vars
+			continue
+		}
+		obj := objOfIdent(w.pass.TypesInfo, id)
+		if obj == nil {
+			continue
+		}
+		if gets[i] {
+			if cur, tracked := st[obj]; tracked && cur == live && !w.deferred[obj] {
+				w.report(lhs.Pos(), obj, "buffer from GetPacket reassigned before PutPacket (leaked)")
+			}
+			st[obj] = live
+			w.getPos[obj] = s.Rhs[i].Pos()
+			delete(w.deferred, obj)
+			continue
+		}
+		if _, tracked := st[obj]; tracked {
+			// Rebound to something else: stop tracking this name.
+			delete(st, obj)
+			delete(w.deferred, obj)
+		}
+	}
+	return st
+}
+
+// call handles a statement-level call: PutPacket transitions, other calls
+// escape their tracked arguments.
+func (w *walker) call(call *ast.CallExpr, st map[types.Object]state) map[types.Object]state {
+	if obj := w.putArg(call); obj != nil {
+		switch st[obj] {
+		case put:
+			w.report(call.Pos(), obj, "PutPacket called twice on the same buffer (double put)")
+		case maybePut:
+			// Put on one branch, Put again here: possible double put, but
+			// not certain — stay quiet, downgrade to put.
+		}
+		if w.deferred[obj] {
+			w.report(call.Pos(), obj, "buffer recycled here is recycled again by a deferred PutPacket (double put)")
+		}
+		if _, tracked := st[obj]; tracked {
+			st[obj] = put
+		}
+		return st
+	}
+	w.expr(call, st)
+	return st
+}
+
+// expr walks an expression, classifying each tracked-variable occurrence as
+// a read (use-after-put check) or an escape (hand-off of ownership).
+func (w *walker) expr(e ast.Expr, st map[types.Object]state) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// The closure body is analyzed as its own function; vars it
+			// captures escape from this one's perspective.
+			w.escapeAll(n.Body, st)
+			return false
+		case *ast.CallExpr:
+			if obj := w.putArg(n); obj != nil {
+				// Nested Put (e.g. in a binary expr) — treat like call().
+				w.call(n, st)
+				return false
+			}
+			if w.isLenCap(n) {
+				// len(x)/cap(x) read nothing the pool cares about, but a
+				// use after put is still suspect — fall through to uses.
+				return true
+			}
+			// Arguments handed to any other call escape.
+			w.expr(n.Fun, st)
+			for _, a := range n.Args {
+				w.escapeOrUse(a, st)
+			}
+			return false
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					w.escapeOrUse(kv.Value, st)
+					continue
+				}
+				w.escapeOrUse(el, st)
+			}
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				w.escapeOrUse(n.X, st)
+				return false
+			}
+		case *ast.Ident:
+			w.use(n, st)
+		}
+		return true
+	})
+}
+
+func (w *walker) exprs(es []ast.Expr, st map[types.Object]state) {
+	for _, e := range es {
+		w.expr(e, st)
+	}
+}
+
+// escapeOrUse marks a direct tracked identifier as escaped; other
+// expressions recurse normally (x[0] as a call arg passes a byte, not the
+// buffer — but a slice of x aliases it, so slices escape too).
+func (w *walker) escapeOrUse(e ast.Expr, st map[types.Object]state) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		w.use(x, st)
+		if obj := objOfIdent(w.pass.TypesInfo, x); obj != nil {
+			if _, tracked := st[obj]; tracked {
+				st[obj] = escaped
+				delete(w.deferred, obj)
+			}
+		}
+	case *ast.SliceExpr:
+		w.expr(x.Low, st)
+		w.expr(x.High, st)
+		w.expr(x.Max, st)
+		w.escapeOrUse(x.X, st)
+	default:
+		w.expr(e, st)
+	}
+}
+
+// use checks a read occurrence for use-after-put.
+func (w *walker) use(id *ast.Ident, st map[types.Object]state) {
+	obj := objOfIdent(w.pass.TypesInfo, id)
+	if obj == nil {
+		return
+	}
+	if s, tracked := st[obj]; tracked && s == put {
+		w.report(id.Pos(), obj, "use of buffer after PutPacket (the pool may have handed it to another owner)")
+		st[obj] = escaped // one report per put is enough
+	}
+}
+
+// escapeAll conservatively escapes every tracked variable referenced under n.
+func (w *walker) escapeAll(n ast.Node, st map[types.Object]state) {
+	ast.Inspect(n, func(node ast.Node) bool {
+		id, ok := node.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := objOfIdent(w.pass.TypesInfo, id); obj != nil {
+			if _, tracked := st[obj]; tracked {
+				st[obj] = escaped
+				delete(w.deferred, obj)
+			}
+		}
+		return true
+	})
+}
+
+// checkExit reports buffers that are definitely still live when control
+// leaves the function.
+func (w *walker) checkExit(st map[types.Object]state, pos token.Pos) {
+	for obj, s := range st {
+		if s == live && !w.deferred[obj] {
+			get := w.pass.Fset.Position(w.getPos[obj])
+			w.pass.Reportf(pos, "buffer %q from GetPacket (%s:%d) is not recycled with PutPacket on this path and does not escape",
+				obj.Name(), shortName(get.Filename), get.Line)
+		}
+	}
+}
+
+func (w *walker) report(pos token.Pos, obj types.Object, msg string) {
+	w.pass.Reportf(pos, "%s: %s", obj.Name(), msg)
+}
+
+// isGet reports whether call is buffer.GetPacket.
+func (w *walker) isGet(call *ast.CallExpr) bool {
+	return ncanalysis.IsFunc(ncanalysis.CalleeOf(w.pass.TypesInfo, call), poolPkg, "GetPacket")
+}
+
+// putArg returns the tracked object recycled by a buffer.PutPacket(x) call,
+// if call is one with a plain identifier argument.
+func (w *walker) putArg(call *ast.CallExpr) types.Object {
+	if !ncanalysis.IsFunc(ncanalysis.CalleeOf(w.pass.TypesInfo, call), poolPkg, "PutPacket") {
+		return nil
+	}
+	if len(call.Args) != 1 {
+		return nil
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return objOfIdent(w.pass.TypesInfo, id)
+}
+
+func (w *walker) isPanic(call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isBuiltin := w.pass.TypesInfo.Uses[id].(*types.Builtin)
+	return isBuiltin && id.Name == "panic"
+}
+
+func (w *walker) isLenCap(call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isBuiltin := w.pass.TypesInfo.Uses[id].(*types.Builtin)
+	return isBuiltin && (id.Name == "len" || id.Name == "cap")
+}
+
+func objOfIdent(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+func shortName(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}
+
+func clone(st map[types.Object]state) map[types.Object]state {
+	out := make(map[types.Object]state, len(st))
+	for k, v := range st {
+		out[k] = v
+	}
+	return out
+}
+
+// merge joins the states of two diverging branches.
+func merge(a, b map[types.Object]state) map[types.Object]state {
+	out := make(map[types.Object]state, len(a)+len(b))
+	for k, va := range a {
+		if vb, ok := b[k]; ok {
+			out[k] = join(va, vb)
+		} else {
+			out[k] = va
+		}
+	}
+	for k, vb := range b {
+		if _, ok := a[k]; !ok {
+			out[k] = vb
+		}
+	}
+	return out
+}
+
+func join(a, b state) state {
+	if a == b {
+		return a
+	}
+	if a == escaped || b == escaped {
+		return escaped
+	}
+	// Any disagreement between live/put/maybePut is a maybe.
+	return maybePut
+}

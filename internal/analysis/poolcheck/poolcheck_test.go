@@ -1,0 +1,21 @@
+package poolcheck_test
+
+import (
+	"testing"
+
+	"ncfn/internal/analysis/analysistest"
+	"ncfn/internal/analysis/poolcheck"
+)
+
+func TestPoolcheck(t *testing.T) {
+	analysistest.Run(t, poolcheck.Analyzer, "a")
+}
+
+// TestNolintSuppression asserts the //nolint:nc directive both silences the
+// finding (no unexpected diagnostics in the fixture) and is counted.
+func TestNolintSuppression(t *testing.T) {
+	res := analysistest.Run(t, poolcheck.Analyzer, "nolintok")
+	if res.Suppressed != 1 {
+		t.Fatalf("suppressed = %d, want 1", res.Suppressed)
+	}
+}

@@ -1,0 +1,129 @@
+// Fixture package a exercises every poolcheck rule, flagging and
+// non-flagging forms side by side.
+package a
+
+import "ncfn/internal/buffer"
+
+var sink []byte
+var ch = make(chan []byte, 1)
+
+// ok: the canonical get/use/put cycle.
+func balanced(n int) int {
+	b := buffer.GetPacket(n)
+	m := len(b)
+	buffer.PutPacket(b)
+	return m
+}
+
+// ok: deferred put covers every path.
+func deferred(n int) int {
+	b := buffer.GetPacket(n)
+	defer buffer.PutPacket(b)
+	if n > 10 {
+		return 10
+	}
+	return len(b)
+}
+
+// ok: ownership handed off — returned to the caller.
+func handoffReturn(n int) []byte {
+	b := buffer.GetPacket(n)
+	return b
+}
+
+// ok: ownership handed off — sent to another goroutine.
+func handoffSend(n int) {
+	b := buffer.GetPacket(n)
+	ch <- b
+}
+
+// ok: ownership handed off — stored.
+func handoffStore(n int) {
+	b := buffer.GetPacket(n)
+	sink = b
+}
+
+// ok: put on the error path, escape on the success path.
+func branchedHandoff(n int, fail bool) {
+	b := buffer.GetPacket(n)
+	if fail {
+		buffer.PutPacket(b)
+		return
+	}
+	ch <- b
+}
+
+func leakEarlyReturn(n int, fail bool) int {
+	b := buffer.GetPacket(n)
+	if fail {
+		return 0 // want `not recycled with PutPacket on this path`
+	}
+	m := len(b)
+	buffer.PutPacket(b)
+	return m
+}
+
+func leakNoPut(n int) int {
+	b := buffer.GetPacket(n)
+	return len(b) // want `not recycled with PutPacket on this path`
+}
+
+func doublePut(n int) {
+	b := buffer.GetPacket(n)
+	buffer.PutPacket(b)
+	buffer.PutPacket(b) // want `double put`
+}
+
+func doublePutDefer(n int) {
+	b := buffer.GetPacket(n)
+	defer buffer.PutPacket(b)
+	buffer.PutPacket(b) // want `deferred PutPacket`
+}
+
+func useAfterPut(n int) byte {
+	b := buffer.GetPacket(n)
+	buffer.PutPacket(b)
+	return b[0] // want `use of buffer after PutPacket`
+}
+
+func reassignLeak(n int) {
+	b := buffer.GetPacket(n)
+	b = buffer.GetPacket(2 * n) // want `reassigned before PutPacket`
+	buffer.PutPacket(b)
+}
+
+// ok: put on both branches merges cleanly.
+func putBothBranches(n int, fast bool) {
+	b := buffer.GetPacket(n)
+	if fast {
+		buffer.PutPacket(b)
+	} else {
+		buffer.PutPacket(b)
+	}
+}
+
+// ok (conservative): put on one branch only is a maybe, not a definite
+// violation — the second put would race only on one path.
+func maybeDoubleStaysQuiet(n int, fast bool) {
+	b := buffer.GetPacket(n)
+	if fast {
+		buffer.PutPacket(b)
+		return
+	}
+	buffer.PutPacket(b)
+}
+
+// ok: the per-iteration cycle inside a loop balances.
+func loopBalanced(n, iters int) {
+	for i := 0; i < iters; i++ {
+		b := buffer.GetPacket(n)
+		buffer.PutPacket(b)
+	}
+}
+
+func loopLeak(n, iters int) {
+	for i := 0; i < iters; i++ {
+		b := buffer.GetPacket(n)
+		_ = len(b)
+	}
+} // want `not recycled with PutPacket on this path`

@@ -1,0 +1,9 @@
+// Package buffer fakes the repo's pooled-packet API for poolcheck fixtures:
+// the analyzer keys on the import path and function names only.
+package buffer
+
+// GetPacket hands out a pooled buffer.
+func GetPacket(n int) []byte { return make([]byte, n) }
+
+// PutPacket recycles one.
+func PutPacket(b []byte) { _ = b }

@@ -1,0 +1,12 @@
+// Fixture package nolintok pins the suppression contract: a //nolint:nc
+// directive with a reason silences a finding on its line, and the runner
+// counts it as suppressed.
+package nolintok
+
+import "ncfn/internal/buffer"
+
+func deliberateDoublePut(n int) {
+	b := buffer.GetPacket(n)
+	buffer.PutPacket(b)
+	buffer.PutPacket(b) //nolint:nc deliberate double put to exercise pool accounting
+}

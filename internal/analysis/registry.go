@@ -1,0 +1,25 @@
+// Package analysis collects the nclint analyzer suite. Each analyzer
+// enforces one invariant the data or control plane relies on but the
+// compiler cannot see; DESIGN.md ("Statically enforced invariants") maps
+// each to the PR that introduced the invariant it guards.
+package analysis
+
+import (
+	"ncfn/internal/analysis/aliascheck"
+	"ncfn/internal/analysis/errcheckctl"
+	"ncfn/internal/analysis/hotpath"
+	"ncfn/internal/analysis/ncanalysis"
+	"ncfn/internal/analysis/poolcheck"
+	"ncfn/internal/analysis/simtime"
+)
+
+// All returns the full suite in stable order.
+func All() []*ncanalysis.Analyzer {
+	return []*ncanalysis.Analyzer{
+		aliascheck.Analyzer,
+		errcheckctl.Analyzer,
+		hotpath.Analyzer,
+		poolcheck.Analyzer,
+		simtime.Analyzer,
+	}
+}

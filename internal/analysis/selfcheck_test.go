@@ -1,0 +1,62 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ncfn/internal/analysis"
+	"ncfn/internal/analysis/ncanalysis"
+)
+
+// moduleRoot walks up from the working directory to the directory holding
+// go.mod, so the selfcheck finds the whole module no matter which package
+// the test binary runs from.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above test working directory")
+		}
+		dir = parent
+	}
+}
+
+// TestRepoIsClean is the regression gate for the whole suite: nclint's
+// analyzers must report zero findings on the repository itself. Any new
+// violation either gets fixed or gets an explicit //nolint:nc with a
+// reason — it cannot land silently.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and typechecks every package in the module")
+	}
+	pkgs, err := ncanalysis.Load(moduleRoot(t), "./...")
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loaded zero packages")
+	}
+	res, err := ncanalysis.Run(pkgs, analysis.All())
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, d := range res.Diagnostics {
+		t.Errorf("%s", d.String())
+	}
+	if t.Failed() {
+		t.Fatalf("nclint reports %d finding(s) on the repo; fix them or suppress with //nolint:nc <reason>", len(res.Diagnostics))
+	}
+	if res.Suppressed == 0 {
+		t.Fatal("expected at least one //nolint:nc suppression (the deliberate violations documented in DESIGN.md)")
+	}
+	t.Logf("nclint clean: %d packages, %d deliberate suppressions", len(pkgs), res.Suppressed)
+}

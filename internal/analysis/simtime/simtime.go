@@ -1,0 +1,97 @@
+// Package simtime keeps the deterministic-replay packages deterministic.
+// The chaos harness (PR 3) replays seeded fault schedules against a virtual
+// clock and asserts event logs are replay-identical; flowsim drives seeded
+// traffic traces. One call to time.Now, time.Sleep, or a math/rand global
+// (which draws from the process-wide, randomly-seeded source) silently
+// breaks that property in a way no test catches until a flake appears.
+//
+// Inside the guarded packages every timestamp must come from the injected
+// simclock.Clock and every random draw from a rand.New(rand.NewSource(seed))
+// instance. Constructing sources and rngs is allowed; the global helpers are
+// not.
+package simtime
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"ncfn/internal/analysis/ncanalysis"
+)
+
+// guarded lists the import-path prefixes the invariant covers. An entry
+// matches the package itself and everything under it.
+var guarded = []string{
+	"ncfn/internal/chaostest",
+	"ncfn/internal/flowsim",
+}
+
+// bannedTime are the wall-clock entry points of package time. Duration
+// arithmetic and constructors of inert values (time.Duration, time.Unix)
+// stay legal.
+var bannedTime = map[string]bool{
+	"Now": true, "Sleep": true, "After": true, "AfterFunc": true,
+	"Tick": true, "NewTimer": true, "NewTicker": true,
+	"Since": true, "Until": true,
+}
+
+// allowedRand are the math/rand package-level functions that construct
+// seeded state rather than drawing from the global source.
+var allowedRand = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+}
+
+// Analyzer is the simtime check.
+var Analyzer = &ncanalysis.Analyzer{
+	Name: "simtime",
+	Doc: "forbid wall-clock (time.Now/Sleep/...) and global math/rand draws in the deterministic " +
+		"replay packages (chaostest, flowsim); use the injected simclock and seeded sources",
+	Run: run,
+}
+
+func run(pass *ncanalysis.Pass) error {
+	if !inScope(pass.Path) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := ncanalysis.CalleeOf(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || !isPackageLevel(fn) {
+				return true
+			}
+			// Methods on *rand.Rand or on time.Time values are the
+			// injected/seeded path and stay legal; only the package-level
+			// globals reach here.
+			switch fn.Pkg().Path() {
+			case "time":
+				if bannedTime[fn.Name()] {
+					pass.Reportf(call.Pos(), "time.%s in deterministic package %s: use the injected simclock.Clock", fn.Name(), pass.Path)
+				}
+			case "math/rand", "math/rand/v2":
+				if !allowedRand[fn.Name()] {
+					pass.Reportf(call.Pos(), "global rand.%s in deterministic package %s: draw from a seeded *rand.Rand", fn.Name(), pass.Path)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func inScope(path string) bool {
+	for _, g := range guarded {
+		if path == g || strings.HasPrefix(path, g+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func isPackageLevel(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}

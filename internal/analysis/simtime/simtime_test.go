@@ -1,0 +1,15 @@
+package simtime_test
+
+import (
+	"testing"
+
+	"ncfn/internal/analysis/analysistest"
+	"ncfn/internal/analysis/simtime"
+)
+
+func TestSimtime(t *testing.T) {
+	res := analysistest.Run(t, simtime.Analyzer, "ncfn/internal/chaostest/fix", "clean")
+	if res.Suppressed != 1 {
+		t.Fatalf("suppressed = %d, want 1 (the nolint'd wall-clock wait)", res.Suppressed)
+	}
+}

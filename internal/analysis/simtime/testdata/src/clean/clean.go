@@ -1,0 +1,10 @@
+// Fixture package clean is outside the guarded trees: wall-clock use is not
+// simtime's business here.
+package clean
+
+import "time"
+
+func WallClockIsFine() time.Time {
+	time.Sleep(time.Microsecond)
+	return time.Now()
+}

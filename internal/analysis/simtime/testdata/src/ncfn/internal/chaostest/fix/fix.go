@@ -1,0 +1,43 @@
+// Fixture package fix sits under the guarded chaostest tree: wall-clock and
+// global-rand calls are violations; the injected clock and seeded sources
+// are the sanctioned forms.
+package fix
+
+import (
+	"math/rand"
+	"time"
+
+	"ncfn/internal/simclock"
+)
+
+// ok: the injected clock and a seeded rng.
+func deterministic(clk simclock.Clock, seed int64) time.Time {
+	rng := rand.New(rand.NewSource(seed))
+	clk.Sleep(time.Duration(rng.Intn(10)) * time.Millisecond)
+	return clk.Now()
+}
+
+func wallClock(clk simclock.Clock) time.Duration {
+	start := time.Now()      // want `time.Now in deterministic package`
+	return time.Since(start) // want `time.Since in deterministic package`
+}
+
+func sleeps() {
+	time.Sleep(time.Millisecond) // want `time.Sleep in deterministic package`
+}
+
+func timers() {
+	t := time.NewTimer(time.Second) // want `time.NewTimer in deterministic package`
+	defer t.Stop()
+	k := time.NewTicker(time.Second) // want `time.NewTicker in deterministic package`
+	defer k.Stop()
+}
+
+func globalRand() int {
+	return rand.Intn(6) // want `global rand.Intn in deterministic package`
+}
+
+// ok with a reason: the leak checker polls real goroutine state.
+func allowedWallClock() {
+	time.Sleep(time.Millisecond) //nolint:nc bounds a wait on real goroutines, not simulated time
+}

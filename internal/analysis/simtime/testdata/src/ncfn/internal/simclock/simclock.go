@@ -1,0 +1,9 @@
+// Package simclock fakes the virtual clock for simtime fixtures.
+package simclock
+
+import "time"
+
+type Clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+}

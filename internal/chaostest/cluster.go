@@ -79,10 +79,10 @@ type Cluster struct {
 	seed   int64
 
 	mu        sync.Mutex
-	epoch     map[string]int               // logical node -> deployment count
-	addr      map[string]string            // logical node -> current address
+	epoch     map[string]int                // logical node -> deployment count
+	addr      map[string]string             // logical node -> current address
 	daemons   map[string]*controller.Daemon // live daemons by logical node
-	instances map[string]string            // logical node -> cloud instance ID
+	instances map[string]string             // logical node -> cloud instance ID
 
 	src   *dataplane.Source
 	sinks map[string]*dataplane.Receiver
@@ -394,9 +394,9 @@ func (c *Cluster) SinkData(sink string) ([]byte, bool) {
 // it waits. The timeout is real time — it only bounds how long the harness
 // waits for in-process goroutines, not simulated time.
 func (c *Cluster) WaitAllDecoded(timeout time.Duration) error {
-	deadline := time.NewTimer(timeout)
+	deadline := time.NewTimer(timeout) //nolint:nc real-time bound on in-process goroutines, not simulated time
 	defer deadline.Stop()
-	resend := time.NewTicker(25 * time.Millisecond)
+	resend := time.NewTicker(25 * time.Millisecond) //nolint:nc real-time resend pacing while the harness waits
 	defer resend.Stop()
 	for {
 		if c.allDecoded() {

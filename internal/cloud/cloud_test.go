@@ -17,6 +17,16 @@ func testCloud() (*Cloud, *simclock.Virtual) {
 	return c, clk
 }
 
+// mustLaunch fails the test if a launch the scenario depends on errors out.
+func mustLaunch(t *testing.T, c *Cloud, region topology.NodeID) *Instance {
+	t.Helper()
+	inst, err := c.LaunchInstance(region)
+	if err != nil {
+		t.Fatalf("LaunchInstance(%v): %v", region, err)
+	}
+	return inst
+}
+
 func TestRegionsSorted(t *testing.T) {
 	c, _ := testCloud()
 	regions := c.Regions()
@@ -101,9 +111,9 @@ func TestTerminate(t *testing.T) {
 
 func TestRunningInstancesCount(t *testing.T) {
 	c, clk := testCloud()
-	c.LaunchInstance("oregon")
-	c.LaunchInstance("oregon")
-	c.LaunchInstance("texas")
+	mustLaunch(t, c, "oregon")
+	mustLaunch(t, c, "oregon")
+	mustLaunch(t, c, "texas")
 	clk.Advance(time.Minute)
 	counts := c.RunningInstances()
 	if counts["oregon"] != 2 || counts["texas"] != 1 {
@@ -216,7 +226,9 @@ func TestAccruedVMHours(t *testing.T) {
 		t.Fatalf("AccruedVMHours = %v, want ~3 (2 for the first, 1 for the second)", got)
 	}
 	// Double termination must not extend billing.
-	c.TerminateInstance(a.ID)
+	if err := c.TerminateInstance(a.ID); err != nil {
+		t.Fatal(err)
+	}
 	if again := c.AccruedVMHours(); again != got {
 		t.Fatalf("re-termination changed billing: %v -> %v", got, again)
 	}

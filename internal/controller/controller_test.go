@@ -57,6 +57,36 @@ func butterflySession(id int) optimize.Session {
 	}
 }
 
+// The must* helpers keep test setup terse while failing fast if a call the
+// scenario depends on errors out.
+func mustAddSession(t *testing.T, c *Controller, s optimize.Session) {
+	t.Helper()
+	if err := c.AddSession(s); err != nil {
+		t.Fatalf("AddSession(%v): %v", s.ID, err)
+	}
+}
+
+func mustRemoveSession(t *testing.T, c *Controller, id ncproto.SessionID) {
+	t.Helper()
+	if err := c.RemoveSession(id); err != nil {
+		t.Fatalf("RemoveSession(%v): %v", id, err)
+	}
+}
+
+func mustObserveBandwidth(t *testing.T, c *Controller, dc topology.NodeID, inMbps, outMbps float64) {
+	t.Helper()
+	if err := c.ObserveBandwidth(dc, inMbps, outMbps); err != nil {
+		t.Fatalf("ObserveBandwidth(%v): %v", dc, err)
+	}
+}
+
+func mustObserveDelay(t *testing.T, c *Controller, from, to topology.NodeID, d time.Duration) {
+	t.Helper()
+	if err := c.ObserveDelay(from, to, d); err != nil {
+		t.Fatalf("ObserveDelay(%v->%v): %v", from, to, err)
+	}
+}
+
 func TestAddSessionDeploysAndRates(t *testing.T) {
 	c, _, _ := testEnv(1)
 	if err := c.AddSession(butterflySession(1)); err != nil {
@@ -120,9 +150,9 @@ func TestRemoveUnknownSession(t *testing.T) {
 
 func TestTauReuseAvoidsRelaunch(t *testing.T) {
 	c, clk, cl := testEnv(1)
-	c.AddSession(butterflySession(1))
+	mustAddSession(t, c, butterflySession(1))
 	launchesBefore := totalLaunches(cl)
-	c.RemoveSession(1)
+	mustRemoveSession(t, c, 1)
 	// Demand returns within τ: the idle VNFs must be reused, not
 	// relaunched.
 	clk.Advance(5 * time.Minute)
@@ -148,7 +178,7 @@ func totalLaunches(cl *cloud.Cloud) int {
 
 func TestSecondSessionSharesCapacity(t *testing.T) {
 	c, _, _ := testEnv(1)
-	c.AddSession(butterflySession(1))
+	mustAddSession(t, c, butterflySession(1))
 	if err := c.AddSession(butterflySession(2)); err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +235,7 @@ func TestRemoveLastReceiverEndsSession(t *testing.T) {
 		Receivers: []topology.NodeID{"O2"},
 		MaxDelay:  150 * time.Millisecond,
 	}
-	c.AddSession(s)
+	mustAddSession(t, c, s)
 	if err := c.RemoveReceiver(1, "O2"); err != nil {
 		t.Fatal(err)
 	}
@@ -216,7 +246,7 @@ func TestRemoveLastReceiverEndsSession(t *testing.T) {
 
 func TestBandwidthDropConfirmedAfterTau1(t *testing.T) {
 	c, clk, _ := testEnv(1)
-	c.AddSession(butterflySession(1))
+	mustAddSession(t, c, butterflySession(1))
 	before, _ := c.SessionRate(1)
 
 	// A 50% inbound cut at T. First observation: pending only.
@@ -246,13 +276,13 @@ func TestBandwidthDropConfirmedAfterTau1(t *testing.T) {
 
 func TestBandwidthSpikeIgnored(t *testing.T) {
 	c, clk, _ := testEnv(1)
-	c.AddSession(butterflySession(1))
+	mustAddSession(t, c, butterflySession(1))
 	// Spike: large change observed once, then back to normal.
-	c.ObserveBandwidth("T", 17, 1000)
+	mustObserveBandwidth(t, c, "T", 17, 1000)
 	clk.Advance(2 * time.Minute)
-	c.ObserveBandwidth("T", 1000, 1000) // back within ρ of nominal
+	mustObserveBandwidth(t, c, "T", 1000, 1000) // back within ρ of nominal
 	clk.Advance(20 * time.Minute)
-	c.ObserveBandwidth("T", 17, 1000) // new change, pending restarts
+	mustObserveBandwidth(t, c, "T", 17, 1000) // new change, pending restarts
 	rate, _ := c.SessionRate(1)
 	if rate < 69 {
 		t.Fatalf("spike caused a reaction: rate %v", rate)
@@ -261,12 +291,12 @@ func TestBandwidthSpikeIgnored(t *testing.T) {
 
 func TestBandwidthSmallChangeClearsPending(t *testing.T) {
 	c, clk, _ := testEnv(1)
-	c.AddSession(butterflySession(1))
-	c.ObserveBandwidth("T", 900, 1000) // >5% change, pending
+	mustAddSession(t, c, butterflySession(1))
+	mustObserveBandwidth(t, c, "T", 900, 1000) // >5% change, pending
 	clk.Advance(11 * time.Minute)
-	c.ObserveBandwidth("T", 990, 1000) // back within 5%: pending cleared
+	mustObserveBandwidth(t, c, "T", 990, 1000) // back within 5%: pending cleared
 	clk.Advance(11 * time.Minute)
-	c.ObserveBandwidth("T", 900, 1000) // pending restarts; not confirmed
+	mustObserveBandwidth(t, c, "T", 900, 1000) // pending restarts; not confirmed
 	rate, _ := c.SessionRate(1)
 	if rate < 69 {
 		t.Fatalf("unconfirmed change caused reaction: %v", rate)
@@ -282,11 +312,11 @@ func TestObserveBandwidthUnknownDC(t *testing.T) {
 
 func TestDelayIncreaseReroutes(t *testing.T) {
 	c, clk, _ := testEnv(1)
-	c.AddSession(butterflySession(1))
+	mustAddSession(t, c, butterflySession(1))
 	before, _ := c.SessionRate(1)
 	// Delay on T->V2 explodes past every session's Lmax, killing the
 	// long branch. Confirm after τ2.
-	c.ObserveDelay("T", "V2", 500*time.Millisecond)
+	mustObserveDelay(t, c, "T", "V2", 500*time.Millisecond)
 	clk.Advance(11 * time.Minute)
 	if err := c.ObserveDelay("T", "V2", 500*time.Millisecond); err != nil {
 		t.Fatal(err)
@@ -302,9 +332,9 @@ func TestDelayIncreaseReroutes(t *testing.T) {
 
 func TestDelayDecreaseOnlyAdoptedIfBetter(t *testing.T) {
 	c, clk, _ := testEnv(1)
-	c.AddSession(butterflySession(1))
+	mustAddSession(t, c, butterflySession(1))
 	before, _ := c.SessionRate(1)
-	c.ObserveDelay("T", "V2", 6*time.Millisecond) // faster link
+	mustObserveDelay(t, c, "T", "V2", 6*time.Millisecond) // faster link
 	clk.Advance(11 * time.Minute)
 	if err := c.ObserveDelay("T", "V2", 6*time.Millisecond); err != nil {
 		t.Fatal(err)
@@ -324,7 +354,7 @@ func TestObserveDelayUnknownLink(t *testing.T) {
 
 func TestEventsRecorded(t *testing.T) {
 	c, _, _ := testEnv(1)
-	c.AddSession(butterflySession(1))
+	mustAddSession(t, c, butterflySession(1))
 	events := c.Events()
 	var sawStart, sawVNFStart bool
 	for _, e := range events {
@@ -472,8 +502,8 @@ func TestDepartureKeepsRatesWhenRaisingIsWorthless(t *testing.T) {
 	// the full 70), so the controller takes the g2 branch: retain rates,
 	// keep the minimum deployment.
 	c, _, _ := testEnv(5)
-	c.AddSession(butterflySession(1))
-	c.AddSession(butterflySession(2))
+	mustAddSession(t, c, butterflySession(1))
+	mustAddSession(t, c, butterflySession(2))
 	before, _ := c.SessionRate(1)
 	if before < 69 {
 		t.Fatalf("session 1 rate = %v, want ~70", before)

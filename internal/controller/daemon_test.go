@@ -23,6 +23,15 @@ func testDaemon(t *testing.T) (*Daemon, *simclock.Virtual, *emunet.Network) {
 	return d, clk, n
 }
 
+// mustApply fails the test if a setup signal the scenario depends on is
+// rejected by the daemon.
+func mustApply(t *testing.T, d *Daemon, m *Message) {
+	t.Helper()
+	if err := d.Apply(m); err != nil {
+		t.Fatalf("Apply(%v): %v", m.Signal, err)
+	}
+}
+
 func smallParams() rlnc.Params {
 	return rlnc.Params{GenerationBlocks: 4, BlockSize: 64}
 }
@@ -53,7 +62,7 @@ func TestDaemonSettingsRequired(t *testing.T) {
 
 func TestDaemonForwardTab(t *testing.T) {
 	d, _, _ := testDaemon(t)
-	d.Apply(&Message{Signal: NCStart})
+	mustApply(t, d, &Message{Signal: NCStart})
 	err := d.Apply(&Message{
 		Signal: NCForwardTab,
 		Table:  map[ncproto.SessionID][]dataplane.HopGroup{1: {{Addrs: []string{"next"}}}},
@@ -71,7 +80,7 @@ func TestDaemonForwardTab(t *testing.T) {
 
 func TestDaemonTauShutdown(t *testing.T) {
 	d, clk, _ := testDaemon(t)
-	d.Apply(&Message{Signal: NCStart})
+	mustApply(t, d, &Message{Signal: NCStart})
 	if err := d.Apply(&Message{Signal: NCVNFEnd, ShutdownAfter: 10 * time.Minute}); err != nil {
 		t.Fatal(err)
 	}
@@ -90,8 +99,8 @@ func TestDaemonTauShutdown(t *testing.T) {
 
 func TestDaemonReuseCancelsShutdown(t *testing.T) {
 	d, clk, _ := testDaemon(t)
-	d.Apply(&Message{Signal: NCStart})
-	d.Apply(&Message{Signal: NCVNFEnd, ShutdownAfter: 10 * time.Minute})
+	mustApply(t, d, &Message{Signal: NCStart})
+	mustApply(t, d, &Message{Signal: NCVNFEnd, ShutdownAfter: 10 * time.Minute})
 	// Demand returns within τ: NC_START cancels the pending shutdown.
 	clk.Advance(5 * time.Minute)
 	if err := d.Apply(&Message{Signal: NCStart}); err != nil {

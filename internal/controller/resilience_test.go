@@ -299,7 +299,9 @@ func TestSupervisorBacksOffAndAbandons(t *testing.T) {
 	cl, clk, sup, inst, redeploys := supervisedCloud(t, retry)
 	cl.FailLaunches("oregon", 100) // region out of capacity for good
 
-	cl.CrashInstance(inst.ID)
+	if err := cl.CrashInstance(inst.ID); err != nil {
+		t.Fatal(err)
+	}
 	sup.Tick()
 	clk.Advance(time.Second)
 	sup.Tick() // detected
@@ -396,7 +398,9 @@ func TestInstanceCheckStates(t *testing.T) {
 	if err := check(inst.ID); err != nil {
 		t.Fatalf("running instance = %v", err)
 	}
-	cl.CrashInstance(inst.ID)
+	if err := cl.CrashInstance(inst.ID); err != nil {
+		t.Fatal(err)
+	}
 	if err := check(inst.ID); !errors.Is(err, ErrUnhealthy) {
 		t.Fatalf("crashed instance = %v, want ErrUnhealthy", err)
 	}

@@ -31,10 +31,10 @@ func PushMessages(ctx context.Context, conn net.Conn, msgs ...*Message) error {
 	if err := conn.SetDeadline(deadline); err != nil {
 		return fmt.Errorf("controller: set push deadline: %w", err)
 	}
-	defer conn.SetDeadline(time.Time{})
+	defer func() { _ = conn.SetDeadline(time.Time{}) }()
 	stop := context.AfterFunc(ctx, func() {
 		// Wake any blocked read/write immediately on cancellation.
-		conn.SetDeadline(time.Unix(1, 0))
+		_ = conn.SetDeadline(time.Unix(1, 0))
 	})
 	defer stop()
 	ack := make([]byte, 1)

@@ -34,7 +34,9 @@ func TestServeControlStream(t *testing.T) {
 			t.Fatal(err)
 		}
 		ack := make([]byte, 1)
-		client.SetReadDeadline(time.Now().Add(5 * time.Second))
+		if err := client.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
+			t.Fatal(err)
+		}
 		if _, err := client.Read(ack); err != nil || ack[0] != 0x06 {
 			t.Fatalf("ack: %v %v", ack, err)
 		}

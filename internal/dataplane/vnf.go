@@ -468,6 +468,8 @@ const drainBatch = 32
 // recoder/decoder arenas, emissions are encoded into shard scratch, and
 // conn.Send copies before returning). Holding the buffers across the whole
 // run is what lets decoder batches alias packet payloads in place.
+//
+//nc:hotpath
 func (v *VNF) worker(sh *vnfShard) {
 	defer v.wg.Done()
 	for {
@@ -503,6 +505,8 @@ func (v *VNF) worker(sh *vnfShard) {
 // handed to the decoder as one AddBatch call; everything else takes the
 // per-packet path in arrival order, so per-session packet order is
 // preserved exactly.
+//
+//nc:hotpath
 func (v *VNF) processRun(sh *vnfShard, jobs []pktJob) {
 	for i := 0; i < len(jobs); {
 		hdr := jobs[i].hdr

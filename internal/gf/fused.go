@@ -35,6 +35,8 @@ const fusedStrip = 1024
 // single strip-blocked pass. len(dsts) must equal len(cs) and every
 // destination must have the source's length. Rows with a zero coefficient
 // are skipped; no destination may alias src.
+//
+//nc:hotpath
 func AddMulSlices(dsts [][]byte, src []byte, cs []byte) {
 	if len(dsts) != len(cs) {
 		panic("gf: AddMulSlices rows/coeffs mismatch")
@@ -79,6 +81,8 @@ func AddMulSlices(dsts [][]byte, src []byte, cs []byte) {
 // kernel of the recoder: one fresh coded block from the whole stored span).
 // dst is overwritten; it must not alias any source. len(srcs) must equal
 // len(cs) and every source must have dst's length.
+//
+//nc:hotpath
 func CombineSlices(dst []byte, srcs [][]byte, cs []byte) {
 	if len(srcs) != len(cs) {
 		panic("gf: CombineSlices rows/coeffs mismatch")
@@ -140,6 +144,8 @@ func CombineSlices(dst []byte, srcs [][]byte, cs []byte) {
 // MulSliceInto sets dst[i] = c * src[i] — the overwrite counterpart of
 // AddMulSlice, with the same calibrated table/wide kernel dispatch. dst and
 // src must have the same length; they may alias only if identical slices.
+//
+//nc:hotpath
 func MulSliceInto(dst, src []byte, c byte) {
 	if len(dst) != len(src) {
 		panic("gf: MulSliceInto length mismatch")
@@ -166,6 +172,8 @@ func MulSliceInto(dst, src []byte, c byte) {
 
 // mulSliceTable is the full-table overwrite kernel: one indexed load per
 // byte, eight bytes per iteration.
+//
+//nc:hotpath
 func mulSliceTable(dst, src []byte, c byte) {
 	row := &_tables.mul[c]
 	n := len(src)
@@ -188,6 +196,8 @@ func mulSliceTable(dst, src []byte, c byte) {
 }
 
 // mulSliceWide is the 64-bit-wide split nibble-table overwrite kernel.
+//
+//nc:hotpath
 func mulSliceWide(dst, src []byte, c byte) {
 	lo := &_tables.mulLo[c]
 	hi := &_tables.mulHi[c]

@@ -166,6 +166,8 @@ func MulSlice(dst, src []byte, c byte) {
 // (AddMulSliceTable) and the split nibble-table wide kernel
 // (AddMulSliceWide). A one-time micro-calibration on first use picks the
 // faster one for this machine; SetWideKernel overrides the choice.
+//
+//nc:hotpath
 func AddMulSlice(dst, src []byte, c byte) {
 	if len(dst) != len(src) {
 		panic("gf: AddMulSlice length mismatch")
@@ -206,6 +208,7 @@ func AddMulSliceTable(dst, src []byte, c byte) {
 	addMulSliceTable(dst, src, c)
 }
 
+//nc:hotpath
 func addMulSliceTable(dst, src []byte, c byte) {
 	row := &_tables.mul[c]
 	// Process 8 bytes per iteration to amortize bounds checks.
@@ -247,6 +250,7 @@ func AddMulSliceWide(dst, src []byte, c byte) {
 	addMulSliceWide(dst, src, c)
 }
 
+//nc:hotpath
 func addMulSliceWide(dst, src []byte, c byte) {
 	lo := &_tables.mulLo[c]
 	hi := &_tables.mulHi[c]

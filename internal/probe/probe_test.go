@@ -113,8 +113,12 @@ func TestResponderIgnoresGarbage(t *testing.T) {
 	resp := NewResponder(n.Host("b"))
 	defer resp.Close()
 	a := n.Host("a")
-	a.Send("b", []byte{})
-	a.Send("b", []byte{0xFF, 1, 2})
+	if err := a.Send("b", []byte{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("b", []byte{0xFF, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
 	// Then a real ping must still work.
 	p := NewProber(a, nil)
 	defer p.Close()

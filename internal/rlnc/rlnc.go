@@ -170,6 +170,8 @@ func (e *Encoder) Coded() CodedBlock {
 // allocation-free emission path. The payload is produced by one fused gather
 // over the source blocks (gf.CombineSlices), so the destination strip stays
 // cache-resident while every source row streams through it once.
+//
+//nc:hotpath
 func (e *Encoder) CodedInto(cb *CodedBlock) {
 	k := e.params.GenerationBlocks
 	cb.Coeffs = resizeBuf(cb.Coeffs, k)
@@ -498,6 +500,8 @@ func (r *Recoder) Recode() (CodedBlock, bool) {
 // cb, reusing cb's backing arrays when they have capacity — the data
 // plane's allocation-free emission path. It returns false if nothing has
 // been buffered yet.
+//
+//nc:hotpath
 func (r *Recoder) RecodeInto(cb *CodedBlock) bool {
 	n := r.span.n
 	if n == 0 {

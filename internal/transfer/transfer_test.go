@@ -14,7 +14,7 @@ import (
 
 func randomBytes(seed int64, n int) []byte {
 	b := make([]byte, n)
-	rand.New(rand.NewSource(seed)).Read(b)
+	_, _ = rand.New(rand.NewSource(seed)).Read(b) // never fails
 	return b
 }
 
@@ -262,8 +262,12 @@ func TestTCPSinkIgnoresGarbage(t *testing.T) {
 	sink := NewTCPSink(n.Host("dst"))
 	defer sink.Close()
 	src := n.Host("src")
-	src.Send("dst", []byte{0xFF})
-	src.Send("dst", []byte{})
+	if err := src.Send("dst", []byte{0xFF}); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Send("dst", []byte{}); err != nil {
+		t.Fatal(err)
+	}
 	data := randomBytes(9, 5000)
 	if _, err := TCPSend(src, "dst", data, TCPConfig{MSS: 1000}); err != nil {
 		t.Fatal(err)
