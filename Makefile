@@ -6,7 +6,7 @@ GO ?= go
 NCLINT := bin/nclint
 NCLINT_SRCS := $(shell find cmd/nclint internal/analysis -name '*.go' -not -path '*/testdata/*')
 
-.PHONY: build test test-race test-chaos vet lint bench bench-hotpath check
+.PHONY: build test test-race test-chaos vet lint bench bench-hotpath bench-guard cover check
 
 build:
 	$(GO) build ./...
@@ -48,7 +48,21 @@ bench:
 
 # bench-hotpath is the quick subset: GF kernels and the VNF pipeline.
 bench-hotpath:
-	$(GO) test -run 'XXX' -bench 'BenchmarkAddMulSlice' -benchmem ./internal/gf/
 	$(GO) test -run 'XXX' -bench 'BenchmarkVNFPipeline' -benchmem ./internal/dataplane/
+	$(GO) test -run 'XXX' -bench 'BenchmarkAddMulSlice' -benchmem ./internal/gf/
+
+# bench-guard reruns the telemetry-instrumented VNF pipeline benchmark and
+# fails if the best of three runs regresses more than 10% against the
+# benchguard-baseline lines recorded in bench_results.txt.
+bench-guard:
+	$(GO) build -o bin/benchguard ./cmd/benchguard
+	$(GO) test -run 'XXX' -bench 'BenchmarkVNFPipeline' -benchtime 200ms -count 3 ./internal/dataplane/ \
+		| ./bin/benchguard -baseline bench_results.txt
+
+# cover enforces the coverage floors: telemetry >= 90%, repo-wide >= 70%.
+cover:
+	$(GO) build -o bin/covercheck ./cmd/covercheck
+	$(GO) test -coverprofile=cover.out ./...
+	./bin/covercheck -profile cover.out -total 70 -floor ncfn/internal/telemetry=90
 
 check: build lint test test-race

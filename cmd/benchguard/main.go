@@ -1,0 +1,150 @@
+// Command benchguard fails CI when a benchmark regresses against the
+// baseline recorded in bench_results.txt. It reads `go test -bench` output
+// on stdin, keeps the best (minimum) ns/op per benchmark across -count
+// repetitions, and compares each against machine-readable baseline lines:
+//
+//	benchguard-baseline: BenchmarkVNFPipeline/serial 6511 ns/op
+//
+// A benchmark regresses when best > baseline * (1 + tolerance). Benchmarks
+// without a baseline line are reported but never fail; baselines whose
+// benchmark did not run are an error (the guard would otherwise rot
+// silently when a benchmark is renamed).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+const baselinePrefix = "benchguard-baseline:"
+
+// benchLine matches standard testing package benchmark output, e.g.
+//
+//	BenchmarkVNFPipeline/workers=4-8   300000   3728 ns/op   0 B/op   0 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, w io.Writer) error {
+	fs := flag.NewFlagSet("benchguard", flag.ContinueOnError)
+	baselinePath := fs.String("baseline", "bench_results.txt", "file holding benchguard-baseline lines")
+	tolerance := fs.Float64("tolerance", 0.10, "allowed fractional slowdown over baseline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	baseline, err := loadBaseline(*baselinePath)
+	if err != nil {
+		return err
+	}
+	best, err := parseBench(stdin)
+	if err != nil {
+		return err
+	}
+	if len(best) == 0 {
+		return fmt.Errorf("no benchmark results on stdin")
+	}
+
+	names := make([]string, 0, len(best))
+	for name := range best {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var violations []string
+	for _, name := range names {
+		got := best[name]
+		base, ok := baseline[name]
+		if !ok {
+			fmt.Fprintf(w, "%-48s %10.0f ns/op  (no baseline)\n", name, got)
+			continue
+		}
+		limit := base * (1 + *tolerance)
+		status := "ok"
+		if got > limit {
+			status = "REGRESSED"
+			violations = append(violations,
+				fmt.Sprintf("%s: %.0f ns/op exceeds baseline %.0f ns/op by more than %.0f%%",
+					name, got, base, *tolerance*100))
+		}
+		fmt.Fprintf(w, "%-48s %10.0f ns/op  baseline %.0f  limit %.0f  %s\n",
+			name, got, base, limit, status)
+	}
+	for name := range baseline {
+		if _, ok := best[name]; !ok {
+			violations = append(violations, fmt.Sprintf("baseline %s never ran (renamed or skipped?)", name))
+		}
+	}
+	if len(violations) > 0 {
+		sort.Strings(violations)
+		return fmt.Errorf("%s", strings.Join(violations, "\n"))
+	}
+	return nil
+}
+
+// loadBaseline extracts benchguard-baseline lines from the results file.
+func loadBaseline(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, baselinePrefix) {
+			continue
+		}
+		fields := strings.Fields(strings.TrimPrefix(line, baselinePrefix))
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("malformed baseline line %q", line)
+		}
+		ns, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil || ns <= 0 {
+			return nil, fmt.Errorf("malformed baseline ns/op in %q", line)
+		}
+		out[fields[0]] = ns
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s holds no %s lines", path, baselinePrefix)
+	}
+	return out, nil
+}
+
+// parseBench keeps the fastest run per benchmark name, with the GOMAXPROCS
+// suffix stripped so baselines survive core-count changes.
+func parseBench(r io.Reader) (map[string]float64, error) {
+	best := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("malformed ns/op in %q", sc.Text())
+		}
+		if cur, ok := best[m[1]]; !ok || ns < cur {
+			best[m[1]] = ns
+		}
+	}
+	return best, sc.Err()
+}

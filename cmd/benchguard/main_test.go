@@ -1,0 +1,111 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: ncfn/internal/dataplane
+BenchmarkVNFPipeline/serial-8             300000       4100 ns/op        0 B/op    0 allocs/op
+BenchmarkVNFPipeline/serial-8             310000       3900 ns/op        0 B/op    0 allocs/op
+BenchmarkVNFPipeline/workers=4-8          400000       3700 ns/op        0 B/op    0 allocs/op
+PASS
+`
+
+func writeBaseline(t *testing.T, lines ...string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "bench_results.txt")
+	body := "===== pipeline — some prose =====\nprose that is not machine readable\n" +
+		strings.Join(lines, "\n") + "\n"
+	if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestParseBenchKeepsBestAndStripsProcs(t *testing.T) {
+	best, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := best["BenchmarkVNFPipeline/serial"]; got != 3900 {
+		t.Fatalf("serial best = %v, want 3900 (min of the two runs)", got)
+	}
+	if got := best["BenchmarkVNFPipeline/workers=4"]; got != 3700 {
+		t.Fatalf("workers=4 best = %v", got)
+	}
+}
+
+func TestRunPassesWithinTolerance(t *testing.T) {
+	base := writeBaseline(t,
+		"benchguard-baseline: BenchmarkVNFPipeline/serial 4000 ns/op",
+		"benchguard-baseline: BenchmarkVNFPipeline/workers=4 3600 ns/op",
+	)
+	var sb strings.Builder
+	// serial 3900 < 4000*1.1; workers 3700 < 3600*1.1.
+	if err := run([]string{"-baseline", base}, strings.NewReader(sampleBench), &sb); err != nil {
+		t.Fatalf("within tolerance but failed: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "ok") {
+		t.Fatalf("report missing ok status:\n%s", sb.String())
+	}
+}
+
+func TestRunFailsOnRegression(t *testing.T) {
+	base := writeBaseline(t, "benchguard-baseline: BenchmarkVNFPipeline/serial 3000 ns/op")
+	var sb strings.Builder
+	err := run([]string{"-baseline", base}, strings.NewReader(sampleBench), &sb)
+	if err == nil || !strings.Contains(err.Error(), "exceeds baseline") {
+		t.Fatalf("want regression failure, got %v", err)
+	}
+	if !strings.Contains(sb.String(), "REGRESSED") {
+		t.Fatalf("report missing REGRESSED flag:\n%s", sb.String())
+	}
+}
+
+func TestRunToleranceFlagWidensLimit(t *testing.T) {
+	base := writeBaseline(t, "benchguard-baseline: BenchmarkVNFPipeline/serial 3000 ns/op")
+	var sb strings.Builder
+	// 3900 <= 3000 * 1.5
+	if err := run([]string{"-baseline", base, "-tolerance", "0.5"}, strings.NewReader(sampleBench), &sb); err != nil {
+		t.Fatalf("wide tolerance still failed: %v", err)
+	}
+}
+
+func TestRunFailsWhenBaselineNeverRan(t *testing.T) {
+	base := writeBaseline(t, "benchguard-baseline: BenchmarkRenamedAway 1000 ns/op")
+	var sb strings.Builder
+	err := run([]string{"-baseline", base}, strings.NewReader(sampleBench), &sb)
+	if err == nil || !strings.Contains(err.Error(), "never ran") {
+		t.Fatalf("want stale-baseline failure, got %v", err)
+	}
+}
+
+func TestRunFailsOnEmptyInput(t *testing.T) {
+	base := writeBaseline(t, "benchguard-baseline: BenchmarkVNFPipeline/serial 4000 ns/op")
+	var sb strings.Builder
+	err := run([]string{"-baseline", base}, strings.NewReader("PASS\n"), &sb)
+	if err == nil || !strings.Contains(err.Error(), "no benchmark results") {
+		t.Fatalf("want empty-input failure, got %v", err)
+	}
+}
+
+func TestLoadBaselineRejectsGarbage(t *testing.T) {
+	for _, line := range []string{
+		"benchguard-baseline: OnlyName",
+		"benchguard-baseline: Bench abc ns/op",
+		"benchguard-baseline: Bench -5 ns/op",
+	} {
+		if _, err := loadBaseline(writeBaseline(t, line)); err == nil {
+			t.Fatalf("baseline %q accepted", line)
+		}
+	}
+	// A file with prose but no baseline lines is also an error.
+	if _, err := loadBaseline(writeBaseline(t)); err == nil {
+		t.Fatal("baseline-free file accepted")
+	}
+}

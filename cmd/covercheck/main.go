@@ -1,0 +1,175 @@
+// Command covercheck enforces coverage floors over a Go cover profile.
+// `make cover` runs the full test suite with -coverprofile and then:
+//
+//	covercheck -profile cover.out -total 70 -floor ncfn/internal/telemetry=90
+//
+// fails (exit 1) when the repo-wide statement coverage drops below -total
+// or any -floor package drops below its floor. Floors are statement-
+// weighted, matching `go tool cover -func` totals.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// pkgCov accumulates one package's statement counts.
+type pkgCov struct {
+	total   int
+	covered int
+}
+
+func (c pkgCov) percent() float64 {
+	if c.total == 0 {
+		return 0
+	}
+	return 100 * float64(c.covered) / float64(c.total)
+}
+
+// floorList collects repeated -floor pkg=percent flags.
+type floorList map[string]float64
+
+func (f floorList) String() string {
+	parts := make([]string, 0, len(f))
+	for k, v := range f {
+		parts = append(parts, fmt.Sprintf("%s=%g", k, v))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+func (f floorList) Set(s string) error {
+	pkg, val, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("floor %q: want pkg=percent", s)
+	}
+	p, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return fmt.Errorf("floor %q: %w", s, err)
+	}
+	f[pkg] = p
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "covercheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("covercheck", flag.ContinueOnError)
+	profile := fs.String("profile", "cover.out", "cover profile written by go test -coverprofile")
+	total := fs.Float64("total", 0, "repo-wide statement coverage floor in percent (0 disables)")
+	floors := floorList{}
+	fs.Var(floors, "floor", "per-package floor as pkg=percent (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	perPkg, err := parseProfile(*profile)
+	if err != nil {
+		return err
+	}
+
+	var all pkgCov
+	names := make([]string, 0, len(perPkg))
+	for name, c := range perPkg {
+		names = append(names, name)
+		all.total += c.total
+		all.covered += c.covered
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "%-40s %6.1f%%\n", name, perPkg[name].percent())
+	}
+	fmt.Fprintf(w, "%-40s %6.1f%%\n", "total", all.percent())
+
+	var violations []string
+	for pkg, floor := range floors {
+		c, ok := perPkg[pkg]
+		if !ok {
+			violations = append(violations, fmt.Sprintf("package %s not present in profile", pkg))
+			continue
+		}
+		if got := c.percent(); got < floor {
+			violations = append(violations, fmt.Sprintf("package %s coverage %.1f%% below floor %.1f%%", pkg, got, floor))
+		}
+	}
+	if *total > 0 && all.percent() < *total {
+		violations = append(violations, fmt.Sprintf("total coverage %.1f%% below floor %.1f%%", all.percent(), *total))
+	}
+	if len(violations) > 0 {
+		sort.Strings(violations)
+		return fmt.Errorf("%s", strings.Join(violations, "\n"))
+	}
+	return nil
+}
+
+// parseProfile aggregates a cover profile's statement counts by package.
+// Profile lines look like:
+//
+//	ncfn/internal/telemetry/counter.go:12.34,14.2 3 1
+//
+// where the trailing fields are the statement count and the hit count.
+func parseProfile(path2 string) (map[string]pkgCov, error) {
+	f, err := os.Open(path2)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	perPkg := make(map[string]pkgCov)
+	sc := bufio.NewScanner(f)
+	first := true
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if first {
+			first = false
+			if strings.HasPrefix(line, "mode:") {
+				continue
+			}
+		}
+		file, rest, ok := strings.Cut(line, ":")
+		if !ok {
+			return nil, fmt.Errorf("malformed profile line %q", line)
+		}
+		fields := strings.Fields(rest)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("malformed profile line %q", line)
+		}
+		stmts, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("malformed statement count in %q", line)
+		}
+		hits, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("malformed hit count in %q", line)
+		}
+		pkg := path.Dir(file)
+		c := perPkg[pkg]
+		c.total += stmts
+		if hits > 0 {
+			c.covered += stmts
+		}
+		perPkg[pkg] = c
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(perPkg) == 0 {
+		return nil, fmt.Errorf("profile %s has no coverage blocks", path2)
+	}
+	return perPkg, nil
+}

@@ -28,7 +28,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"os"
 	"sort"
 	"time"
@@ -44,6 +46,9 @@ type deployConfig struct {
 	Sessions []sessionConfig   `json:"sessions"`
 	Peers    map[string]string `json:"peers"`
 	Daemons  map[string]string `json:"daemons"`
+	// Admin maps node names to ncd admin endpoints (-admin), read by the
+	// stats command.
+	Admin map[string]string `json:"admin"`
 }
 
 type sessionConfig struct {
@@ -83,7 +88,7 @@ func run(args []string) error {
 		return errors.New("-config is required")
 	}
 	if fs.NArg() != 1 {
-		return errors.New("expected one command: start | stop")
+		return errors.New("expected one command: start | stop | stats")
 	}
 	raw, err := os.ReadFile(*configPath)
 	if err != nil {
@@ -98,6 +103,8 @@ func run(args []string) error {
 		return start(cfg)
 	case "stop":
 		return stop(cfg, *tau)
+	case "stats":
+		return stats(cfg, os.Stdout)
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
@@ -117,24 +124,74 @@ func parseRole(s string) (dataplane.Role, error) {
 	}
 }
 
-// pushTimeout bounds each daemon exchange; a push never blocks forever on a
-// dead daemon (see -timeout).
+// pushTimeout bounds each individual RPC — the dial, every message push,
+// and every stats fetch separately — so -timeout means "how long one
+// exchange may take", not a budget the whole command shares (see -timeout).
 var pushTimeout = controller.DefaultPushTimeout
 
-// push sends messages to one daemon, waiting for per-message acks.
+// push sends messages to one daemon, waiting for per-message acks. Each
+// message is its own RPC with a fresh deadline: a daemon that acks slowly
+// (but within the timeout) cannot starve the messages behind it.
 func push(daemonAddr string, msgs []*controller.Message) error {
-	ctx, cancel := context.WithTimeout(context.Background(), pushTimeout)
-	defer cancel()
+	dialCtx, dialCancel := context.WithTimeout(context.Background(), pushTimeout)
 	d := net.Dialer{}
-	c, err := d.DialContext(ctx, "tcp", daemonAddr)
+	c, err := d.DialContext(dialCtx, "tcp", daemonAddr)
+	dialCancel()
 	if err != nil {
 		return fmt.Errorf("dial %s: %w", daemonAddr, err)
 	}
 	defer c.Close()
-	if err := controller.PushMessages(ctx, c, msgs...); err != nil {
-		return fmt.Errorf("push to %s: %w", daemonAddr, err)
+	for _, m := range msgs {
+		ctx, cancel := context.WithTimeout(context.Background(), pushTimeout)
+		err := controller.PushMessages(ctx, c, m)
+		cancel()
+		if err != nil {
+			return fmt.Errorf("push to %s: %w", daemonAddr, err)
+		}
 	}
 	return nil
+}
+
+// stats fetches each daemon's telemetry snapshot from its admin endpoint
+// and prints it. Every fetch is bounded by the per-RPC timeout, so one
+// dead daemon delays the report by at most one timeout before it is
+// reported as unreachable.
+func stats(cfg deployConfig, w io.Writer) error {
+	if len(cfg.Admin) == 0 {
+		return errors.New(`config has no "admin" section (map node -> ncd -admin address)`)
+	}
+	nodes := make([]string, 0, len(cfg.Admin))
+	for n := range cfg.Admin {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	client := &http.Client{Timeout: pushTimeout}
+	var firstErr error
+	for _, node := range nodes {
+		raw, err := fetchStats(client, cfg.Admin[node])
+		if err != nil {
+			fmt.Fprintf(w, "%s: unreachable: %v\n", node, err)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("node %s: %w", node, err)
+			}
+			continue
+		}
+		fmt.Fprintf(w, "%s: %s\n", node, raw)
+	}
+	return firstErr
+}
+
+// fetchStats GETs one admin endpoint's /stats document.
+func fetchStats(client *http.Client, addr string) ([]byte, error) {
+	resp, err := client.Get("http://" + addr + "/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %s", resp.Status)
+	}
+	return io.ReadAll(resp.Body)
 }
 
 // nodesOf lists the daemon nodes in deterministic order.

@@ -3,14 +3,18 @@ package main
 import (
 	"encoding/json"
 	"net"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
 	"ncfn/internal/controller"
 	"ncfn/internal/dataplane"
 	"ncfn/internal/emunet"
+	"ncfn/internal/telemetry"
 )
 
 func TestParseRole(t *testing.T) {
@@ -146,6 +150,81 @@ func TestRunArgsValidation(t *testing.T) {
 	}
 }
 
+// statsServer serves a registry snapshot the way ncd's admin endpoint does.
+func statsServer(t *testing.T, reg *telemetry.Registry) string {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		raw, err := reg.Snapshot().MarshalIndent()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(raw)
+	}))
+	t.Cleanup(srv.Close)
+	return strings.TrimPrefix(srv.URL, "http://")
+}
+
+func TestStatsFetchesSnapshots(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("dataplane_rx_packets", 1).Add(0, 42)
+	addr := statsServer(t, reg)
+
+	cfg := deployConfig{Admin: map[string]string{"relay1": addr}}
+	var out strings.Builder
+	if err := stats(cfg, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.HasPrefix(got, "relay1: ") {
+		t.Fatalf("output missing node prefix: %q", got)
+	}
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal([]byte(strings.TrimPrefix(got, "relay1: ")), &snap); err != nil {
+		t.Fatalf("output is not a JSON snapshot: %v\n%s", err, got)
+	}
+	if snap.Counters["dataplane_rx_packets"] != 42 {
+		t.Fatalf("counter = %d, want 42", snap.Counters["dataplane_rx_packets"])
+	}
+}
+
+func TestStatsReportsUnreachableNodes(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	addr := statsServer(t, reg)
+
+	// A port from a just-closed listener: connection refused, quickly.
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr().String()
+	dead.Close()
+
+	old := pushTimeout
+	pushTimeout = 2 * time.Second
+	defer func() { pushTimeout = old }()
+
+	cfg := deployConfig{Admin: map[string]string{"up": addr, "down": deadAddr}}
+	var out strings.Builder
+	if err := stats(cfg, &out); err == nil {
+		t.Fatal("unreachable node should surface an error")
+	}
+	got := out.String()
+	if !strings.Contains(got, "down: unreachable") {
+		t.Fatalf("missing unreachable report:\n%s", got)
+	}
+	if !strings.Contains(got, "up: {") {
+		t.Fatalf("reachable node not reported:\n%s", got)
+	}
+}
+
+func TestStatsRequiresAdminSection(t *testing.T) {
+	if err := stats(deployConfig{}, &strings.Builder{}); err == nil {
+		t.Fatal("config without admin section accepted")
+	}
+}
+
 func TestExampleConfigParses(t *testing.T) {
 	raw, err := os.ReadFile("deploy.example.json")
 	if err != nil {
@@ -155,7 +234,7 @@ func TestExampleConfigParses(t *testing.T) {
 	if err := json.Unmarshal(raw, &cfg); err != nil {
 		t.Fatalf("example config invalid: %v", err)
 	}
-	if len(cfg.Sessions) != 1 || len(cfg.Daemons) != 3 || len(cfg.Peers) != 3 {
+	if len(cfg.Sessions) != 1 || len(cfg.Daemons) != 3 || len(cfg.Peers) != 3 || len(cfg.Admin) != 3 {
 		t.Fatalf("example config unexpected shape: %+v", cfg)
 	}
 	for node, role := range cfg.Sessions[0].Roles {

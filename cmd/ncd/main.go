@@ -13,17 +13,22 @@ package main
 
 import (
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 
 	"time"
 
 	"ncfn/internal/controller"
+	"ncfn/internal/dataplane"
 	"ncfn/internal/emunet"
+	"ncfn/internal/telemetry"
 )
 
 func main() {
@@ -38,6 +43,7 @@ func run(args []string) error {
 	name := fs.String("name", "", "this node's logical name (required)")
 	dataAddr := fs.String("data", "127.0.0.1:0", "UDP address for coded traffic")
 	controlAddr := fs.String("control", "127.0.0.1:0", "TCP address for control messages")
+	adminAddr := fs.String("admin", "", "HTTP address for the admin endpoint (/stats, /debug/vars, /debug/pprof); empty disables it")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -50,8 +56,20 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	daemon := controller.NewDaemon(conn, nil)
+	reg := telemetry.NewRegistry()
+	daemon := controller.NewDaemon(conn, nil, dataplane.WithTelemetry(reg))
 	defer daemon.Close()
+
+	if *adminAddr != "" {
+		adminLn, err := net.Listen("tcp", *adminAddr)
+		if err != nil {
+			return fmt.Errorf("admin listen: %w", err)
+		}
+		defer adminLn.Close()
+		reg.PublishExpvar("ncd_" + *name)
+		go serveAdmin(adminLn, reg)
+		log.Printf("ncd %s: admin http://%s/stats", *name, adminLn.Addr())
+	}
 
 	ln, err := net.Listen("tcp", *controlAddr)
 	if err != nil {
@@ -97,4 +115,28 @@ func run(args []string) error {
 			return nil
 		}
 	}
+}
+
+// serveAdmin runs the observability endpoint: a JSON telemetry snapshot at
+// /stats, the expvar dump at /debug/vars, and the pprof profiles under
+// /debug/pprof/. It serves until the listener closes (process shutdown).
+func serveAdmin(ln net.Listener, reg *telemetry.Registry) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
+		raw, err := reg.Snapshot().MarshalIndent()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(raw)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	_ = srv.Serve(ln)
 }

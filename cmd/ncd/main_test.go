@@ -1,8 +1,11 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"strings"
 	"testing"
 	"time"
@@ -10,6 +13,7 @@ import (
 	"ncfn/internal/controller"
 	"ncfn/internal/dataplane"
 	"ncfn/internal/rlnc"
+	"ncfn/internal/telemetry"
 )
 
 func TestRunValidation(t *testing.T) {
@@ -90,6 +94,63 @@ func TestDaemonLifecycleOverTCP(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("ncd did not exit after NC_VNF_END")
+	}
+}
+
+// TestAdminEndpoint exercises serveAdmin directly: /stats must return the
+// registry's JSON snapshot, /debug/vars the expvar dump, and /debug/pprof/
+// the profile index.
+func TestAdminEndpoint(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter(dataplane.MetricRxPackets, 1).Add(0, 7)
+	reg.Histogram(dataplane.MetricDecodeLatencyNs).Observe(1000)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go serveAdmin(ln, reg)
+	base := "http://" + ln.Addr().String()
+
+	get := func(path string) []byte {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal(get("/stats"), &snap); err != nil {
+		t.Fatalf("/stats is not a snapshot: %v", err)
+	}
+	if snap.Counters[dataplane.MetricRxPackets] != 7 {
+		t.Fatalf("rx counter = %d, want 7", snap.Counters[dataplane.MetricRxPackets])
+	}
+	if snap.Histograms[dataplane.MetricDecodeLatencyNs].Count != 1 {
+		t.Fatal("decode histogram missing from snapshot")
+	}
+
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal(get("/debug/vars"), &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	if _, ok := vars["memstats"]; !ok {
+		t.Fatal("/debug/vars missing memstats")
+	}
+
+	if !strings.Contains(string(get("/debug/pprof/")), "goroutine") {
+		t.Fatal("/debug/pprof/ index missing profiles")
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"ncfn/internal/core"
+	"ncfn/internal/dataplane"
 	"ncfn/internal/emunet"
 	"ncfn/internal/ncproto"
 	"ncfn/internal/optimize"
@@ -71,6 +72,12 @@ type ButterflyResult struct {
 	PerReceiver map[string]float64
 	// PlanRateMbps is the optimizer's λ (rescaled).
 	PlanRateMbps float64
+	// RelayTxPackets / RelayDropped / NetDropped come from the
+	// deployment's telemetry snapshot (the same counters ncd exports on
+	// its admin endpoint), totalled across every VNF and link.
+	RelayTxPackets uint64
+	RelayDropped   uint64
+	NetDropped     uint64
 }
 
 // scaledButterfly clones the butterfly graph with capacities multiplied.
@@ -197,9 +204,13 @@ func RunButterfly(o ButterflyOpts) (ButterflyResult, error) {
 		time.Sleep(250 * time.Millisecond)
 	}
 
+	snap := svc.Telemetry().Snapshot()
 	res := ButterflyResult{
-		PerReceiver:  make(map[string]float64, len(dsts)),
-		PlanRateMbps: planRate / o.Scale,
+		PerReceiver:    make(map[string]float64, len(dsts)),
+		PlanRateMbps:   planRate / o.Scale,
+		RelayTxPackets: snap.Counters[dataplane.MetricTxPackets],
+		RelayDropped:   snap.Counters[dataplane.MetricDroppedPackets],
+		NetDropped:     snap.Counters[emunet.MetricNetDroppedPackets],
 	}
 	minGoodput := -1.0
 	for _, d := range dsts {

@@ -15,6 +15,7 @@ import (
 	"ncfn/internal/ncproto"
 	"ncfn/internal/rlnc"
 	"ncfn/internal/simclock"
+	"ncfn/internal/telemetry"
 	"ncfn/internal/topology"
 )
 
@@ -74,6 +75,11 @@ type Cluster struct {
 	Clock *simclock.Virtual
 	Cloud *cloud.Cloud
 	Sup   *controller.Supervisor
+	// Reg is the cluster-wide telemetry registry: every layer (emunet
+	// links, cloud faults, daemons' VNFs, the failover supervisor) shares
+	// it, so one snapshot covers the whole deployment and chaos tests can
+	// assert on flight-recorder events deterministically.
+	Reg *telemetry.Registry
 
 	params rlnc.Params
 	seed   int64
@@ -99,11 +105,14 @@ func NewButterfly(seed int64) (*Cluster, error) {
 	for _, n := range relays {
 		regions = append(regions, cloud.Region{ID: topologyID(n), BaseInMbps: 900, BaseOutMbps: 900})
 	}
+	reg := telemetry.NewRegistry()
 	cl := cloud.New(clk, seed, regions...)
+	cl.AttachTelemetry(reg)
 	c := &Cluster{
-		Net:       emunet.NewNetwork(emunet.AllowDefault()),
+		Net:       emunet.NewNetwork(emunet.AllowDefault(), emunet.WithTelemetry(reg)),
 		Clock:     clk,
 		Cloud:     cl,
+		Reg:       reg,
 		params:    rlnc.Params{GenerationBlocks: 4, BlockSize: 32},
 		seed:      seed,
 		epoch:     make(map[string]int),
@@ -164,6 +173,7 @@ func NewButterfly(seed int64) (*Cluster, error) {
 		Cloud:         cl,
 		Clock:         clk,
 		FailThreshold: 2,
+		Telemetry:     reg,
 	})
 	for _, n := range relays {
 		node := n
@@ -227,7 +237,10 @@ func (c *Cluster) tableLocked(node string) map[ncproto.SessionID][]dataplane.Hop
 // pushes settings, table, and start — the controller's deployment sequence.
 func (c *Cluster) deployLocked(node string) error {
 	spec := butterflyPlan[node]
-	d := controller.NewDaemon(c.Net.Host(c.addr[node]), c.Clock, dataplane.WithSeed(c.seed+int64(c.epoch[node])))
+	d := controller.NewDaemon(c.Net.Host(c.addr[node]), c.Clock,
+		dataplane.WithSeed(c.seed+int64(c.epoch[node])),
+		dataplane.WithTelemetry(c.Reg),
+		dataplane.WithClock(c.Clock))
 	msgs := []*controller.Message{
 		{Signal: controller.NCSettings, Settings: &dataplane.SessionConfig{
 			ID:       Session,

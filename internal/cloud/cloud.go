@@ -121,6 +121,9 @@ type Cloud struct {
 	// retiredHours accumulates VM-hours of terminated/crashed segments, so
 	// restarts bill as fresh segments without losing history.
 	retiredHours float64
+	// tel mirrors launch/crash accounting into a telemetry registry when
+	// attached (AttachTelemetry); nil records nothing.
+	tel *cloudTelemetry
 }
 
 // New builds a cloud with the given regions.
@@ -183,6 +186,10 @@ func (c *Cloud) LaunchInstance(region topology.NodeID) (*Instance, error) {
 	if c.failLaunch[region] > 0 {
 		c.failLaunch[region]--
 		c.launchFails[region]++
+		if c.tel != nil {
+			c.tel.launchFails.Inc(0)
+		}
+		c.recordFaultLocked(string(region), 1)
 		return nil, fmt.Errorf("%w in %s", ErrLaunchFailed, region)
 	}
 	delay := r.LaunchDelay
@@ -200,6 +207,9 @@ func (c *Cloud) LaunchInstance(region topology.NodeID) (*Instance, error) {
 	}
 	c.instances[inst.ID] = inst
 	c.launches[region]++
+	if c.tel != nil {
+		c.tel.launches.Inc(0)
+	}
 	return inst, nil
 }
 
@@ -272,6 +282,10 @@ func (c *Cloud) CrashInstance(id string) error {
 	c.retireLocked(inst, c.clock.Now())
 	inst.state = StateCrashed
 	c.crashes[inst.Region]++
+	if c.tel != nil {
+		c.tel.crashes.Inc(0)
+	}
+	c.recordFaultLocked(id, 2)
 	return nil
 }
 
@@ -299,6 +313,9 @@ func (c *Cloud) RestartInstance(id string) (time.Time, error) {
 	inst.readyAt = now.Add(delay)
 	inst.terminatedAt = time.Time{}
 	c.launches[inst.Region]++
+	if c.tel != nil {
+		c.tel.launches.Inc(0)
+	}
 	return inst.readyAt, nil
 }
 

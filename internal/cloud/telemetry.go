@@ -1,0 +1,48 @@
+package cloud
+
+import (
+	"ncfn/internal/telemetry"
+)
+
+// Telemetry instrument names.
+const (
+	MetricLaunches       = "cloud_launches"
+	MetricLaunchFailures = "cloud_launch_failures"
+	MetricCrashes        = "cloud_crashes"
+	CloudFlightName      = "cloud_flight"
+)
+
+// cloudTelemetry is the provider's instrument set.
+type cloudTelemetry struct {
+	launches    *telemetry.Counter
+	launchFails *telemetry.Counter
+	crashes     *telemetry.Counter
+	rec         *telemetry.Recorder
+}
+
+// AttachTelemetry mirrors the provider's launch/crash accounting into the
+// given registry and traces injected faults (VM crashes, launch failures)
+// in its flight recorder, timestamped by the cloud's own clock so chaos
+// runs under a virtual clock replay deterministically. Safe to call once,
+// before traffic; nil is ignored.
+func (c *Cloud) AttachTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tel = &cloudTelemetry{
+		launches:    reg.Counter(MetricLaunches, 1),
+		launchFails: reg.Counter(MetricLaunchFailures, 1),
+		crashes:     reg.Counter(MetricCrashes, 1),
+		rec:         reg.Recorder(CloudFlightName, telemetry.DefaultRecorderCapacity),
+	}
+}
+
+// recordFaultLocked traces one injected fault. The cloud mutex is held.
+func (c *Cloud) recordFaultLocked(node string, value int64) {
+	if c.tel == nil {
+		return
+	}
+	c.tel.rec.Record(c.clock.Now().UnixNano(), telemetry.EventFault, node, 0, 0, value)
+}

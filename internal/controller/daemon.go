@@ -64,13 +64,20 @@ func (d *Daemon) LastSignal() Signal {
 	return d.lastApplied
 }
 
-// Apply executes one control message.
+// Apply executes one control message. Each apply's latency is observed
+// into the VNF registry's apply-latency histogram, so a daemon snapshot
+// shows how long control pushes take to take effect (Table III's
+// table-update cost).
 func (d *Daemon) Apply(m *Message) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.closed {
 		return fmt.Errorf("controller: daemon closed")
 	}
+	start := d.clock.Now()
+	defer func() {
+		d.vnf.Telemetry().Histogram(MetricApplyNs).Observe(d.clock.Now().Sub(start).Nanoseconds())
+	}()
 	d.applied++
 	d.lastApplied = m.Signal
 	switch m.Signal {

@@ -11,6 +11,7 @@ import (
 	"ncfn/internal/cloud"
 	"ncfn/internal/probe"
 	"ncfn/internal/simclock"
+	"ncfn/internal/telemetry"
 	"ncfn/internal/topology"
 )
 
@@ -29,6 +30,7 @@ import (
 // in a periodic loop for real deployments.
 type Supervisor struct {
 	cfg SupervisorConfig
+	tel supTelemetry
 
 	mu      sync.Mutex
 	managed map[topology.NodeID]*managedVNF
@@ -47,6 +49,10 @@ type SupervisorConfig struct {
 	// VNF dead (default 2 — one lost probe must not trigger a 35 s
 	// relaunch).
 	FailThreshold int
+	// Telemetry receives the supervisor's counters, failover-duration
+	// histogram, and flight-recorder events (retry, failover). Nil gets a
+	// private registry, reachable via Supervisor.Telemetry.
+	Telemetry *telemetry.Registry
 }
 
 // failoverPhase is a managed VNF's position in the recovery state machine.
@@ -98,11 +104,18 @@ func NewSupervisor(cfg SupervisorConfig) *Supervisor {
 		cfg.FailThreshold = 2
 	}
 	cfg.Retry = cfg.Retry.withDefaults()
+	if cfg.Telemetry == nil {
+		cfg.Telemetry = telemetry.NewRegistry()
+	}
 	return &Supervisor{
 		cfg:     cfg,
+		tel:     newSupTelemetry(cfg.Telemetry),
 		managed: make(map[topology.NodeID]*managedVNF),
 	}
 }
+
+// Telemetry returns the registry holding the supervisor's instruments.
+func (s *Supervisor) Telemetry() *telemetry.Registry { return s.cfg.Telemetry }
 
 // Manage registers a VNF for supervision. check is the health probe for the
 // current instance (see PingCheck and InstanceCheck); redeploy must bring a
@@ -188,6 +201,9 @@ func (s *Supervisor) tickOneLocked(m *managedVNF) {
 				s.abandonLocked(m, fmt.Errorf("relaunch %s: %w", m.node, err))
 				return
 			}
+			s.tel.retries.Inc(0)
+			s.tel.rec.Record(now.UnixNano(), telemetry.EventRetry, string(m.node),
+				0, 0, int64(m.attempts))
 			m.nextAttempt = now.Add(s.cfg.Retry.Backoff(m.attempts))
 			return
 		}
@@ -210,11 +226,19 @@ func (s *Supervisor) tickOneLocked(m *managedVNF) {
 			m.redeployFails++
 			if m.redeployFails >= s.cfg.Retry.MaxAttempts {
 				s.abandonLocked(m, fmt.Errorf("redeploy %s: %w", m.node, err))
+				return
 			}
+			s.tel.retries.Inc(0)
+			s.tel.rec.Record(now.UnixNano(), telemetry.EventRetry, string(m.node),
+				0, 0, int64(m.redeployFails))
 			return
 		}
 		m.pending.RecoveredAt = now
 		s.events = append(s.events, m.pending)
+		s.tel.done.Inc(0)
+		dur := now.Sub(m.pending.DetectedAt).Nanoseconds()
+		s.tel.durations.Observe(dur)
+		s.tel.rec.Record(now.UnixNano(), telemetry.EventFailover, string(m.node), 0, 0, dur)
 		m.instance = m.pending.NewInstance
 		m.phase = phaseHealthy
 		m.consecFails = 0
@@ -225,11 +249,16 @@ func (s *Supervisor) tickOneLocked(m *managedVNF) {
 	}
 }
 
-// abandonLocked gives up on the current failover and logs the failure.
+// abandonLocked gives up on the current failover and logs the failure. The
+// flight recorder marks it as a failover event with Value -1, keeping
+// completed recoveries (non-negative durations) trivially separable.
 func (s *Supervisor) abandonLocked(m *managedVNF, err error) {
 	m.phase = phaseFailed
 	m.pending.Err = fmt.Errorf("%w: %v", ErrRetriesExhausted, err)
 	s.events = append(s.events, m.pending)
+	s.tel.abandoned.Inc(0)
+	s.tel.rec.Record(s.cfg.Clock.Now().UnixNano(), telemetry.EventFailover,
+		string(m.node), 0, 0, -1)
 }
 
 // Run ticks the supervisor every interval until ctx is cancelled — the

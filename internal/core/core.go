@@ -23,6 +23,7 @@ import (
 	"ncfn/internal/ncproto"
 	"ncfn/internal/optimize"
 	"ncfn/internal/rlnc"
+	"ncfn/internal/telemetry"
 	"ncfn/internal/topology"
 	"ncfn/internal/transfer"
 )
@@ -64,6 +65,11 @@ type Config struct {
 	// names match the graph's node IDs. When nil, Deploy builds one from
 	// the graph (links inherit capacity and delay).
 	Network *emunet.Network
+	// Telemetry optionally shares a registry across the deployment: every
+	// VNF, receiver endpoint, and (when owned) the network mirror their
+	// counters into it. Nil creates a private registry, readable via
+	// Service.Telemetry.
+	Telemetry *telemetry.Registry
 	// Seed fixes coding randomness.
 	Seed int64
 }
@@ -71,6 +77,8 @@ type Config struct {
 // Service orchestrates sessions over deployed coding functions.
 type Service struct {
 	cfg Config
+
+	reg *telemetry.Registry
 
 	mu        sync.Mutex
 	sessions  []optimize.Session
@@ -98,8 +106,13 @@ func NewService(cfg Config) (*Service, error) {
 	if cfg.MaxPathHops <= 0 {
 		cfg.MaxPathHops = 4
 	}
+	reg := cfg.Telemetry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
 	return &Service{
 		cfg:       cfg,
+		reg:       reg,
 		vnfs:      make(map[topology.NodeID]*dataplane.VNF),
 		sources:   make(map[ncproto.SessionID]*dataplane.Source),
 		endpoints: make(map[topology.NodeID]*dataplane.MultiReceiver),
@@ -169,7 +182,7 @@ func (s *Service) Deploy() error {
 	if s.cfg.Network != nil {
 		s.net = s.cfg.Network
 	} else {
-		s.net = buildNetwork(s.cfg.Graph)
+		s.net = buildNetwork(s.cfg.Graph, s.reg)
 		s.ownsNet = true
 	}
 
@@ -189,7 +202,10 @@ func (s *Service) Deploy() error {
 		if !dcSet[node] {
 			continue
 		}
-		opts := []dataplane.VNFOption{dataplane.WithSeed(s.cfg.Seed + int64(len(s.vnfs)) + 100)}
+		opts := []dataplane.VNFOption{
+			dataplane.WithSeed(s.cfg.Seed + int64(len(s.vnfs)) + 100),
+			dataplane.WithTelemetry(s.reg),
+		}
 		if s.cfg.BufferGenerations > 0 {
 			opts = append(opts, dataplane.WithBufferCapacity(s.cfg.BufferGenerations))
 		}
@@ -236,7 +252,7 @@ func (s *Service) Deploy() error {
 		for _, r := range sess.Receivers {
 			ep, ok := s.endpoints[r]
 			if !ok {
-				var ropts []dataplane.VNFOption
+				ropts := []dataplane.VNFOption{dataplane.WithTelemetry(s.reg)}
 				if s.cfg.CodingCostBytesPerSec > 0 {
 					ropts = append(ropts, dataplane.WithCodingCost(s.cfg.CodingCostBytesPerSec))
 				}
@@ -258,8 +274,8 @@ func (s *Service) Deploy() error {
 }
 
 // buildNetwork materializes the overlay graph as an emulated network.
-func buildNetwork(g *topology.Graph) *emunet.Network {
-	n := emunet.NewNetwork()
+func buildNetwork(g *topology.Graph, reg *telemetry.Registry) *emunet.Network {
+	n := emunet.NewNetwork(emunet.WithTelemetry(reg))
 	for _, node := range g.Nodes() {
 		n.Host(string(node.ID))
 	}
@@ -271,6 +287,13 @@ func buildNetwork(g *topology.Graph) *emunet.Network {
 		n.SetLink(string(l.From), string(l.To), cfg)
 	}
 	return n
+}
+
+// Telemetry returns the deployment-wide registry: every VNF, receiver
+// endpoint, and owned network reports into it, so one Snapshot covers the
+// whole data plane.
+func (s *Service) Telemetry() *telemetry.Registry {
+	return s.reg
 }
 
 // Network exposes the underlying packet network (for tests that add
@@ -342,15 +365,19 @@ func (s *Service) Send(id ncproto.SessionID, data []byte, timeout time.Duration)
 	return transfer.Multicast(src, data, cfg)
 }
 
-// NodeStats pairs a data-center node with its VNF's counters.
+// NodeStats pairs a data-center node with its VNF's counters. Because the
+// whole deployment shares one telemetry registry, every relay resolves the
+// same named instruments: each row reports deployment-wide totals, and
+// per-node attribution comes from the flight recorder's node labels in
+// Telemetry().Snapshot().Events.
 type NodeStats struct {
 	Node  topology.NodeID
 	Stats dataplane.Stats
 }
 
-// Report summarizes the deployment's data-plane activity: per-relay packet
-// counters plus per-session delivered generations, for operational
-// visibility after (or during) a run.
+// Report summarizes the deployment's data-plane activity: packet counters
+// plus per-session delivered generations, for operational visibility after
+// (or during) a run.
 type Report struct {
 	Relays   []NodeStats
 	Sessions map[ncproto.SessionID]SessionReport

@@ -6,9 +6,12 @@ import (
 	"testing"
 	"time"
 
+	"ncfn/internal/dataplane"
+	"ncfn/internal/emunet"
 	"ncfn/internal/ncproto"
 	"ncfn/internal/optimize"
 	"ncfn/internal/rlnc"
+	"ncfn/internal/telemetry"
 	"ncfn/internal/topology"
 )
 
@@ -229,6 +232,64 @@ func TestSharedReceiverNodeAcrossSessions(t *testing.T) {
 		got, ok := recv.Data(stats.Generations)
 		if !ok || !bytes.Equal(got[:len(data)], data) {
 			t.Fatalf("session %d data mismatch at shared receiver", id)
+		}
+	}
+}
+
+// TestServiceTelemetrySharedRegistry pins the deployment-wide registry: one
+// snapshot after a transfer must carry both dataplane counters (from every
+// VNF and endpoint) and emunet counters (from the owned network), and a
+// caller-supplied registry must be the one the service reports into.
+func TestServiceTelemetrySharedRegistry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	g, src, dsts := topology.Butterfly()
+	svc, err := NewService(Config{
+		Graph: g,
+		DataCenters: []optimize.DataCenter{
+			{ID: "O1", BinMbps: 1000, BoutMbps: 1000, CodeMbps: 500},
+			{ID: "C1", BinMbps: 1000, BoutMbps: 1000, CodeMbps: 500},
+			{ID: "T", BinMbps: 1000, BoutMbps: 1000, CodeMbps: 500},
+			{ID: "V2", BinMbps: 1000, BoutMbps: 1000, CodeMbps: 500},
+		},
+		Alpha:     0.1,
+		Params:    rlnc.Params{GenerationBlocks: 4, BlockSize: 256},
+		Telemetry: reg,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	if svc.Telemetry() != reg {
+		t.Fatal("Telemetry() must return the supplied registry")
+	}
+	if err := svc.AddSession(optimize.Session{ID: 1, Source: src, Receivers: dsts, MaxDelay: 150 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Deploy(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Send(1, make([]byte, 16*1024), 300*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	if snap.Counters[dataplane.MetricRxPackets] == 0 || snap.Counters[dataplane.MetricTxPackets] == 0 {
+		t.Fatalf("dataplane counters empty: %v", snap.Counters)
+	}
+	if snap.Counters[dataplane.MetricGenerationsDone] == 0 {
+		t.Fatal("no generations counted at the receivers")
+	}
+	if snap.Counters[emunet.MetricNetTxPackets] == 0 {
+		t.Fatal("owned network not instrumented")
+	}
+	// The legacy Stats() report and the snapshot read the same storage:
+	// under a shared registry every VNF resolves the same named counters,
+	// so each relay reports the deployment-wide totals.
+	for _, r := range svc.Stats().Relays {
+		if r.Stats.PacketsIn != snap.Counters[dataplane.MetricRxPackets] {
+			t.Fatalf("relay %s PacketsIn %d != snapshot rx %d (paths drifted)",
+				r.Node, r.Stats.PacketsIn, snap.Counters[dataplane.MetricRxPackets])
 		}
 	}
 }

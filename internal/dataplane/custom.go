@@ -59,17 +59,17 @@ type errorString string
 func (e errorString) Error() string { return string(e) }
 
 // runCustom dispatches one packet to the session's Function.
-func (v *VNF) runCustom(st *sessionState, p *ncproto.Packet) {
+func (v *VNF) runCustom(sh *vnfShard, st *sessionState, p *ncproto.Packet) {
 	hops := v.table.NextHops(p.Session, p.Generation)
 	emitted := false
 	st.custom.OnPacket(p, hops, func(dst string, out *ncproto.Packet) {
 		wire := out.Encode(nil)
 		if err := v.conn.Send(dst, wire); err == nil {
-			v.packetsOut.Add(1)
+			v.tel.tx.Inc(sh.idx + 1)
 			emitted = true
 		}
 	})
 	if emitted {
-		v.forwarded.Add(1)
+		v.tel.forwarded.Inc(sh.idx + 1)
 	}
 }

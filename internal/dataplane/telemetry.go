@@ -1,0 +1,97 @@
+package dataplane
+
+import (
+	"ncfn/internal/simclock"
+	"ncfn/internal/telemetry"
+)
+
+// Telemetry instrument names. Every VNF owns one set of instruments in its
+// registry (private by default, shared when the daemon passes one in via
+// WithTelemetry); `ncctl stats` and the admin endpoint read them by these
+// names.
+const (
+	MetricRxPackets       = "dataplane_rx_packets"
+	MetricTxPackets       = "dataplane_tx_packets"
+	MetricDroppedPackets  = "dataplane_dropped_packets"
+	MetricGenerationsDone = "dataplane_generations_decoded"
+	MetricRecoded         = "dataplane_recoded_emissions"
+	MetricForwarded       = "dataplane_forwarded_packets"
+	MetricBatchPackets    = "dataplane_batch_packets"
+	MetricDecodeLatencyNs = "dataplane_decode_latency_ns"
+	MetricTableSwapNs     = "dataplane_table_swap_ns"
+	MetricShardQueueDepth = "dataplane_shard_queue_depth"
+	FlightRecorderName    = "dataplane_flight"
+)
+
+// vnfTelemetry is a VNF's instrument set. Counters are sharded with one
+// cell per pipeline worker plus cell 0 for the receive goroutine (and for
+// synchronous handlePacket callers), so the steady-state data plane never
+// contends on a counter line: each writer pays exactly one relaxed atomic
+// add.
+type vnfTelemetry struct {
+	rx        *telemetry.Counter
+	tx        *telemetry.Counter
+	drops     *telemetry.Counter
+	gens      *telemetry.Counter
+	recoded   *telemetry.Counter
+	forwarded *telemetry.Counter
+
+	// batch observes the run length of each shard drain; decode observes
+	// per-generation decode latency (decoder creation to delivery) in
+	// nanoseconds; tableSwap observes the paused duration of each
+	// forwarding-table swap.
+	batch     *telemetry.Histogram
+	decodeNs  *telemetry.Histogram
+	tableSwap *telemetry.Histogram
+
+	// queueDepth holds each shard's residual channel depth, sampled by the
+	// shard worker after every drain; Value() sums to the total backlog.
+	queueDepth *telemetry.Gauge
+
+	rec *telemetry.Recorder
+}
+
+// newVNFTelemetry builds the instrument set in reg with cells for workers
+// shards (+1 for the receive side).
+func newVNFTelemetry(reg *telemetry.Registry, workers int) vnfTelemetry {
+	cells := workers + 1
+	return vnfTelemetry{
+		rx:         reg.Counter(MetricRxPackets, cells),
+		tx:         reg.Counter(MetricTxPackets, cells),
+		drops:      reg.Counter(MetricDroppedPackets, cells),
+		gens:       reg.Counter(MetricGenerationsDone, cells),
+		recoded:    reg.Counter(MetricRecoded, cells),
+		forwarded:  reg.Counter(MetricForwarded, cells),
+		batch:      reg.Histogram(MetricBatchPackets),
+		decodeNs:   reg.Histogram(MetricDecodeLatencyNs),
+		tableSwap:  reg.Histogram(MetricTableSwapNs),
+		queueDepth: reg.Gauge(MetricShardQueueDepth, workers),
+		rec:        reg.Recorder(FlightRecorderName, telemetry.DefaultRecorderCapacity),
+	}
+}
+
+// WithTelemetry attaches the VNF's instruments to the given registry
+// instead of a private one, so a daemon can serve one merged snapshot for
+// everything it hosts. Nil leaves the default (private registry).
+func WithTelemetry(reg *telemetry.Registry) VNFOption {
+	return func(v *VNF) {
+		if reg != nil {
+			v.reg = reg
+		}
+	}
+}
+
+// WithClock sets the clock used for telemetry timestamps and latency
+// measurements (decode latency, table-swap pauses). The default is the real
+// clock; the chaos harness passes its simclock.Virtual so flight-recorder
+// events replay tick-for-tick.
+func WithClock(clk simclock.Clock) VNFOption {
+	return func(v *VNF) {
+		if clk != nil {
+			v.clock = clk
+		}
+	}
+}
+
+// Telemetry returns the registry holding the VNF's instruments.
+func (v *VNF) Telemetry() *telemetry.Registry { return v.reg }

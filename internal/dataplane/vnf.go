@@ -12,6 +12,8 @@ import (
 	"ncfn/internal/emunet"
 	"ncfn/internal/ncproto"
 	"ncfn/internal/rlnc"
+	"ncfn/internal/simclock"
+	"ncfn/internal/telemetry"
 )
 
 // Role is a VNF's function for one session (NC_SETTINGS assigns "VNF roles
@@ -104,12 +106,13 @@ type VNF struct {
 	workers int
 	shards  []*vnfShard
 
-	packetsIn        atomic.Uint64
-	packetsOut       atomic.Uint64
-	packetsDropped   atomic.Uint64
-	generationsDone  atomic.Uint64
-	recodedEmissions atomic.Uint64
-	forwarded        atomic.Uint64
+	// reg holds the VNF's instruments (see telemetry.go); tel caches the
+	// resolved handles so the hot path never touches the registry's mutex.
+	// clock stamps flight-recorder events and latency measurements.
+	reg   *telemetry.Registry
+	tel   vnfTelemetry
+	clock simclock.Clock
+	node  string
 
 	deliveries chan Delivery
 	acks       chan ncproto.Ack
@@ -133,6 +136,10 @@ type pktJob struct {
 // steady-state packet path reuses them without allocating.
 type vnfShard struct {
 	in chan pktJob
+
+	// idx is the shard's position; counter writes from this shard land on
+	// telemetry cell idx+1 (cell 0 belongs to the receive goroutine).
+	idx int
 
 	// pauseMu serializes this shard's packet processing against
 	// forwarding-table updates (the SIGUSR1 pause/resume cycle of
@@ -169,6 +176,9 @@ type sessionState struct {
 	decoders map[ncproto.GenerationID]*rlnc.Decoder
 	// delivered marks generations already handed to the application.
 	delivered map[ncproto.GenerationID]bool
+	// started stamps when each generation's decoder was created (clock
+	// nanoseconds), feeding the decode-latency histogram at delivery.
+	started map[ncproto.GenerationID]int64
 	nextSeed  int64
 	// custom is the pluggable packet module for RoleCustom sessions.
 	custom Function
@@ -239,6 +249,8 @@ func NewVNF(conn emunet.PacketConn, opts ...VNFOption) *VNF {
 		deliveries: make(chan Delivery, 1024),
 		acks:       make(chan ncproto.Ack, 1024),
 		done:       make(chan struct{}),
+		reg:        telemetry.NewRegistry(),
+		clock:      simclock.Real{},
 	}
 	for _, o := range opts {
 		o(v)
@@ -251,8 +263,10 @@ func NewVNF(conn emunet.PacketConn, opts ...VNFOption) *VNF {
 	}
 	v.shards = make([]*vnfShard, v.workers)
 	for i := range v.shards {
-		v.shards[i] = &vnfShard{in: make(chan pktJob, 256)}
+		v.shards[i] = &vnfShard{in: make(chan pktJob, 256), idx: i}
 	}
+	v.node = conn.LocalAddr()
+	v.tel = newVNFTelemetry(v.reg, v.workers)
 	return v
 }
 
@@ -311,6 +325,7 @@ func (v *VNF) Configure(cfg SessionConfig) error {
 		recoders:  make(map[ncproto.GenerationID]*rlnc.Recoder),
 		decoders:  make(map[ncproto.GenerationID]*rlnc.Decoder),
 		delivered: make(map[ncproto.GenerationID]bool),
+		started:   make(map[ncproto.GenerationID]int64),
 		nextSeed:  v.seed,
 	}
 	return nil
@@ -347,16 +362,26 @@ func (v *VNF) Close() error {
 	return err
 }
 
-// Stats returns a snapshot of the VNF's counters.
+// Stats returns a snapshot of the VNF's counters, aggregated across
+// telemetry cells.
 func (v *VNF) Stats() Stats {
 	return Stats{
-		PacketsIn:        v.packetsIn.Load(),
-		PacketsOut:       v.packetsOut.Load(),
-		PacketsDropped:   v.packetsDropped.Load(),
-		GenerationsDone:  v.generationsDone.Load(),
-		RecodedEmissions: v.recodedEmissions.Load(),
-		Forwarded:        v.forwarded.Load(),
+		PacketsIn:        v.tel.rx.Value(),
+		PacketsOut:       v.tel.tx.Value(),
+		PacketsDropped:   v.tel.drops.Value(),
+		GenerationsDone:  v.tel.gens.Value(),
+		RecodedEmissions: v.tel.recoded.Value(),
+		Forwarded:        v.tel.forwarded.Value(),
 	}
+}
+
+// dropPkt counts n dropped packets on the given counter cell and leaves a
+// flight-recorder trace so post-mortems can see what was being dropped
+// when.
+func (v *VNF) dropPkt(cell int, sess ncproto.SessionID, gen ncproto.GenerationID, n int) {
+	v.tel.drops.Add(cell, uint64(n))
+	v.tel.rec.Record(v.clock.Now().UnixNano(), telemetry.EventPacketDrop, v.node,
+		uint64(sess), uint64(gen), int64(n))
 }
 
 // SessionStats reports one session's counters at this VNF.
@@ -399,6 +424,8 @@ func (v *VNF) SessionStatsFor(id ncproto.SessionID) (SessionStats, bool) {
 func (v *VNF) UpdateTable(entries map[ncproto.SessionID][]HopGroup) {
 	v.pauseAll()
 	defer v.resumeAll()
+	start := v.pauseEvent()
+	defer v.resumeEvent(start)
 	for s, hops := range entries {
 		if hops == nil {
 			v.table.Delete(s)
@@ -406,6 +433,22 @@ func (v *VNF) UpdateTable(entries map[ncproto.SessionID][]HopGroup) {
 		}
 		v.table.Set(s, hops)
 	}
+}
+
+// pauseEvent records a pause marker once every shard is held and returns
+// the pause start time.
+func (v *VNF) pauseEvent() int64 {
+	start := v.clock.Now().UnixNano()
+	v.tel.rec.Record(start, telemetry.EventPause, v.node, 0, 0, 0)
+	return start
+}
+
+// resumeEvent records the matching resume marker (Value carries the paused
+// duration in nanoseconds) and feeds the table-swap histogram.
+func (v *VNF) resumeEvent(start int64) {
+	now := v.clock.Now().UnixNano()
+	v.tel.tableSwap.Observe(now - start)
+	v.tel.rec.Record(now, telemetry.EventResume, v.node, 0, 0, now-start)
 }
 
 // ReloadTableFile pauses processing, loads a table file pushed by the
@@ -418,6 +461,8 @@ func (v *VNF) ReloadTableFile(path string) error {
 	}
 	v.pauseAll()
 	defer v.resumeAll()
+	start := v.pauseEvent()
+	defer v.resumeEvent(start)
 	v.table.ReplaceAll(t.Snapshot())
 	return nil
 }
@@ -490,6 +535,8 @@ func (v *VNF) worker(sh *vnfShard) {
 				break drain
 			}
 		}
+		v.tel.batch.Observe(int64(len(sh.jobs)))
+		v.tel.queueDepth.Set(sh.idx, int64(len(sh.in)))
 		sh.pauseMu.Lock()
 		v.processRun(sh, sh.jobs)
 		sh.pauseMu.Unlock()
@@ -514,7 +561,7 @@ func (v *VNF) processRun(sh *vnfShard, jobs []pktJob) {
 		st := v.sessions[hdr.Session]
 		v.mu.RUnlock()
 		if st == nil {
-			v.packetsDropped.Add(1)
+			v.dropPkt(sh.idx+1, hdr.Session, hdr.Generation, 1)
 			i++
 			continue
 		}
@@ -535,7 +582,7 @@ func (v *VNF) processRun(sh *vnfShard, jobs []pktJob) {
 			p := &sh.pkt
 			if err := ncproto.DecodeInto(p, job.pkt, k); err != nil ||
 				len(p.Payload) != st.cfg.Params.BlockSize {
-				v.packetsDropped.Add(1)
+				v.dropPkt(sh.idx+1, hdr.Session, hdr.Generation, 1)
 				continue
 			}
 			st.pktsIn.Add(1)
@@ -543,7 +590,7 @@ func (v *VNF) processRun(sh *vnfShard, jobs []pktJob) {
 			// the whole run is processed.
 			sh.batch = append(sh.batch, rlnc.CodedBlock{Coeffs: p.Coeffs, Payload: p.Payload})
 		}
-		v.decodeBatch(st, hdr.Session, hdr.Generation, sh.batch)
+		v.decodeBatch(sh.idx+1, st, hdr.Session, hdr.Generation, sh.batch)
 		i = run
 	}
 }
@@ -552,10 +599,10 @@ func (v *VNF) processRun(sh *vnfShard, jobs []pktJob) {
 // arrival, peek the fixed header, and surface control ACKs. It reports
 // whether the packet needs shard processing.
 func (v *VNF) classify(pkt []byte) (ncproto.Header, bool) {
-	v.packetsIn.Add(1)
+	v.tel.rx.Inc(0)
 	hdr, err := ncproto.PeekHeader(pkt)
 	if err != nil {
-		v.packetsDropped.Add(1)
+		v.dropPkt(0, 0, 0, 1)
 		return hdr, false
 	}
 	// Control packets (generation ACKs) surface to the application.
@@ -591,7 +638,7 @@ func (v *VNF) process(sh *vnfShard, pkt []byte, hdr ncproto.Header) {
 	st := v.sessions[hdr.Session]
 	v.mu.RUnlock()
 	if st == nil {
-		v.packetsDropped.Add(1)
+		v.dropPkt(sh.idx+1, hdr.Session, hdr.Generation, 1)
 		return
 	}
 	v.processWith(sh, st, pkt, hdr)
@@ -604,7 +651,7 @@ func (v *VNF) processWith(sh *vnfShard, st *sessionState, pkt []byte, hdr ncprot
 	p := &sh.pkt
 	if err := ncproto.DecodeInto(p, pkt, st.cfg.Params.GenerationBlocks); err != nil ||
 		len(p.Payload) != st.cfg.Params.BlockSize {
-		v.packetsDropped.Add(1)
+		v.dropPkt(sh.idx+1, hdr.Session, hdr.Generation, 1)
 		return
 	}
 	st.pktsIn.Add(1)
@@ -616,9 +663,9 @@ func (v *VNF) processWith(sh *vnfShard, st *sessionState, pkt []byte, hdr ncprot
 		v.recode(sh, st, p)
 	case RoleDecoder:
 		sh.batch = append(sh.batch[:0], rlnc.CodedBlock{Coeffs: p.Coeffs, Payload: p.Payload})
-		v.decodeBatch(st, p.Session, p.Generation, sh.batch)
+		v.decodeBatch(sh.idx+1, st, p.Session, p.Generation, sh.batch)
 	case RoleCustom:
-		v.runCustom(st, p)
+		v.runCustom(sh, st, p)
 	}
 }
 
@@ -632,8 +679,8 @@ func (v *VNF) forward(sh *vnfShard, p *ncproto.Packet) {
 	sh.wire = p.Encode(sh.wire)
 	for _, h := range sh.hops {
 		if err := v.conn.Send(h, sh.wire); err == nil {
-			v.packetsOut.Add(1)
-			v.forwarded.Add(1)
+			v.tel.tx.Inc(sh.idx + 1)
+			v.tel.forwarded.Inc(sh.idx + 1)
 		}
 	}
 }
@@ -651,14 +698,14 @@ func (v *VNF) recode(sh *vnfShard, st *sessionState, p *ncproto.Packet) {
 		st.nextSeed++
 		if err != nil {
 			st.mu.Unlock()
-			v.packetsDropped.Add(1)
+			v.dropPkt(sh.idx+1, p.Session, p.Generation, 1)
 			return
 		}
 		st.recoders[p.Generation] = rec
 	}
 	if err := rec.Add(cb); err != nil {
 		st.mu.Unlock()
-		v.packetsDropped.Add(1)
+		v.dropPkt(sh.idx+1, p.Session, p.Generation, 1)
 		return
 	}
 	// Track the generation in the shared buffer: it provides per-generation
@@ -769,8 +816,8 @@ func (v *VNF) recode(sh *vnfShard, st *sessionState, p *ncproto.Packet) {
 		}
 		sh.wire = outPkt.Encode(sh.wire)
 		if err := v.conn.Send(sh.emDst[i], sh.wire); err == nil {
-			v.packetsOut.Add(1)
-			v.recodedEmissions.Add(1)
+			v.tel.tx.Inc(sh.idx + 1)
+			v.tel.recoded.Inc(sh.idx + 1)
 			st.pktsOut.Add(1)
 		}
 	}
@@ -783,7 +830,7 @@ func (v *VNF) recode(sh *vnfShard, st *sessionState, p *ncproto.Packet) {
 // back-substitution. Coding CPU is charged from the decoder's own work
 // meter, so the end-of-generation blocked inverse + fused multiply is paid
 // when it actually runs.
-func (v *VNF) decodeBatch(st *sessionState, sess ncproto.SessionID, gen ncproto.GenerationID, batch []rlnc.CodedBlock) {
+func (v *VNF) decodeBatch(cell int, st *sessionState, sess ncproto.SessionID, gen ncproto.GenerationID, batch []rlnc.CodedBlock) {
 	if len(batch) == 0 {
 		return
 	}
@@ -798,15 +845,21 @@ func (v *VNF) decodeBatch(st *sessionState, sess ncproto.SessionID, gen ncproto.
 		dec, err = rlnc.NewDecoder(st.cfg.Params)
 		if err != nil {
 			st.mu.Unlock()
-			v.packetsDropped.Add(uint64(len(batch)))
+			v.dropPkt(cell, sess, gen, len(batch))
 			return
 		}
 		st.decoders[gen] = dec
+		st.started[gen] = v.clock.Now().UnixNano()
 	}
-	if _, err := dec.AddBatch(batch); err != nil {
+	innovative, err := dec.AddBatch(batch)
+	if err != nil {
 		st.mu.Unlock()
-		v.packetsDropped.Add(uint64(len(batch)))
+		v.dropPkt(cell, sess, gen, len(batch))
 		return
+	}
+	if innovative > 0 {
+		v.tel.rec.Record(v.clock.Now().UnixNano(), telemetry.EventRankAdvance, v.node,
+			uint64(sess), uint64(gen), int64(dec.Rank()))
 	}
 	if !dec.Complete() {
 		work := dec.TakeWork()
@@ -823,6 +876,8 @@ func (v *VNF) decodeBatch(st *sessionState, sess ncproto.SessionID, gen ncproto.
 	}
 	st.delivered[gen] = true
 	delete(st.decoders, gen)
+	startNs, timed := st.started[gen]
+	delete(st.started, gen)
 	// Prune stale decoder state: generations far behind the newest one
 	// will never complete (their packets are gone), and the delivered set
 	// only needs to cover the reordering window.
@@ -838,12 +893,25 @@ func (v *VNF) decodeBatch(st *sessionState, sess ncproto.SessionID, gen ncproto.
 				delete(st.decoders, gid)
 			}
 		}
+		for gid := range st.started {
+			if gid+window < gen {
+				delete(st.started, gid)
+			}
+		}
 	}
 	work := dec.TakeWork() // includes the blocked inverse + multiply
 	st.mu.Unlock()
 	v.chargeCodingCost(int(work))
 
-	v.generationsDone.Add(1)
+	nowNs := v.clock.Now().UnixNano()
+	var latency int64
+	if timed {
+		latency = nowNs - startNs
+		v.tel.decodeNs.Observe(latency)
+	}
+	v.tel.rec.Record(nowNs, telemetry.EventGenerationDecode, v.node,
+		uint64(sess), uint64(gen), latency)
+	v.tel.gens.Inc(cell)
 	st.done.Add(1)
 	select {
 	case v.deliveries <- Delivery{Session: sess, Generation: gen, Data: data}:

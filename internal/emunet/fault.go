@@ -1,5 +1,7 @@
 package emunet
 
+import "time"
+
 // Runtime fault injection. The chaos harness (internal/chaostest) flips
 // these faults mid-run to emulate the failures the paper's wide-area
 // deployment would see: a BGP blackhole between two regions (link
@@ -17,6 +19,7 @@ func (n *Network) PartitionLink(src, dst string) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.partLinks[[2]string{src, dst}] = true
+	n.recordFault(time.Now().UnixNano(), src+"->"+dst, true)
 }
 
 // HealLink removes a link partition.
@@ -24,6 +27,7 @@ func (n *Network) HealLink(src, dst string) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	delete(n.partLinks, [2]string{src, dst})
+	n.recordFault(time.Now().UnixNano(), src+"->"+dst, false)
 }
 
 // PartitionBoth blackholes both directions between a and b.
@@ -45,6 +49,7 @@ func (n *Network) PartitionHost(addr string) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.partHosts[addr] = true
+	n.recordFault(time.Now().UnixNano(), addr, true)
 }
 
 // HealHost reconnects a partitioned host.
@@ -52,6 +57,7 @@ func (n *Network) HealHost(addr string) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	delete(n.partHosts, addr)
+	n.recordFault(time.Now().UnixNano(), addr, false)
 }
 
 // Partitioned reports whether a packet from src to dst would currently be
@@ -74,4 +80,5 @@ func (n *Network) HealAll() {
 	defer n.mu.Unlock()
 	clear(n.partHosts)
 	clear(n.partLinks)
+	n.recordFault(time.Now().UnixNano(), "all", false)
 }

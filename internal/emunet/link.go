@@ -137,6 +137,9 @@ type link struct {
 	sent      uint64
 	reordered uint64
 	jrng      *rand.Rand
+	// tel mirrors sent/dropped into the network's telemetry registry when
+	// one is attached (see WithTelemetry); nil otherwise.
+	tel *linkTel
 }
 
 // setConfig atomically replaces the link configuration (used by the
@@ -170,6 +173,7 @@ func (l *link) admit(now time.Time, n int) (time.Time, bool) {
 	if l.queued >= cfg.queueLimit() {
 		l.dropped++
 		l.mu.Unlock()
+		l.countDrop()
 		return time.Time{}, false
 	}
 	var depart time.Time
@@ -193,6 +197,7 @@ func (l *link) admit(now time.Time, n int) (time.Time, bool) {
 		l.queued--
 		l.dropped++
 		l.mu.Unlock()
+		l.countDrop()
 		return time.Time{}, false
 	}
 	l.mu.Lock()
@@ -215,7 +220,19 @@ func (l *link) admit(now time.Time, n int) (time.Time, bool) {
 		l.reordered++
 	}
 	l.mu.Unlock()
+	if l.tel != nil {
+		l.tel.sent.Inc(0)
+		l.tel.netSent.Inc(0)
+	}
 	return depart.Add(cfg.Delay + extra), true
+}
+
+// countDrop mirrors one drop into the telemetry registry.
+func (l *link) countDrop() {
+	if l.tel != nil {
+		l.tel.dropped.Inc(0)
+		l.tel.netDropped.Inc(0)
+	}
 }
 
 // duplicate reports whether the just-admitted packet should also be
@@ -245,6 +262,7 @@ func (l *link) drop() {
 	l.mu.Lock()
 	l.dropped++
 	l.mu.Unlock()
+	l.countDrop()
 }
 
 // Stats reports cumulative link counters.

@@ -54,6 +54,9 @@ type Network struct {
 	closed       bool
 	wg           sync.WaitGroup
 	timers       map[*time.Timer]struct{}
+	// tel is the attached instrument set (WithTelemetry); nil records
+	// nothing.
+	tel *netTelemetry
 }
 
 // Option configures a Network.
@@ -106,7 +109,9 @@ func (n *Network) SetLink(src, dst string, cfg LinkConfig) {
 		l.setConfig(cfg)
 		return
 	}
-	n.links[key] = &link{cfg: cfg}
+	l := &link{cfg: cfg}
+	n.instrumentLinkLocked(src, dst, l)
+	n.links[key] = l
 }
 
 // SetDuplexLink installs the same configuration in both directions. Loss
@@ -212,6 +217,7 @@ func (h *Host) Send(dst string, pkt []byte) error {
 			return fmt.Errorf("%w: no link %s->%s", ErrNoRoute, h.addr, dst)
 		}
 		l = &link{}
+		n.instrumentLinkLocked(h.addr, dst, l)
 		n.links[[2]string{h.addr, dst}] = l
 	}
 	if n.partitionedLocked(h.addr, dst) {

@@ -11,27 +11,43 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"ncfn/internal/telemetry"
 )
 
 // Meter measures throughput over its lifetime: bytes accumulated between
-// Start and the last Add.
+// Start and the last Add. Sample storage delegates to a telemetry histogram
+// — the same structure the data plane exports — so the meter's byte count
+// and a registry snapshot of the histogram can never disagree, and the
+// chunk-size distribution comes for free.
 type Meter struct {
 	mu    sync.Mutex
 	start time.Time
 	last  time.Time
-	bytes uint64
+	hist  *telemetry.Histogram
 }
 
-// NewMeter returns a meter starting now (per the supplied timestamp).
+// NewMeter returns a meter starting now (per the supplied timestamp),
+// backed by a private histogram.
 func NewMeter(now time.Time) *Meter {
-	return &Meter{start: now, last: now}
+	return NewMeterHistogram(now, telemetry.NewHistogram())
+}
+
+// NewMeterHistogram returns a meter recording its samples into h, which may
+// be registered in a telemetry registry so snapshots see the same bytes the
+// meter reports. A nil h gets a private histogram.
+func NewMeterHistogram(now time.Time, h *telemetry.Histogram) *Meter {
+	if h == nil {
+		h = telemetry.NewHistogram()
+	}
+	return &Meter{start: now, last: now, hist: h}
 }
 
 // Add records n bytes observed at time now.
 func (m *Meter) Add(n int, now time.Time) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.bytes += uint64(n)
+	m.hist.Observe(int64(n))
 	if now.After(m.last) {
 		m.last = now
 	}
@@ -39,12 +55,17 @@ func (m *Meter) Add(n int, now time.Time) {
 
 // Bytes returns the accumulated byte count.
 func (m *Meter) Bytes() uint64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.bytes
+	return uint64(m.hist.Sum())
 }
 
-// Mbps returns the average rate between the start and the last sample.
+// Histogram exposes the meter's sample storage (per-Add chunk sizes).
+func (m *Meter) Histogram() *telemetry.Histogram {
+	return m.hist
+}
+
+// Mbps returns the average rate between the start and the last sample. A
+// meter whose samples all landed at the start instant (last == start) has a
+// zero-length window and reports 0, never +Inf.
 func (m *Meter) Mbps() float64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -52,7 +73,7 @@ func (m *Meter) Mbps() float64 {
 	if dt <= 0 {
 		return 0
 	}
-	return float64(m.bytes) * 8 / dt / 1e6
+	return float64(m.hist.Sum()) * 8 / dt / 1e6
 }
 
 // Elapsed returns the measurement window length.

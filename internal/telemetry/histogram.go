@@ -1,0 +1,166 @@
+package telemetry
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// numBuckets covers the full int64 range: bucket 0 holds non-positive
+// observations, bucket b (1..64) holds values whose bit length is b, i.e.
+// the half-open power-of-two range [2^(b-1), 2^b).
+const numBuckets = 65
+
+// Histogram is a fixed-size power-of-two-bucket histogram for latencies and
+// sizes. Observe costs three relaxed atomic adds and never allocates;
+// quantiles, mean, and bucket counts are derived on read. Because bucket b
+// spans [2^(b-1), 2^b), any quantile estimate is within a factor of two of
+// the true order statistic; linear interpolation inside the bucket does much
+// better on smooth distributions.
+type Histogram struct {
+	buckets [numBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// bucketOf maps an observation to its bucket index.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// Observe records one value. Safe for any number of concurrent observers;
+// zero allocation.
+//
+//nc:hotpath
+func (h *Histogram) Observe(v int64) {
+	h.buckets[bucketOf(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Mean returns the average observation, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// bucketBounds returns the inclusive value range [lo, hi] of bucket b.
+func bucketBounds(b int) (lo, hi int64) {
+	if b == 0 {
+		return 0, 0
+	}
+	lo = int64(1) << (b - 1)
+	if b >= 63 {
+		return lo, math.MaxInt64
+	}
+	return lo, int64(1)<<b - 1
+}
+
+// Quantile estimates the q-th quantile (q in [0, 1]) of the observed
+// distribution. The estimate lies inside the bucket containing the true
+// order statistic, hence within that bucket's power-of-two bounds; inside
+// the bucket the estimate interpolates linearly by rank. Empty histograms
+// report 0.
+func (h *Histogram) Quantile(q float64) int64 {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	// rank is the 1-based index of the order statistic: the smallest value
+	// with at least ceil(q * total) observations at or below it.
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for b := 0; b < numBuckets; b++ {
+		n := h.buckets[b].Load()
+		if n == 0 {
+			continue
+		}
+		if cum+n < rank {
+			cum += n
+			continue
+		}
+		lo, hi := bucketBounds(b)
+		if lo >= hi || n == 1 {
+			return lo
+		}
+		// Interpolate by position within the bucket: the (rank-cum)-th of n
+		// observations spread evenly over [lo, hi].
+		pos := float64(rank-cum-1) / float64(n-1)
+		return lo + int64(pos*float64(hi-lo))
+	}
+	// Unreachable: the cumulative count reaches total within the loop.
+	return 0
+}
+
+// Buckets invokes f for every non-empty bucket in ascending value order with
+// the bucket's inclusive bounds and count.
+func (h *Histogram) Buckets(f func(lo, hi int64, count uint64)) {
+	for b := 0; b < numBuckets; b++ {
+		if n := h.buckets[b].Load(); n > 0 {
+			lo, hi := bucketBounds(b)
+			f(lo, hi, n)
+		}
+	}
+}
+
+// BucketCount is one non-empty histogram bucket in a snapshot.
+type BucketCount struct {
+	Lo    int64  `json:"lo"`
+	Hi    int64  `json:"hi"`
+	Count uint64 `json:"count"`
+}
+
+// HistogramSnapshot is a histogram's serializable read-side view.
+type HistogramSnapshot struct {
+	Count   uint64        `json:"count"`
+	Sum     int64         `json:"sum"`
+	Mean    float64       `json:"mean"`
+	P50     int64         `json:"p50"`
+	P90     int64         `json:"p90"`
+	P99     int64         `json:"p99"`
+	Max     int64         `json:"max"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// Snapshot captures the histogram's current state. Max reports the upper
+// bound of the highest non-empty bucket (an overestimate by at most 2x, like
+// every bucketed statistic here).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.Count(),
+		Sum:   h.Sum(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+	}
+	h.Buckets(func(lo, hi int64, count uint64) {
+		s.Buckets = append(s.Buckets, BucketCount{Lo: lo, Hi: hi, Count: count})
+		s.Max = hi
+	})
+	return s
+}

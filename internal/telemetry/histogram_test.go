@@ -1,0 +1,228 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// refQuantile computes the exact order statistic the histogram estimates:
+// the ceil(q*n)-th smallest observation.
+func refQuantile(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// TestHistogramQuantileTable feeds reference distributions and checks every
+// quantile estimate against the exact percentile: the estimate must land in
+// the same power-of-two bucket as the true order statistic (the histogram's
+// documented bound), and bucket-degenerate distributions must be exact.
+func TestHistogramQuantileTable(t *testing.T) {
+	quantiles := []float64{0, 0.25, 0.5, 0.9, 0.99, 1}
+	cases := []struct {
+		name   string
+		values func() []int64
+	}{
+		{"uniform_1_1000", func() []int64 {
+			vs := make([]int64, 1000)
+			for i := range vs {
+				vs[i] = int64(i + 1)
+			}
+			return vs
+		}},
+		{"powers_of_two", func() []int64 {
+			var vs []int64
+			for b := 0; b < 30; b++ {
+				vs = append(vs, int64(1)<<b)
+			}
+			return vs
+		}},
+		{"latency_like_lognormal", func() []int64 {
+			// Deterministic pseudo-lognormal: microsecond-to-second spread.
+			vs := make([]int64, 500)
+			x := uint64(12345)
+			for i := range vs {
+				x = x*6364136223846793005 + 1442695040888963407
+				exp := 10 + (x>>59)%20 // 2^10 .. 2^29 ns
+				vs[i] = int64(1)<<exp + int64(x%1024)
+			}
+			return vs
+		}},
+		{"heavy_tail", func() []int64 {
+			vs := make([]int64, 0, 1000)
+			for i := 0; i < 990; i++ {
+				vs = append(vs, 100)
+			}
+			for i := 0; i < 10; i++ {
+				vs = append(vs, 1_000_000)
+			}
+			return vs
+		}},
+		{"with_zero_and_negative", func() []int64 {
+			return []int64{-5, 0, 0, 1, 2, 3, 1000}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			values := tc.values()
+			h := NewHistogram()
+			var sum int64
+			for _, v := range values {
+				h.Observe(v)
+				sum += v
+			}
+			sorted := append([]int64(nil), values...)
+			sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+			if h.Count() != uint64(len(values)) {
+				t.Fatalf("Count = %d, want %d", h.Count(), len(values))
+			}
+			if h.Sum() != sum {
+				t.Fatalf("Sum = %d, want %d", h.Sum(), sum)
+			}
+			for _, q := range quantiles {
+				exact := refQuantile(sorted, q)
+				est := h.Quantile(q)
+				if bucketOf(est) != bucketOf(exact) {
+					t.Errorf("q=%v: estimate %d in bucket %d, exact %d in bucket %d",
+						q, est, bucketOf(est), exact, bucketOf(exact))
+				}
+				lo, hi := bucketBounds(bucketOf(exact))
+				if est < lo || est > hi {
+					t.Errorf("q=%v: estimate %d outside exact value's bucket [%d, %d]", q, est, lo, hi)
+				}
+			}
+		})
+	}
+}
+
+// TestHistogramQuantileExactCases pins distributions where the power-of-two
+// buckets carry no ambiguity, so the estimate must equal the exact
+// percentile.
+func TestHistogramQuantileExactCases(t *testing.T) {
+	t.Run("constant_within_bucket", func(t *testing.T) {
+		// Bucket counts cannot distinguish constant-64 from uniform 64..127,
+		// so the guarantee for a constant stream is containment in the
+		// value's own bucket at every quantile.
+		h := NewHistogram()
+		for i := 0; i < 100; i++ {
+			h.Observe(64)
+		}
+		for _, q := range []float64{0, 0.5, 0.99, 1} {
+			if got := h.Quantile(q); got < 64 || got > 127 {
+				t.Fatalf("q=%v: got %d, want within [64, 127]", q, got)
+			}
+		}
+	})
+	t.Run("single_observation", func(t *testing.T) {
+		h := NewHistogram()
+		h.Observe(8)
+		if got := h.Quantile(0.5); got != 8 {
+			t.Fatalf("got %d, want 8", got)
+		}
+	})
+	t.Run("empty", func(t *testing.T) {
+		h := NewHistogram()
+		if got := h.Quantile(0.5); got != 0 {
+			t.Fatalf("empty histogram quantile = %d, want 0", got)
+		}
+		if h.Mean() != 0 {
+			t.Fatalf("empty histogram mean = %v, want 0", h.Mean())
+		}
+	})
+	t.Run("two_point", func(t *testing.T) {
+		// One value per bucket: the median of {4, 1024} is the 1st order
+		// statistic at q=0.5 (rank ceil(0.5*2)=1) = 4.
+		h := NewHistogram()
+		h.Observe(4)
+		h.Observe(1024)
+		if got := h.Quantile(0.5); got != 4 {
+			t.Fatalf("median = %d, want 4", got)
+		}
+		if got := h.Quantile(1); got != 1024 {
+			t.Fatalf("max quantile = %d, want 1024", got)
+		}
+	})
+}
+
+func TestHistogramBucketBounds(t *testing.T) {
+	for _, tc := range []struct {
+		v      int64
+		lo, hi int64
+	}{
+		{-1, 0, 0}, {0, 0, 0}, {1, 1, 1}, {2, 2, 3}, {3, 2, 3},
+		{4, 4, 7}, {7, 4, 7}, {8, 8, 15}, {1023, 512, 1023}, {1024, 1024, 2047},
+	} {
+		lo, hi := bucketBounds(bucketOf(tc.v))
+		if lo != tc.lo || hi != tc.hi {
+			t.Errorf("bounds(%d) = [%d, %d], want [%d, %d]", tc.v, lo, hi, tc.lo, tc.hi)
+		}
+		if tc.v > 0 && (tc.v < lo || tc.v > hi) {
+			t.Errorf("value %d outside its own bucket [%d, %d]", tc.v, lo, hi)
+		}
+	}
+	// The top bucket must cap at MaxInt64, not overflow.
+	lo, hi := bucketBounds(bucketOf(math.MaxInt64))
+	if hi != math.MaxInt64 || lo <= 0 {
+		t.Fatalf("top bucket = [%d, %d]", lo, hi)
+	}
+}
+
+func TestHistogramSnapshot(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 100; i++ {
+		h.Observe(int64(i))
+	}
+	s := h.Snapshot()
+	if s.Count != 100 || s.Sum != 5050 {
+		t.Fatalf("snapshot count/sum = %d/%d", s.Count, s.Sum)
+	}
+	if s.Mean != 50.5 {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	if len(s.Buckets) == 0 || s.Max < 100 {
+		t.Fatalf("buckets = %+v max = %d", s.Buckets, s.Max)
+	}
+	var n uint64
+	for _, b := range s.Buckets {
+		n += b.Count
+	}
+	if n != 100 {
+		t.Fatalf("bucket counts sum to %d", n)
+	}
+	if s.P50 == 0 || s.P90 < s.P50 || s.P99 < s.P90 {
+		t.Fatalf("quantiles not monotone: %d %d %d", s.P50, s.P90, s.P99)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10000; i++ {
+				h.Observe(int64(i % 1024))
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 80000 {
+		t.Fatalf("Count = %d, want 80000", h.Count())
+	}
+}
+
+func TestHistogramObserveAllocFree(t *testing.T) {
+	h := NewHistogram()
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(12345) }); n != 0 {
+		t.Fatalf("Observe allocates %v/op", n)
+	}
+}

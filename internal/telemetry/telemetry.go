@@ -1,0 +1,173 @@
+// Package telemetry is the repository's observability core: a registry of
+// named instruments cheap enough for the //nc:hotpath data plane.
+//
+// The paper evaluates its coding VNFs entirely from the outside (iperf3
+// throughput, ping RTT). Operating them — attributing a Fig. 4 regression to
+// a shard backlog, or a slow failover to launch retries — needs a view from
+// the inside that costs nothing when nobody is looking. Three instrument
+// families provide it:
+//
+//   - Counter and Gauge: fixed arrays of cache-line-padded atomic cells.
+//     A hot-path writer pays exactly one relaxed atomic add to its own
+//     shard's cell; readers aggregate across cells on demand. No locks, no
+//     allocation, no false sharing between shards.
+//
+//   - Histogram: power-of-two buckets indexed by bit length. Observe is a
+//     handful of atomic adds; quantiles are estimated on read by linear
+//     interpolation inside the containing bucket, so any estimate is within
+//     the bucket's 2x bound of the true order statistic.
+//
+//   - Recorder: a fixed-capacity lock-free ring buffer of typed events
+//     (packet drop, rank advance, generation decode, pause/resume, retry,
+//     failover, fault injection). Slots are published with per-slot atomic
+//     sequence numbers, so concurrent Record and Snapshot never take a lock
+//     and stay clean under the race detector. Timestamps are supplied by
+//     the caller, which makes the recorder simclock-compatible: under a
+//     virtual clock the chaos harness asserts on event times tick-for-tick.
+//
+// A Registry names instruments and serializes the whole set as one JSON
+// Snapshot (the ncd admin endpoint and `ncctl stats` payload); it can also
+// publish itself through the standard expvar surface.
+package telemetry
+
+import (
+	"expvar"
+	"sort"
+	"sync"
+)
+
+// Registry is a named collection of instruments. Instrument constructors are
+// idempotent: asking for an existing name returns the existing instrument,
+// so independent layers can share instruments by name.
+type Registry struct {
+	mu        sync.Mutex
+	counters  map[string]*Counter
+	gauges    map[string]*Gauge
+	gaugeFns  map[string]func() int64
+	hists     map[string]*Histogram
+	recorders map[string]*Recorder
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:  make(map[string]*Counter),
+		gauges:    make(map[string]*Gauge),
+		gaugeFns:  make(map[string]func() int64),
+		hists:     make(map[string]*Histogram),
+		recorders: make(map[string]*Recorder),
+	}
+}
+
+// Counter returns the named counter, creating it with at least cells padded
+// cells (rounded up to a power of two; minimum 1). An existing counter is
+// returned as-is regardless of cells.
+func (r *Registry) Counter(name string, cells int) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c := NewCounter(cells)
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it with at least cells padded
+// cells.
+func (r *Registry) Gauge(name string, cells int) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g := NewGauge(cells)
+	r.gauges[name] = g
+	return g
+}
+
+// GaugeFunc registers a read-side gauge: f is evaluated at snapshot time, so
+// the instrumented code pays nothing at all. Re-registering a name replaces
+// the function.
+func (r *Registry) GaugeFunc(name string, f func() int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gaugeFns[name] = f
+}
+
+// Histogram returns the named histogram, creating it if needed.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	h := NewHistogram()
+	r.hists[name] = h
+	return h
+}
+
+// Recorder returns the named flight recorder, creating it with the given
+// capacity (rounded up to a power of two; DefaultRecorderCapacity when
+// capacity <= 0). An existing recorder keeps its original capacity.
+func (r *Registry) Recorder(name string, capacity int) *Recorder {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if rec, ok := r.recorders[name]; ok {
+		return rec
+	}
+	rec := NewRecorder(capacity)
+	r.recorders[name] = rec
+	return rec
+}
+
+// Snapshot aggregates every instrument into one serializable view. Counters
+// and gauges are summed across their cells; histograms report count, sum,
+// quantile estimates, and their non-empty buckets; recorders contribute
+// their retained events in sequence order.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]uint64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)+len(r.gaugeFns)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, f := range r.gaugeFns {
+		s.Gauges[name] = f()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.Snapshot()
+	}
+	for _, name := range sortedKeys(r.recorders) {
+		s.Events = append(s.Events, r.recorders[name].Snapshot()...)
+	}
+	sort.Slice(s.Events, func(i, j int) bool { return s.Events[i].Seq < s.Events[j].Seq })
+	return s
+}
+
+// PublishExpvar exposes the registry under the given expvar name (the
+// standard /debug/vars surface). Publishing an already-taken name is a
+// no-op rather than the expvar panic, so repeated daemon construction in one
+// process (tests) stays safe.
+func (r *Registry) PublishExpvar(name string) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}
+
+func sortedKeys(m map[string]*Recorder) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
