@@ -42,27 +42,32 @@ vet:
 
 # bench runs the data-plane micro-benchmarks that gate hot-path changes.
 bench:
-	$(GO) test -run 'XXX' -bench 'BenchmarkAddMulSlice|BenchmarkDotProduct|BenchmarkRecode|BenchmarkVNFPipeline|BenchmarkRecoderPacketProcessing|BenchmarkDecoderBatch|BenchmarkEncodeCodedInto' -benchmem \
+	$(GO) test -run 'XXX' -bench 'BenchmarkAddMulSlice|BenchmarkDotProduct|BenchmarkRecode|BenchmarkVNFPipeline|BenchmarkRecoderPacketProcessing|BenchmarkDecoderBatch|BenchmarkEncodeCodedInto|BenchmarkXorWords|BenchmarkCombineWords|BenchmarkPackBytes' -benchmem \
 		./internal/gf/ ./internal/rlnc/ ./internal/dataplane/
-	$(GO) test -run 'XXX' -bench 'BenchmarkInverse|BenchmarkMulInto' -benchmem ./internal/matrix/
+	$(GO) test -run 'XXX' -bench 'BenchmarkInverse|BenchmarkMulInto|BenchmarkRREF' -benchmem ./internal/matrix/ ./internal/bitmat/
 
 # bench-hotpath is the quick subset: GF kernels and the VNF pipeline.
 bench-hotpath:
 	$(GO) test -run 'XXX' -bench 'BenchmarkVNFPipeline' -benchmem ./internal/dataplane/
 	$(GO) test -run 'XXX' -bench 'BenchmarkAddMulSlice' -benchmem ./internal/gf/
 
-# bench-guard reruns the telemetry-instrumented VNF pipeline benchmark and
-# fails if the best of three runs regresses more than 10% against the
-# benchguard-baseline lines recorded in bench_results.txt.
+# bench-guard reruns the guarded hot-path benchmarks — the telemetry-
+# instrumented VNF pipeline, the GF(2) word-XOR kernels, and the packed
+# GF(2) batch decode — and fails if the best of three runs regresses more
+# than 10% against the benchguard-baseline lines in bench_results.txt.
 bench-guard:
 	$(GO) build -o bin/benchguard ./cmd/benchguard
-	$(GO) test -run 'XXX' -bench 'BenchmarkVNFPipeline' -benchtime 200ms -count 3 ./internal/dataplane/ \
+	{ $(GO) test -run 'XXX' -bench 'BenchmarkVNFPipeline' -benchtime 200ms -count 3 ./internal/dataplane/ && \
+	  $(GO) test -run 'XXX' -bench 'BenchmarkXorWords' -benchtime 200ms -count 3 ./internal/gf/ && \
+	  $(GO) test -run 'XXX' -bench 'BenchmarkDecoderBatchGF2' -benchtime 200ms -count 3 ./internal/rlnc/ ; } \
 		| ./bin/benchguard -baseline bench_results.txt
 
-# cover enforces the coverage floors: telemetry >= 90%, repo-wide >= 70%.
+# cover enforces the coverage floors: telemetry >= 90%, the GF kernel and
+# bit-matrix packages >= 85%, repo-wide >= 70%.
 cover:
 	$(GO) build -o bin/covercheck ./cmd/covercheck
 	$(GO) test -coverprofile=cover.out ./...
-	./bin/covercheck -profile cover.out -total 70 -floor ncfn/internal/telemetry=90
+	./bin/covercheck -profile cover.out -total 70 -floor ncfn/internal/telemetry=90 \
+		-floor ncfn/internal/gf=85 -floor ncfn/internal/bitmat=85
 
 check: build lint test test-race

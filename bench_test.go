@@ -76,6 +76,8 @@ func BenchmarkLaunchOverhead(b *testing.B) { runExperiment(b, "launch", newOut()
 
 func BenchmarkAblationFieldSize(b *testing.B) { runExperiment(b, "ablation-field", newOut()) }
 
+func BenchmarkFieldsweep(b *testing.B) { runExperiment(b, "fieldsweep", newOut()) }
+
 func BenchmarkAblationTauReuse(b *testing.B) { runExperiment(b, "ablation-tau", newOut()) }
 
 func BenchmarkAblationPipelined(b *testing.B) { runExperiment(b, "ablation-pipeline", newOut()) }

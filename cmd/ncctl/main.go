@@ -37,6 +37,7 @@ import (
 
 	"ncfn/internal/controller"
 	"ncfn/internal/dataplane"
+	"ncfn/internal/gf"
 	"ncfn/internal/ncproto"
 	"ncfn/internal/rlnc"
 )
@@ -52,13 +53,17 @@ type deployConfig struct {
 }
 
 type sessionConfig struct {
-	ID         int                     `json:"id"`
-	Blocks     int                     `json:"blocks"`
-	BlockSize  int                     `json:"blockSize"`
-	Redundancy int                     `json:"redundancy"`
-	Roles      map[string]string       `json:"roles"`
-	InPerGen   map[string]int          `json:"inPerGen"`
-	Tables     map[string][]tableGroup `json:"tables"`
+	ID         int `json:"id"`
+	Blocks     int `json:"blocks"`
+	BlockSize  int `json:"blockSize"`
+	Redundancy int `json:"redundancy"`
+	// Field selects the coefficient field: 2 for GF(2) (bit-packed
+	// word-wide codec), 256 or 0 for GF(2^8). Per session, so one
+	// deployment can mix fields across sessions.
+	Field    int                     `json:"field"`
+	Roles    map[string]string       `json:"roles"`
+	InPerGen map[string]int          `json:"inPerGen"`
+	Tables   map[string][]tableGroup `json:"tables"`
 }
 
 type tableGroup struct {
@@ -107,6 +112,19 @@ func run(args []string) error {
 		return stats(cfg, os.Stdout)
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+// parseField maps the JSON field order (2, 256, or 0 for the default)
+// to the gf.Field enum.
+func parseField(order int) (gf.Field, error) {
+	switch order {
+	case 0, 256:
+		return gf.GF256, nil
+	case 2:
+		return gf.GF2, nil
+	default:
+		return 0, fmt.Errorf("unknown field order %d (want 2 or 256)", order)
 	}
 }
 
@@ -225,12 +243,20 @@ func start(cfg deployConfig) error {
 			if blockSize == 0 {
 				blockSize = rlnc.DefaultBlockSize
 			}
+			field, err := parseField(s.Field)
+			if err != nil {
+				return fmt.Errorf("session %d: %w", s.ID, err)
+			}
+			params := rlnc.Params{GenerationBlocks: blocks, BlockSize: blockSize, Field: field}
+			if err := params.Validate(); err != nil {
+				return fmt.Errorf("session %d: %w", s.ID, err)
+			}
 			msgs = append(msgs, &controller.Message{
 				Signal: controller.NCSettings,
 				Peers:  cfg.Peers,
 				Settings: &dataplane.SessionConfig{
 					ID:         ncproto.SessionID(s.ID),
-					Params:     rlnc.Params{GenerationBlocks: blocks, BlockSize: blockSize},
+					Params:     params,
 					Role:       role,
 					Redundancy: s.Redundancy,
 					InPerGen:   s.InPerGen[node],

@@ -106,6 +106,15 @@ func TestAblationFieldOutput(t *testing.T) {
 	}
 }
 
+func TestFieldsweepOutput(t *testing.T) {
+	out := runQuick(t, "fieldsweep")
+	for _, col := range []string{"gf2_mbps", "gf256_mbps", "gf2_dep_pct", "gf256_dep_pct"} {
+		if !strings.Contains(out, col) {
+			t.Fatalf("fieldsweep missing column %s:\n%s", col, out)
+		}
+	}
+}
+
 func TestFig7Ordering(t *testing.T) {
 	out := runQuick(t, "fig7")
 	if strings.Contains(out, "WARNING") {

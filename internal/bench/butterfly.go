@@ -78,6 +78,14 @@ type ButterflyResult struct {
 	RelayTxPackets uint64
 	RelayDropped   uint64
 	NetDropped     uint64
+	// GenerationsDecoded totals receiver-side generation completions;
+	// DependentGF2/DependentGF256 total the dependent (non-innovative)
+	// arrivals at every recoder and receiver, split by coefficient field.
+	// Together they measure the small-field dependency overhead of
+	// Sec. III-B (see the fieldsweep experiment).
+	GenerationsDecoded uint64
+	DependentGF2       uint64
+	DependentGF256     uint64
 }
 
 // scaledButterfly clones the butterfly graph with capacities multiplied.
@@ -211,6 +219,10 @@ func RunButterfly(o ButterflyOpts) (ButterflyResult, error) {
 		RelayTxPackets: snap.Counters[dataplane.MetricTxPackets],
 		RelayDropped:   snap.Counters[dataplane.MetricDroppedPackets],
 		NetDropped:     snap.Counters[emunet.MetricNetDroppedPackets],
+
+		GenerationsDecoded: snap.Counters[dataplane.MetricGenerationsDone],
+		DependentGF2:       snap.Counters[dataplane.MetricDependentGF2],
+		DependentGF256:     snap.Counters[dataplane.MetricDependentGF256],
 	}
 	minGoodput := -1.0
 	for _, d := range dsts {

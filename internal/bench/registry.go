@@ -33,9 +33,10 @@ var registry = []Experiment{
 	{Name: "table3", What: "Table III: forwarding-table update time", Run: Table3, Order: 12},
 	{Name: "launch", What: "Sec V-C5: VM launch / VNF start / table update overhead", Run: Launch, Order: 13},
 	{Name: "ablation-field", What: "Ablation: GF(2) vs GF(2^8)", Run: AblationFieldSize, Order: 14},
-	{Name: "ablation-tau", What: "Ablation: tau-delayed shutdown vs immediate", Run: AblationTauReuse, Order: 15},
-	{Name: "ablation-pipeline", What: "Ablation: pipelined vs store-and-recode", Run: AblationPipelined, Order: 16},
-	{Name: "soak", What: "Extension: controller under Poisson churn (beyond the paper)", Run: Soak, Order: 17},
+	{Name: "fieldsweep", What: "Field sweep: GF(2) vs GF(2^8) throughput and dependency overhead vs generation size", Run: Fieldsweep, Order: 15},
+	{Name: "ablation-tau", What: "Ablation: tau-delayed shutdown vs immediate", Run: AblationTauReuse, Order: 16},
+	{Name: "ablation-pipeline", What: "Ablation: pipelined vs store-and-recode", Run: AblationPipelined, Order: 17},
+	{Name: "soak", What: "Extension: controller under Poisson churn (beyond the paper)", Run: Soak, Order: 18},
 }
 
 // Lookup finds an experiment by name.

@@ -1,0 +1,251 @@
+// Package bitmat provides dense matrices over GF(2) with bit-packed rows:
+// one uint64 word holds 64 coefficients, so every row operation of Gaussian
+// elimination is a word-wide XOR (k/64 word ops per row instead of the k
+// byte ops the GF(2^8) matrices in internal/matrix pay). It backs the RLNC
+// codec's packed GF(2) fast path: coefficient-vector rank gates, bitwise
+// RREF, and the one-shot inverse of the deferred decode engine.
+//
+// The API mirrors internal/matrix where the decoder needs it (New, FromRows,
+// At/Set/Row, Rank, RREF, Inverse); elimination is blocked through the fused
+// gf.XorWordsMulti kernel so a pivot row streams once per strip across every
+// row it eliminates.
+package bitmat
+
+import (
+	"errors"
+	"fmt"
+
+	"ncfn/internal/gf"
+)
+
+// ErrSingular is returned when a matrix has no inverse.
+var ErrSingular = errors.New("bitmat: singular")
+
+// Matrix is a dense rows x cols matrix over GF(2) with bit-packed rows.
+// Bit j of row i (bit j%64 of word j/64) is the coefficient at column j.
+// The zero value is an empty matrix; use New to allocate one.
+type Matrix struct {
+	rows, cols, words int
+	data              [][]uint64
+}
+
+// New returns a zero-filled rows x cols matrix backed by one arena.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("bitmat: invalid dimensions %dx%d", rows, cols))
+	}
+	words := gf.WordsForBits(cols)
+	data := make([][]uint64, rows)
+	backing := make([]uint64, rows*words)
+	for i := range data {
+		data[i], backing = backing[:words:words], backing[words:]
+	}
+	return &Matrix{rows: rows, cols: cols, words: words, data: data}
+}
+
+// FromRows builds a matrix that shares storage with the given packed row
+// slices. Every row must have exactly gf.WordsForBits(cols) words, and bits
+// at or beyond cols must be zero (PackBits guarantees this).
+func FromRows(rows [][]uint64, cols int) (*Matrix, error) {
+	words := gf.WordsForBits(cols)
+	for i, r := range rows {
+		if len(r) != words {
+			return nil, fmt.Errorf("bitmat: row %d has %d words, want %d", i, len(r), words)
+		}
+	}
+	return &Matrix{rows: len(rows), cols: cols, words: words, data: rows}, nil
+}
+
+// Identity returns the n x n identity matrix.
+func Identity(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		gf.SetBit(m.data[i], i)
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns the element (0 or 1) at row i, column j.
+func (m *Matrix) At(i, j int) byte {
+	m.check(i, j)
+	return gf.Bit(m.data[i], j)
+}
+
+// Set assigns the element at row i, column j; any odd value is 1.
+func (m *Matrix) Set(i, j int, v byte) {
+	m.check(i, j)
+	mask := uint64(1) << (j % 64)
+	if v&1 == 1 {
+		m.data[i][j/64] |= mask
+	} else {
+		m.data[i][j/64] &^= mask
+	}
+}
+
+func (m *Matrix) check(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("bitmat: index (%d,%d) out of %dx%d", i, j, m.rows, m.cols))
+	}
+}
+
+// Row returns packed row i. The returned slice shares storage with the
+// matrix.
+func (m *Matrix) Row(i int) []uint64 { return m.data[i] }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.rows, m.cols)
+	for i := range m.data {
+		copy(c.data[i], m.data[i])
+	}
+	return c
+}
+
+// Equal reports whether m and o have identical dimensions and contents.
+func (m *Matrix) Equal(o *Matrix) bool {
+	if m.rows != o.rows || m.cols != o.cols {
+		return false
+	}
+	for i := range m.data {
+		for w := range m.data[i] {
+			if m.data[i][w] != o.data[i][w] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Rank returns the rank of the matrix. m is not modified.
+func (m *Matrix) Rank() int {
+	return m.Clone().RREF()
+}
+
+// RREF reduces the matrix to reduced row-echelon form in place and returns
+// its rank. Elimination is blocked: for each pivot, every row with the pivot
+// bit set is cleared in one fused strip-blocked pass over the pivot row
+// (gf.XorWordsMulti), so the pivot row's memory streams once per strip no
+// matter how many rows it eliminates.
+func (m *Matrix) RREF() int {
+	if m.rows == 0 {
+		return 0
+	}
+	dsts := make([][]uint64, 0, m.rows)
+	ones := make([]byte, m.rows)
+	for i := range ones {
+		ones[i] = 1
+	}
+	rank := 0
+	for col := 0; col < m.cols && rank < m.rows; col++ {
+		w, mask := col/64, uint64(1)<<(col%64)
+		pivot := -1
+		for r := rank; r < m.rows; r++ {
+			if m.data[r][w]&mask != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		m.data[rank], m.data[pivot] = m.data[pivot], m.data[rank]
+		// Collect every other row with bit col set and clear them all in one
+		// fused pass. No normalization step exists in GF(2): the pivot is 1.
+		dsts = dsts[:0]
+		for r := 0; r < m.rows; r++ {
+			if r == rank || m.data[r][w]&mask == 0 {
+				continue
+			}
+			dsts = append(dsts, m.data[r])
+		}
+		if len(dsts) > 0 {
+			gf.XorWordsMulti(dsts, m.data[rank], ones[:len(dsts)])
+		}
+		rank++
+	}
+	return rank
+}
+
+// Inverse returns the inverse of a square matrix, or ErrSingular. Instead of
+// packing an augmented [m|I] (whose right half would straddle word
+// boundaries whenever cols%64 != 0), the Gauss-Jordan runs on a copy of m
+// and mirrors every row operation onto an identity matrix, which therefore
+// finishes as the inverse.
+func (m *Matrix) Inverse() (*Matrix, error) {
+	if m.rows != m.cols {
+		return nil, fmt.Errorf("bitmat: cannot invert %dx%d: %w", m.rows, m.cols, ErrSingular)
+	}
+	n := m.rows
+	a := m.Clone()
+	inv := Identity(n)
+	dstsA := make([][]uint64, 0, n)
+	dstsI := make([][]uint64, 0, n)
+	ones := make([]byte, n)
+	for i := range ones {
+		ones[i] = 1
+	}
+	rank := 0
+	for col := 0; col < n; col++ {
+		w, mask := col/64, uint64(1)<<(col%64)
+		pivot := -1
+		for r := rank; r < n; r++ {
+			if a.data[r][w]&mask != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, ErrSingular
+		}
+		a.data[rank], a.data[pivot] = a.data[pivot], a.data[rank]
+		inv.data[rank], inv.data[pivot] = inv.data[pivot], inv.data[rank]
+		dstsA, dstsI = dstsA[:0], dstsI[:0]
+		for r := 0; r < n; r++ {
+			if r == rank || a.data[r][w]&mask == 0 {
+				continue
+			}
+			dstsA = append(dstsA, a.data[r])
+			dstsI = append(dstsI, inv.data[r])
+		}
+		if len(dstsA) > 0 {
+			gf.XorWordsMulti(dstsA, a.data[rank], ones[:len(dstsA)])
+			gf.XorWordsMulti(dstsI, inv.data[rank], ones[:len(dstsI)])
+		}
+		rank++
+	}
+	return inv, nil
+}
+
+// Mul returns the matrix product m * o over GF(2).
+func (m *Matrix) Mul(o *Matrix) (*Matrix, error) {
+	if m.cols != o.rows {
+		return nil, fmt.Errorf("bitmat: cannot multiply %dx%d by %dx%d", m.rows, m.cols, o.rows, o.cols)
+	}
+	out := New(m.rows, o.cols)
+	for i := 0; i < m.rows; i++ {
+		for k := 0; k < m.cols; k++ {
+			if gf.Bit(m.data[i], k) == 1 {
+				gf.XorWords(out.data[i], o.data[k])
+			}
+		}
+	}
+	return out, nil
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	s := ""
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			s += fmt.Sprintf("%d", m.At(i, j))
+		}
+		s += "\n"
+	}
+	return s
+}

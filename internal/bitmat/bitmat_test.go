@@ -1,0 +1,238 @@
+package bitmat
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"ncfn/internal/gf"
+	"ncfn/internal/matrix"
+)
+
+// randPair builds the same random GF(2) matrix twice: bit-packed and as a
+// byte matrix, so every bitmat operation can be checked against the
+// internal/matrix reference (GF(2) is a subfield of GF(2^8): 0/1 arithmetic
+// agrees between the two).
+func randPair(rng *rand.Rand, rows, cols int) (*Matrix, *matrix.Matrix) {
+	bm := New(rows, cols)
+	ref := matrix.New(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			v := byte(rng.Intn(2))
+			bm.Set(i, j, v)
+			ref.Set(i, j, v)
+		}
+	}
+	return bm, ref
+}
+
+// sizes deliberately straddle the 64-bit word boundary.
+var sizes = []int{1, 2, 7, 63, 64, 65, 100}
+
+func TestNewAndSetAt(t *testing.T) {
+	m := New(3, 70)
+	if m.Rows() != 3 || m.Cols() != 70 {
+		t.Fatalf("dims: %dx%d", m.Rows(), m.Cols())
+	}
+	m.Set(2, 69, 1)
+	if m.At(2, 69) != 1 {
+		t.Fatal("Set/At across word boundary failed")
+	}
+	m.Set(2, 69, 0)
+	if m.At(2, 69) != 0 {
+		t.Fatal("Set to 0 failed")
+	}
+	m.Set(1, 3, 0xFF) // any odd value is 1
+	if m.At(1, 3) != 1 {
+		t.Fatal("odd value must set the bit")
+	}
+}
+
+func TestFromRowsSharesStorage(t *testing.T) {
+	rows := [][]uint64{make([]uint64, 2), make([]uint64, 2)}
+	m, err := FromRows(rows, 65)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows[1][1] = 1
+	if m.At(1, 64) != 1 {
+		t.Fatal("FromRows must share storage")
+	}
+	if _, err := FromRows([][]uint64{make([]uint64, 1)}, 65); err == nil {
+		t.Fatal("short row must be rejected")
+	}
+}
+
+func TestRankMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range sizes {
+		for trial := 0; trial < 5; trial++ {
+			bm, ref := randPair(rng, n, n)
+			if got, want := bm.Rank(), ref.Rank(); got != want {
+				t.Fatalf("n=%d trial %d: rank %d, want %d", n, trial, got, want)
+			}
+		}
+	}
+}
+
+func TestRREFMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range sizes {
+		rows := n/2 + 1
+		bm, ref := randPair(rng, rows, n)
+		rank := bm.RREF()
+		refRank := ref.RREF()
+		if rank != refRank {
+			t.Fatalf("n=%d: RREF rank %d, want %d", n, rank, refRank)
+		}
+		for i := 0; i < rows; i++ {
+			for j := 0; j < n; j++ {
+				if bm.At(i, j) != ref.At(i, j) {
+					t.Fatalf("n=%d: RREF differs at (%d,%d)", n, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestInverseMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range sizes {
+		// Draw until the matrix is invertible (probability ~0.289 for large n).
+		var bm *Matrix
+		var ref *matrix.Matrix
+		for {
+			bm, ref = randPair(rng, n, n)
+			if ref.Rank() == n {
+				break
+			}
+		}
+		inv, err := bm.Inverse()
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		refInv, err := ref.Inverse()
+		if err != nil {
+			t.Fatalf("n=%d: reference: %v", n, err)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if inv.At(i, j) != refInv.At(i, j) {
+					t.Fatalf("n=%d: inverse differs at (%d,%d)", n, i, j)
+				}
+			}
+		}
+		// And the algebraic check: m * inv = I.
+		prod, err := bm.Mul(inv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !prod.Equal(Identity(n)) {
+			t.Fatalf("n=%d: m * m^-1 != I", n)
+		}
+	}
+}
+
+func TestInverseSingular(t *testing.T) {
+	m := New(2, 2)
+	m.Set(0, 0, 1)
+	m.Set(1, 0, 1) // duplicate row
+	if _, err := m.Inverse(); err == nil {
+		t.Fatal("singular matrix must not invert")
+	}
+	if _, err := New(2, 3).Inverse(); err == nil {
+		t.Fatal("non-square matrix must not invert")
+	}
+}
+
+func TestCloneEqual(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m, _ := randPair(rng, 5, 70)
+	c := m.Clone()
+	if !m.Equal(c) {
+		t.Fatal("clone must equal original")
+	}
+	c.Set(0, 69, 1-c.At(0, 69))
+	if m.Equal(c) {
+		t.Fatal("mutated clone must differ")
+	}
+	if m.Equal(New(5, 71)) || m.Equal(New(4, 70)) {
+		t.Fatal("dimension mismatch must not be equal")
+	}
+}
+
+func TestIdentityRoundTrip(t *testing.T) {
+	id := Identity(65)
+	if id.Rank() != 65 {
+		t.Fatal("identity must have full rank")
+	}
+	inv, err := id.Inverse()
+	if err != nil || !inv.Equal(id) {
+		t.Fatal("identity must be its own inverse")
+	}
+}
+
+func TestRowIsPacked(t *testing.T) {
+	m := New(1, 65)
+	m.Set(0, 64, 1)
+	row := m.Row(0)
+	if len(row) != gf.WordsForBits(65) || row[1] != 1 {
+		t.Fatalf("Row packing wrong: %v", row)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2, 2).At(2, 0)
+}
+
+// BenchmarkInverseBits compares the packed GF(2) inverse against the byte
+// GF(2^8) blocked inverse on the same 0/1 matrices — the end-of-generation
+// cost of the deferred decode engines.
+func BenchmarkInverseBits(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{16, 64, 128} {
+		var bm *Matrix
+		var ref *matrix.Matrix
+		for {
+			bm, ref = randPair(rng, n, n)
+			if ref.Rank() == n {
+				break
+			}
+		}
+		b.Run("packed/n="+strconv.Itoa(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := bm.Inverse(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("bytes/n="+strconv.Itoa(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ref.InverseBlocked(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkRREFBits(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	for _, n := range []int{64, 128} {
+		bm, _ := randPair(rng, n, n)
+		scratch := bm.Clone()
+		b.Run("n="+strconv.Itoa(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for r := range scratch.data {
+					copy(scratch.data[r], bm.data[r])
+				}
+				scratch.RREF()
+			}
+		})
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"ncfn/internal/controller"
 	"ncfn/internal/dataplane"
 	"ncfn/internal/emunet"
+	"ncfn/internal/gf"
 	"ncfn/internal/ncproto"
 	"ncfn/internal/optimize"
 	"ncfn/internal/rlnc"
@@ -46,6 +47,12 @@ type Config struct {
 	Alpha float64
 	// Params are the coding parameters (defaults to the paper's 4x1460).
 	Params rlnc.Params
+	// SessionFields overrides the coefficient field per session: a session
+	// listed here codes over the given field; absent sessions use
+	// Params.Field. One deployment can thereby carry GF(2) and GF(2^8)
+	// sessions side by side on the same VNFs (the field is per-session
+	// codec state, not a VNF property).
+	SessionFields map[ncproto.SessionID]gf.Field
 	// Redundancy is extra coded packets per generation (NC0/NC1/NC2).
 	Redundancy int
 	// MaxPathHops bounds feasible paths (default 4: up to 3 relays, which
@@ -103,6 +110,13 @@ func NewService(cfg Config) (*Service, error) {
 	if err := cfg.Params.Validate(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
+	for id, f := range cfg.SessionFields {
+		p := cfg.Params
+		p.Field = f
+		if err := p.Validate(); err != nil {
+			return nil, fmt.Errorf("core: session %d field override: %w", id, err)
+		}
+	}
 	if cfg.MaxPathHops <= 0 {
 		cfg.MaxPathHops = 4
 	}
@@ -134,6 +148,16 @@ func (s *Service) AddSession(sess optimize.Session) error {
 	}
 	s.sessions = append(s.sessions, sess)
 	return nil
+}
+
+// paramsFor returns the coding parameters for one session, applying any
+// per-session field override from Config.SessionFields.
+func (s *Service) paramsFor(id ncproto.SessionID) rlnc.Params {
+	p := s.cfg.Params
+	if f, ok := s.cfg.SessionFields[id]; ok {
+		p.Field = f
+	}
+	return p
 }
 
 // Plan returns the solved deployment plan (after Deploy).
@@ -217,6 +241,7 @@ func (s *Service) Deploy() error {
 			if s.cfg.ForceForwarding && sc.Role == dataplane.RoleRecoder {
 				sc.Role = dataplane.RoleForwarder
 			}
+			sc.Params = s.paramsFor(sc.ID)
 			if err := vnf.Configure(sc); err != nil {
 				vnf.Close()
 				return fmt.Errorf("core: configure VNF at %s: %w", node, err)
@@ -234,7 +259,7 @@ func (s *Service) Deploy() error {
 		rate := plan.Rates[sess.ID]
 		src, err := dataplane.NewSource(s.net.Host(string(sess.Source)), dataplane.SourceConfig{
 			Session:    sess.ID,
-			Params:     s.cfg.Params,
+			Params:     s.paramsFor(sess.ID),
 			RateMbps:   rate,
 			Redundancy: s.cfg.Redundancy,
 			Systematic: true,
@@ -259,7 +284,7 @@ func (s *Service) Deploy() error {
 				ep = dataplane.NewMultiReceiver(s.net.Host(string(r)), nil, ropts...)
 				s.endpoints[r] = ep
 			}
-			if err := ep.AddSession(sess.ID, s.cfg.Params, string(sess.Source)); err != nil {
+			if err := ep.AddSession(sess.ID, s.paramsFor(sess.ID), string(sess.Source)); err != nil {
 				return fmt.Errorf("core: receiver %s for session %d: %w", r, sess.ID, err)
 			}
 			view, err := ep.View(sess.ID)

@@ -8,6 +8,7 @@ import (
 
 	"ncfn/internal/dataplane"
 	"ncfn/internal/emunet"
+	"ncfn/internal/gf"
 	"ncfn/internal/ncproto"
 	"ncfn/internal/optimize"
 	"ncfn/internal/rlnc"
@@ -233,6 +234,92 @@ func TestSharedReceiverNodeAcrossSessions(t *testing.T) {
 		if !ok || !bytes.Equal(got[:len(data)], data) {
 			t.Fatalf("session %d data mismatch at shared receiver", id)
 		}
+	}
+}
+
+// TestServiceMixedFieldSessions deploys one GF(2) and one GF(2^8) session
+// side by side: the same service (and the shared dc VNF) must run both
+// codecs concurrently and deliver both payloads intact. The field is
+// per-session codec state threaded through Config.SessionFields.
+func TestServiceMixedFieldSessions(t *testing.T) {
+	g := topology.New()
+	g.AddNode("s1", topology.Source)
+	g.AddNode("s2", topology.Source)
+	g.AddNode("dc", topology.DataCenter)
+	g.AddNode("sink", topology.Destination)
+	for _, l := range []topology.Link{
+		{From: "s1", To: "dc", CapacityMbps: 100, Delay: time.Millisecond},
+		{From: "s2", To: "dc", CapacityMbps: 100, Delay: time.Millisecond},
+		{From: "dc", To: "sink", CapacityMbps: 100, Delay: time.Millisecond},
+	} {
+		if err := g.AddLink(l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	svc, err := NewService(Config{
+		Graph: g,
+		DataCenters: []optimize.DataCenter{
+			{ID: "dc", BinMbps: 1000, BoutMbps: 1000, CodeMbps: 500},
+		},
+		Alpha:         1,
+		Params:        rlnc.Params{GenerationBlocks: 4, BlockSize: 128, Field: gf.GF256},
+		SessionFields: map[ncproto.SessionID]gf.Field{1: gf.GF2},
+		Seed:          7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	if got := svc.paramsFor(1).Field; got != gf.GF2 {
+		t.Fatalf("session 1 field = %v, want GF2", got)
+	}
+	if got := svc.paramsFor(2).Field; got != gf.GF256 {
+		t.Fatalf("session 2 field = %v, want GF256", got)
+	}
+	for i, src := range []topology.NodeID{"s1", "s2"} {
+		if err := svc.AddSession(optimize.Session{
+			ID:        ncproto.SessionID(i + 1),
+			Source:    src,
+			Receivers: []topology.NodeID{"sink"},
+			MaxDelay:  100 * time.Millisecond,
+			RateCap:   30,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := svc.Deploy(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 2; i++ {
+		id := ncproto.SessionID(i)
+		data := make([]byte, 8*1024)
+		rand.New(rand.NewSource(int64(10 + i))).Read(data)
+		stats, err := svc.Send(id, data, 200*time.Millisecond)
+		if err != nil {
+			t.Fatalf("session %d: %v", id, err)
+		}
+		recv, err := svc.Receiver(id, "sink")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok := recv.Data(stats.Generations)
+		if !ok || !bytes.Equal(got[:len(data)], data) {
+			t.Fatalf("session %d (field %v) data mismatch", id, svc.paramsFor(id).Field)
+		}
+	}
+}
+
+// TestServiceSessionFieldValidation rejects unsupported field overrides up
+// front, before Deploy can bake them into VNF configs.
+func TestServiceSessionFieldValidation(t *testing.T) {
+	g, _, _ := topology.Butterfly()
+	_, err := NewService(Config{
+		Graph:         g,
+		Params:        rlnc.Params{GenerationBlocks: 4, BlockSize: 64},
+		SessionFields: map[ncproto.SessionID]gf.Field{1: gf.Field(7)},
+	})
+	if err == nil {
+		t.Fatal("unsupported session field accepted")
 	}
 }
 

@@ -1,6 +1,7 @@
 package dataplane
 
 import (
+	"ncfn/internal/gf"
 	"ncfn/internal/simclock"
 	"ncfn/internal/telemetry"
 )
@@ -21,6 +22,14 @@ const (
 	MetricTableSwapNs     = "dataplane_table_swap_ns"
 	MetricShardQueueDepth = "dataplane_shard_queue_depth"
 	FlightRecorderName    = "dataplane_flight"
+
+	// Dependent (non-innovative) received packets, split by coefficient
+	// field: a dependent arrival consumed link capacity but advanced no
+	// decoder or recoder rank. Small fields trade exactly this overhead for
+	// cheaper coding (Sec. III-B); the field-sweep experiment reads these
+	// counters to measure the trade.
+	MetricDependentGF2   = "dataplane_dependent_gf2_packets"
+	MetricDependentGF256 = "dataplane_dependent_gf256_packets"
 )
 
 // vnfTelemetry is a VNF's instrument set. Counters are sharded with one
@@ -35,6 +44,8 @@ type vnfTelemetry struct {
 	gens      *telemetry.Counter
 	recoded   *telemetry.Counter
 	forwarded *telemetry.Counter
+	depGF2    *telemetry.Counter
+	depGF256  *telemetry.Counter
 
 	// batch observes the run length of each shard drain; decode observes
 	// per-generation decode latency (decoder creation to delivery) in
@@ -62,12 +73,22 @@ func newVNFTelemetry(reg *telemetry.Registry, workers int) vnfTelemetry {
 		gens:       reg.Counter(MetricGenerationsDone, cells),
 		recoded:    reg.Counter(MetricRecoded, cells),
 		forwarded:  reg.Counter(MetricForwarded, cells),
+		depGF2:     reg.Counter(MetricDependentGF2, cells),
+		depGF256:   reg.Counter(MetricDependentGF256, cells),
 		batch:      reg.Histogram(MetricBatchPackets),
 		decodeNs:   reg.Histogram(MetricDecodeLatencyNs),
 		tableSwap:  reg.Histogram(MetricTableSwapNs),
 		queueDepth: reg.Gauge(MetricShardQueueDepth, workers),
 		rec:        reg.Recorder(FlightRecorderName, telemetry.DefaultRecorderCapacity),
 	}
+}
+
+// dependent returns the dependent-packet counter for a session's field.
+func (t *vnfTelemetry) dependent(f gf.Field) *telemetry.Counter {
+	if f == gf.GF2 {
+		return t.depGF2
+	}
+	return t.depGF256
 }
 
 // WithTelemetry attaches the VNF's instruments to the given registry

@@ -703,10 +703,16 @@ func (v *VNF) recode(sh *vnfShard, st *sessionState, p *ncproto.Packet) {
 		}
 		st.recoders[p.Generation] = rec
 	}
+	uselessBefore := rec.Useless()
 	if err := rec.Add(cb); err != nil {
 		st.mu.Unlock()
 		v.dropPkt(sh.idx+1, p.Session, p.Generation, 1)
 		return
+	}
+	if rec.Useless() > uselessBefore {
+		// The coefficient gate dropped the arrival as linearly dependent:
+		// it consumed upstream capacity without adding information.
+		v.tel.dependent(st.cfg.Params.Field).Inc(sh.idx + 1)
 	}
 	// Track the generation in the shared buffer: it provides per-generation
 	// counting and FIFO capacity management, while the coded state itself
@@ -856,6 +862,9 @@ func (v *VNF) decodeBatch(cell int, st *sessionState, sess ncproto.SessionID, ge
 		st.mu.Unlock()
 		v.dropPkt(cell, sess, gen, len(batch))
 		return
+	}
+	if dep := len(batch) - innovative; dep > 0 {
+		v.tel.dependent(st.cfg.Params.Field).Add(cell, uint64(dep))
 	}
 	if innovative > 0 {
 		v.tel.rec.Record(v.clock.Now().UnixNano(), telemetry.EventRankAdvance, v.node,

@@ -1,0 +1,396 @@
+package gf
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// randBytes returns n deterministic pseudo-random bytes.
+func randBytes(rng *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}
+
+func TestPackUnpackBytesRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 7, 8, 9, 15, 16, 63, 64, 65, 1460, 1461} {
+		src := randBytes(rng, n)
+		words := make([]uint64, WordsForBytes(n))
+		PackBytes(words, src)
+		got := make([]byte, n)
+		UnpackBytes(got, words)
+		if !bytes.Equal(got, src) {
+			t.Fatalf("n=%d: round trip mismatch", n)
+		}
+	}
+}
+
+func TestPackBytesZeroPadsTail(t *testing.T) {
+	words := []uint64{^uint64(0)}
+	PackBytes(words, []byte{0xAB, 0xCD})
+	if words[0] != 0xCDAB {
+		t.Fatalf("tail not zero-padded: got %#x", words[0])
+	}
+}
+
+func TestPackBytesMatchesXorSemantics(t *testing.T) {
+	// XOR of packed rows must equal the packed XOR of byte rows: the packed
+	// payload representation is a drop-in for xorSlice on byte payloads.
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{1, 7, 64, 65, 1460} {
+		a, b := randBytes(rng, n), randBytes(rng, n)
+		wa := make([]uint64, WordsForBytes(n))
+		wb := make([]uint64, WordsForBytes(n))
+		PackBytes(wa, a)
+		PackBytes(wb, b)
+		XorWords(wa, wb)
+		XorSlice(a, b)
+		want := make([]uint64, WordsForBytes(n))
+		PackBytes(want, a)
+		for i := range wa {
+			if wa[i] != want[i] {
+				t.Fatalf("n=%d word %d: packed XOR diverges from byte XOR", n, i)
+			}
+		}
+	}
+}
+
+func TestPackUnpackBitsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, k := range []int{1, 7, 63, 64, 65, 128, 255} {
+		coeffs := make([]byte, k)
+		for i := range coeffs {
+			coeffs[i] = byte(rng.Intn(2))
+		}
+		bits := make([]uint64, WordsForBits(k))
+		PackBits(bits, coeffs)
+		got := make([]byte, k)
+		UnpackBits(got, bits)
+		if !bytes.Equal(got, coeffs) {
+			t.Fatalf("k=%d: bit round trip mismatch", k)
+		}
+		for i := 0; i < k; i++ {
+			if Bit(bits, i) != coeffs[i] {
+				t.Fatalf("k=%d: Bit(%d) = %d, want %d", k, i, Bit(bits, i), coeffs[i])
+			}
+		}
+	}
+}
+
+func TestPackBitsKeepsOnlyLowBit(t *testing.T) {
+	bits := make([]uint64, 1)
+	PackBits(bits, []byte{0xFE, 0xFF, 0x02, 0x03})
+	if bits[0] != 0b1010 {
+		t.Fatalf("PackBits must clamp to the low bit: got %#b", bits[0])
+	}
+}
+
+func TestPackBitsClearsStaleWords(t *testing.T) {
+	bits := []uint64{^uint64(0), ^uint64(0)}
+	PackBits(bits, make([]byte, 65))
+	if bits[0] != 0 || bits[1] != 0 {
+		t.Fatalf("PackBits must clear all covered words: got %#x %#x", bits[0], bits[1])
+	}
+}
+
+func TestSetBit(t *testing.T) {
+	bits := make([]uint64, 2)
+	SetBit(bits, 0)
+	SetBit(bits, 63)
+	SetBit(bits, 64)
+	if bits[0] != 1|1<<63 || bits[1] != 1 {
+		t.Fatalf("SetBit wrong words: %#x %#x", bits[0], bits[1])
+	}
+}
+
+func TestXorWordsBothKernels(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{1, 3, 4, 7, 8, 183, 184} {
+		src := make([]uint64, n)
+		for i := range src {
+			src[i] = rng.Uint64()
+		}
+		a := make([]uint64, n)
+		b := make([]uint64, n)
+		for i := range a {
+			a[i] = rng.Uint64()
+			b[i] = a[i]
+		}
+		xorWordsLoop(a, src)
+		xorWordsUnroll(b, src)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("n=%d word %d: kernels diverge", n, i)
+			}
+		}
+	}
+}
+
+func TestXorWordsShortSource(t *testing.T) {
+	dst := []uint64{1, 2, 3}
+	XorWords(dst, []uint64{1})
+	if dst[0] != 0 || dst[1] != 2 || dst[2] != 3 {
+		t.Fatalf("short source must only touch the overlap: %v", dst)
+	}
+}
+
+func TestXorWordsSourceTooLongPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	XorWords(make([]uint64, 1), make([]uint64, 2))
+}
+
+func TestXorSliceLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	XorSlice(make([]byte, 1), make([]byte, 2))
+}
+
+func TestSetUnrolledXorOverride(t *testing.T) {
+	prev := UnrolledXorSelected()
+	defer SetUnrolledXor(prev)
+	SetUnrolledXor(true)
+	if !UnrolledXorSelected() {
+		t.Fatal("SetUnrolledXor(true) not observed")
+	}
+	SetUnrolledXor(false)
+	if UnrolledXorSelected() {
+		t.Fatal("SetUnrolledXor(false) not observed")
+	}
+}
+
+func TestAddMulWords(t *testing.T) {
+	dst := []uint64{1, 2}
+	src := []uint64{4, 8}
+	AddMulWords(dst, src, 0)
+	if dst[0] != 1 || dst[1] != 2 {
+		t.Fatalf("c=0 must be a no-op: %v", dst)
+	}
+	AddMulWords(dst, src, 1)
+	if dst[0] != 5 || dst[1] != 10 {
+		t.Fatalf("c=1 must XOR: %v", dst)
+	}
+	AddMulWords(dst, src, 2) // even byte: zero in GF(2)
+	if dst[0] != 5 || dst[1] != 10 {
+		t.Fatalf("even c must be a no-op: %v", dst)
+	}
+}
+
+func TestXorWordsMultiMatchesLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, words := range []int{1, 8, 183, fusedStripWords + 5} {
+		const rows = 9
+		src := make([]uint64, words)
+		for i := range src {
+			src[i] = rng.Uint64()
+		}
+		dsts := make([][]uint64, rows)
+		want := make([][]uint64, rows)
+		cs := make([]byte, rows)
+		for j := range dsts {
+			dsts[j] = make([]uint64, words)
+			want[j] = make([]uint64, words)
+			for i := range dsts[j] {
+				dsts[j][i] = rng.Uint64()
+				want[j][i] = dsts[j][i]
+			}
+			cs[j] = byte(rng.Intn(4)) // includes even values (zero in GF(2))
+		}
+		XorWordsMulti(dsts, src, cs)
+		for j := range want {
+			AddMulWords(want[j], src, cs[j])
+		}
+		for j := range dsts {
+			for i := range dsts[j] {
+				if dsts[j][i] != want[j][i] {
+					t.Fatalf("words=%d row %d word %d: fused diverges", words, j, i)
+				}
+			}
+		}
+	}
+}
+
+func TestCombineWordsMatchesLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, words := range []int{1, 8, 183, fusedStripWords + 5} {
+		const rows = 9
+		srcs := make([][]uint64, rows)
+		cs := make([]byte, rows)
+		for j := range srcs {
+			srcs[j] = make([]uint64, words)
+			for i := range srcs[j] {
+				srcs[j][i] = rng.Uint64()
+			}
+			cs[j] = byte(rng.Intn(4))
+		}
+		dst := make([]uint64, words)
+		for i := range dst {
+			dst[i] = rng.Uint64() // stale contents must be overwritten
+		}
+		CombineWords(dst, srcs, cs)
+		want := make([]uint64, words)
+		for j := range srcs {
+			AddMulWords(want, srcs[j], cs[j])
+		}
+		for i := range dst {
+			if dst[i] != want[i] {
+				t.Fatalf("words=%d word %d: gather diverges", words, i)
+			}
+		}
+	}
+}
+
+func TestCombineWordsAllZeroCoeffsZeroesDst(t *testing.T) {
+	dst := []uint64{7, 7}
+	srcs := [][]uint64{{1, 2}, {3, 4}}
+	CombineWords(dst, srcs, []byte{0, 2})
+	if dst[0] != 0 || dst[1] != 0 {
+		t.Fatalf("all-zero coefficients must zero dst: %v", dst)
+	}
+}
+
+func TestPackedKernelPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"PackBytesShortDst", func() { PackBytes(make([]uint64, 1), make([]byte, 9)) }},
+		{"UnpackBytesShortSrc", func() { UnpackBytes(make([]byte, 9), make([]uint64, 1)) }},
+		{"PackBitsShortDst", func() { PackBits(make([]uint64, 1), make([]byte, 65)) }},
+		{"UnpackBitsShortSrc", func() { UnpackBits(make([]byte, 65), make([]uint64, 1)) }},
+		{"MultiRowsMismatch", func() { XorWordsMulti(make([][]uint64, 2), make([]uint64, 1), make([]byte, 1)) }},
+		{"MultiLenMismatch", func() { XorWordsMulti([][]uint64{make([]uint64, 2)}, make([]uint64, 1), make([]byte, 1)) }},
+		{"CombineRowsMismatch", func() { CombineWords(make([]uint64, 1), make([][]uint64, 2), make([]byte, 1)) }},
+		{"CombineLenMismatch", func() { CombineWords(make([]uint64, 1), [][]uint64{make([]uint64, 2)}, make([]byte, 1)) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			tc.fn()
+		})
+	}
+}
+
+func TestXorWordsZeroAlloc(t *testing.T) {
+	dst := make([]uint64, WordsForBytes(1460))
+	src := make([]uint64, WordsForBytes(1460))
+	if n := testing.AllocsPerRun(100, func() { XorWords(dst, src) }); n != 0 {
+		t.Fatalf("XorWords allocates %v times per run", n)
+	}
+}
+
+func TestCombineWordsZeroAlloc(t *testing.T) {
+	const rows = 8
+	words := WordsForBytes(1460)
+	srcs := make([][]uint64, rows)
+	for j := range srcs {
+		srcs[j] = make([]uint64, words)
+	}
+	cs := make([]byte, rows)
+	for j := range cs {
+		cs[j] = byte(j & 1)
+	}
+	dst := make([]uint64, words)
+	if n := testing.AllocsPerRun(100, func() { CombineWords(dst, srcs, cs) }); n != 0 {
+		t.Fatalf("CombineWords allocates %v times per run", n)
+	}
+}
+
+// BenchmarkXorWords is the GF(2) kernel benchmark mirrored on
+// BenchmarkAddMulSlice: one MTU-sized packed row per op, both kernel
+// variants pinned explicitly. Guarded by benchguard baselines.
+func BenchmarkXorWords(b *testing.B) {
+	words := WordsForBytes(1460)
+	dst := make([]uint64, words)
+	src := make([]uint64, words)
+	for i := range src {
+		src[i] = uint64(i)*0x9E3779B97F4A7C15 + 1
+	}
+	b.Run("loop", func(b *testing.B) {
+		b.SetBytes(1460)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			xorWordsLoop(dst, src)
+		}
+	})
+	b.Run("unroll", func(b *testing.B) {
+		b.SetBytes(1460)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			xorWordsUnroll(dst, src)
+		}
+	})
+	b.Run("bytes", func(b *testing.B) {
+		// The unpacked byte-slice XOR, for the packed-vs-byte comparison.
+		db := make([]byte, 1460)
+		sb := make([]byte, 1460)
+		b.SetBytes(1460)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			XorSlice(db, sb)
+		}
+	})
+}
+
+func BenchmarkCombineWords(b *testing.B) {
+	for _, rows := range []int{4, 16, 64} {
+		words := WordsForBytes(1460)
+		srcs := make([][]uint64, rows)
+		for j := range srcs {
+			srcs[j] = make([]uint64, words)
+			for i := range srcs[j] {
+				srcs[j][i] = uint64(i*j + 1)
+			}
+		}
+		cs := make([]byte, rows)
+		for j := range cs {
+			cs[j] = byte((j*7 + 1) & 1)
+		}
+		cs[0] = 1
+		dst := make([]uint64, words)
+		b.Run("rows="+itoa(rows), func(b *testing.B) {
+			b.SetBytes(int64(rows * 1460))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				CombineWords(dst, srcs, cs)
+			}
+		})
+	}
+}
+
+func BenchmarkPackBytes(b *testing.B) {
+	src := make([]byte, 1460)
+	dst := make([]uint64, WordsForBytes(1460))
+	b.SetBytes(1460)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		PackBytes(dst, src)
+	}
+}
+
+// itoa avoids pulling strconv into the benchmark name path.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -211,8 +211,28 @@ func (d *Decoder) AddBatch(blocks []CodedBlock) (int, error) {
 		}
 		return innovative, nil
 	}
-	if d.def == nil {
-		d.def = newDeferred(d.params.GenerationBlocks, d.params.BlockSize)
+	if d.pb != nil {
+		for i := range blocks {
+			if d.pb.insert(blocks[i].Coeffs, blocks[i].Payload) {
+				innovative++
+			}
+		}
+		return innovative, nil
+	}
+	if d.def == nil && d.pdef == nil {
+		if d.params.field() == gf.GF2 {
+			d.pdef = newPackedDeferred(d.params.GenerationBlocks, d.params.BlockSize)
+		} else {
+			d.def = newDeferred(d.params.GenerationBlocks, d.params.BlockSize)
+		}
+	}
+	if d.pdef != nil {
+		for i := range blocks {
+			if d.pdef.span.insert(blocks[i].Coeffs, blocks[i].Payload) {
+				innovative++
+			}
+		}
+		return innovative, nil
 	}
 	for i := range blocks {
 		if d.def.span.insert(blocks[i].Coeffs, blocks[i].Payload) {
@@ -229,6 +249,12 @@ func (r *Recoder) AddBatch(blocks []CodedBlock) (int, error) {
 	for i := range blocks {
 		if err := r.params.checkBlock(blocks[i]); err != nil {
 			return innovative, err
+		}
+		if r.pspan != nil {
+			if r.pspan.insert(blocks[i].Coeffs, blocks[i].Payload) {
+				innovative++
+			}
+			continue
 		}
 		if r.span.insert(blocks[i].Coeffs, blocks[i].Payload) {
 			innovative++

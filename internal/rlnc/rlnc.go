@@ -111,6 +111,11 @@ type Encoder struct {
 	rng    *rand.Rand
 	next   int    // next systematic block index
 	work   uint64 // payload-equivalent kernel traffic, in bytes
+
+	// GF(2) packed fast path: the source blocks packed into words once at
+	// construction, plus the emission gather scratch. nil under GF(2^8).
+	pblocks  [][]uint64
+	pscratch []uint64
 }
 
 // NewEncoder builds an encoder for one generation of source data. data must
@@ -132,11 +137,22 @@ func NewEncoder(params Params, data []byte, seed int64) (*Encoder, error) {
 			copy(blocks[i], data[lo:])
 		}
 	}
-	return &Encoder{
+	e := &Encoder{
 		params: params,
 		blocks: blocks,
 		rng:    rand.New(rand.NewSource(seed)),
-	}, nil
+	}
+	if params.field() == gf.GF2 {
+		pwords := gf.WordsForBytes(params.BlockSize)
+		arena := make([]uint64, params.GenerationBlocks*pwords)
+		e.pblocks = make([][]uint64, params.GenerationBlocks)
+		for i := range e.pblocks {
+			e.pblocks[i] = arena[i*pwords : (i+1)*pwords : (i+1)*pwords]
+			gf.PackBytes(e.pblocks[i], blocks[i])
+		}
+		e.pscratch = make([]uint64, pwords)
+	}
+	return e, nil
 }
 
 // Params returns the coding parameters.
@@ -176,21 +192,44 @@ func (e *Encoder) CodedInto(cb *CodedBlock) {
 	k := e.params.GenerationBlocks
 	cb.Coeffs = resizeBuf(cb.Coeffs, k)
 	cb.Payload = resizeBuf(cb.Payload, e.params.BlockSize)
-	field := e.params.field()
-	allZero := true
-	for i := range cb.Coeffs {
-		cb.Coeffs[i] = field.ClampCoeff(byte(e.rng.Intn(256)))
-		if cb.Coeffs[i] != 0 {
-			allZero = false
-		}
-	}
-	if allZero {
-		// A zero vector carries no information; force one nonzero entry.
-		cb.Coeffs[e.rng.Intn(k)] = 1
+	drawCoeffs(e.rng, e.params.field(), cb.Coeffs)
+	if e.pblocks != nil {
+		// GF(2) packed path: fused word gather, then unpack to the wire.
+		gf.CombineWords(e.pscratch, e.pblocks, cb.Coeffs)
+		gf.UnpackBytes(cb.Payload, e.pscratch)
+		e.work += uint64(k+1) * uint64(e.params.BlockSize) / 2 >> gf2WorkShift
+		return
 	}
 	gf.CombineSlices(cb.Payload, e.blocks, cb.Coeffs)
 	// Fused gather traffic: (k+1)/2 rows of blockSize per emission.
 	e.work += uint64(k+1) * uint64(e.params.BlockSize) / 2
+}
+
+// drawCoeffs fills coeffs with random field coefficients, redrawing the
+// whole vector if every entry came up zero: an all-zero vector carries no
+// information, and under GF(2) a single draw goes all-zero with probability
+// 2^-k — at small generation sizes that is real transmission waste, not a
+// corner case. The redraw loop is bounded by maxCoeffRedraws, after which
+// one random entry is forced to 1.
+//
+//nc:hotpath
+func drawCoeffs(rng *rand.Rand, field gf.Field, coeffs []byte) {
+	for attempt := 0; ; attempt++ {
+		allZero := true
+		for i := range coeffs {
+			coeffs[i] = field.ClampCoeff(byte(rng.Intn(256)))
+			if coeffs[i] != 0 {
+				allZero = false
+			}
+		}
+		if !allZero {
+			return
+		}
+		if attempt == maxCoeffRedraws {
+			coeffs[rng.Intn(len(coeffs))] = 1
+			return
+		}
+	}
 }
 
 // TakeWork returns the coding work performed since the last call, measured
@@ -323,10 +362,19 @@ func (b *basis) insert(coeffs, payload []byte) bool {
 // and both decode to identical bytes. All row storage is preallocated when
 // the engine is created; steady-state Add/AddBatch performs no heap
 // allocations. It is not safe for concurrent use.
+//
+// Under Params.Field == gf.GF2 the decoder picks the bit-packed twins of
+// both engines (packedBasis / packedDeferred): coefficients become bitmaps,
+// payloads become []uint64, and every elimination row-op is a word-wide XOR.
+// The byte engines remain reachable for GF(2) inputs (tests pre-seed them)
+// and decode bit-identical output — they are the differential reference for
+// the packed path.
 type Decoder struct {
 	params Params
-	b      *basis    // incremental engine, created by a first Add
-	def    *deferred // batched engine, created by a first AddBatch
+	b      *basis          // incremental engine, created by a first Add
+	def    *deferred       // batched engine, created by a first AddBatch
+	pb     *packedBasis    // packed incremental engine (GF(2))
+	pdef   *packedDeferred // packed batched engine (GF(2))
 }
 
 // NewDecoder builds a decoder for one generation.
@@ -347,6 +395,10 @@ func (d *Decoder) Rank() int {
 		return d.b.rank
 	case d.def != nil:
 		return d.def.span.n
+	case d.pb != nil:
+		return d.pb.rank
+	case d.pdef != nil:
+		return d.pdef.span.n
 	}
 	return 0
 }
@@ -360,6 +412,10 @@ func (d *Decoder) Useless() int {
 		return d.b.useless
 	case d.def != nil:
 		return d.def.span.useless
+	case d.pb != nil:
+		return d.pb.useless
+	case d.pdef != nil:
+		return d.pdef.span.useless
 	}
 	return 0
 }
@@ -380,6 +436,13 @@ func (d *Decoder) TakeWork() uint64 {
 	if d.def != nil {
 		w += d.def.takeWork()
 	}
+	if d.pb != nil {
+		w += d.pb.work
+		d.pb.work = 0
+	}
+	if d.pdef != nil {
+		w += d.pdef.takeWork()
+	}
 	return w
 }
 
@@ -389,12 +452,21 @@ func (d *Decoder) Add(cb CodedBlock) (bool, error) {
 	if err := d.params.checkBlock(cb); err != nil {
 		return false, err
 	}
-	if d.def != nil {
+	switch {
+	case d.def != nil:
 		return d.def.span.insert(cb.Coeffs, cb.Payload), nil
+	case d.pdef != nil:
+		return d.pdef.span.insert(cb.Coeffs, cb.Payload), nil
+	case d.b != nil:
+		return d.b.insert(cb.Coeffs, cb.Payload), nil
+	case d.pb != nil:
+		return d.pb.insert(cb.Coeffs, cb.Payload), nil
 	}
-	if d.b == nil {
-		d.b = newBasis(d.params.GenerationBlocks, d.params.BlockSize)
+	if d.params.field() == gf.GF2 {
+		d.pb = newPackedBasis(d.params.GenerationBlocks, d.params.BlockSize)
+		return d.pb.insert(cb.Coeffs, cb.Payload), nil
 	}
+	d.b = newBasis(d.params.GenerationBlocks, d.params.BlockSize)
 	return d.b.insert(cb.Coeffs, cb.Payload), nil
 }
 
@@ -406,11 +478,19 @@ func (d *Decoder) Block(i int) ([]byte, error) {
 	if i < 0 || i >= d.params.GenerationBlocks {
 		return nil, fmt.Errorf("%w: block index %d", ErrParams, i)
 	}
-	if d.def != nil {
+	switch {
+	case d.def != nil:
 		if err := d.def.finalize(); err != nil {
 			return nil, err
 		}
 		return d.def.decoded[i], nil
+	case d.pdef != nil:
+		if err := d.pdef.finalize(); err != nil {
+			return nil, err
+		}
+		return d.pdef.decoded[i], nil
+	case d.pb != nil:
+		return d.pb.block(i), nil
 	}
 	return d.b.payload[i], nil
 }
@@ -441,11 +521,18 @@ func (d *Decoder) Generation() ([]byte, error) {
 // over the stored span — O(rank) row reads, not O(packets received). Add
 // and RecodeInto perform no heap allocation. It is not safe for concurrent
 // use.
+//
+// Under Params.Field == gf.GF2 the recoder stores its span bit-packed
+// (packedSpan) and emits through the fused word-gather kernel; the byte span
+// remains the differential reference.
 type Recoder struct {
 	params  Params
-	span    *rawSpan
+	span    *rawSpan    // byte span (GF(2^8))
+	pspan   *packedSpan // packed span (GF(2))
 	rng     *rand.Rand
-	weights []byte // emission draw scratch
+	weights []byte   // emission draw scratch
+	emitC   []uint64 // packed coefficient gather scratch (GF(2))
+	emitP   []uint64 // packed payload gather scratch (GF(2))
 }
 
 // NewRecoder builds a recoder for one generation.
@@ -453,12 +540,19 @@ func NewRecoder(params Params, seed int64) (*Recoder, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
-	return &Recoder{
+	r := &Recoder{
 		params:  params,
-		span:    newRawSpan(params.GenerationBlocks, params.BlockSize),
 		rng:     rand.New(rand.NewSource(seed)),
 		weights: make([]byte, params.GenerationBlocks),
-	}, nil
+	}
+	if params.field() == gf.GF2 {
+		r.pspan = newPackedSpan(params.GenerationBlocks, params.BlockSize)
+		r.emitC = make([]uint64, r.pspan.cwords)
+		r.emitP = make([]uint64, r.pspan.pwords)
+	} else {
+		r.span = newRawSpan(params.GenerationBlocks, params.BlockSize)
+	}
+	return r, nil
 }
 
 // Params returns the coding parameters.
@@ -467,11 +561,32 @@ func (r *Recoder) Params() Params { return r.params }
 // Stored returns the number of linearly independent blocks buffered for
 // recoding (the recoder's rank; dependent arrivals add no information and
 // are dropped by the coefficient gate).
-func (r *Recoder) Stored() int { return r.span.n }
+func (r *Recoder) Stored() int {
+	if r.pspan != nil {
+		return r.pspan.n
+	}
+	return r.span.n
+}
+
+// Useless returns the number of received blocks the coefficient gate dropped
+// as linearly dependent. The data plane surfaces this per field: dependent
+// arrivals are the transmission overhead small fields trade for cheaper
+// coding (Sec. III-B).
+func (r *Recoder) Useless() int {
+	if r.pspan != nil {
+		return r.pspan.useless
+	}
+	return r.span.useless
+}
 
 // TakeWork returns the coding work performed since the last call, measured
 // in bytes of equivalent single-row kernel traffic, and resets the counter.
 func (r *Recoder) TakeWork() uint64 {
+	if r.pspan != nil {
+		w := r.pspan.work
+		r.pspan.work = 0
+		return w
+	}
 	w := r.span.work
 	r.span.work = 0
 	return w
@@ -481,6 +596,10 @@ func (r *Recoder) TakeWork() uint64 {
 func (r *Recoder) Add(cb CodedBlock) error {
 	if err := r.params.checkBlock(cb); err != nil {
 		return err
+	}
+	if r.pspan != nil {
+		r.pspan.insert(cb.Coeffs, cb.Payload)
+		return nil
 	}
 	r.span.insert(cb.Coeffs, cb.Payload)
 	return nil
@@ -503,26 +622,26 @@ func (r *Recoder) Recode() (CodedBlock, bool) {
 //
 //nc:hotpath
 func (r *Recoder) RecodeInto(cb *CodedBlock) bool {
-	n := r.span.n
+	n := r.Stored()
 	if n == 0 {
 		return false
 	}
 	cb.Coeffs = resizeBuf(cb.Coeffs, r.params.GenerationBlocks)
 	cb.Payload = resizeBuf(cb.Payload, r.params.BlockSize)
-	field := r.params.field()
-	mixed := false
+	// All-zero weight vectors are redrawn at the source: emitting the fused
+	// gather of an all-zero draw would be a zero packet, and the old
+	// fallback (forward stored row 0) was a guaranteed duplicate — useless
+	// to every downstream decoder that already has the row.
 	w := r.weights[:n]
-	for i := range w {
-		w[i] = field.ClampCoeff(byte(r.rng.Intn(256)))
-		if w[i] != 0 {
-			mixed = true
-		}
-	}
-	if !mixed {
-		// All weights were zero; fall back to forwarding a stored row.
-		copy(cb.Coeffs, r.span.rawC[0])
-		copy(cb.Payload, r.span.rawP[0])
-		r.span.work += uint64(r.params.BlockSize)
+	drawCoeffs(r.rng, r.params.field(), w)
+	if r.pspan != nil {
+		// GF(2) packed path: word gathers over the packed span, unpacked to
+		// the wire representation.
+		gf.CombineWords(r.emitC, r.pspan.rawC[:n], w)
+		gf.CombineWords(r.emitP, r.pspan.rawP[:n], w)
+		gf.UnpackBits(cb.Coeffs, r.emitC)
+		gf.UnpackBytes(cb.Payload, r.emitP)
+		r.pspan.work += uint64(n+1) * uint64(r.params.BlockSize) / 2 >> gf2WorkShift
 		return true
 	}
 	gf.CombineSlices(cb.Coeffs, r.span.rawC[:n], w)
