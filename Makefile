@@ -6,7 +6,7 @@ GO ?= go
 NCLINT := bin/nclint
 NCLINT_SRCS := $(shell find cmd/nclint internal/analysis -name '*.go' -not -path '*/testdata/*')
 
-.PHONY: build test test-race test-chaos vet lint bench bench-hotpath bench-guard cover check
+.PHONY: build test test-race test-chaos test-soak vet lint bench bench-hotpath bench-guard cover check
 
 build:
 	$(GO) build ./...
@@ -37,12 +37,19 @@ test-chaos:
 	$(GO) test -count=1 -run 'TestFault|TestPartition|TestBurstLoss|TestCrash|TestRestart|TestFailLaunches|TestSupervisor|TestRetry|TestPush|TestPoolLaunch' \
 		./internal/emunet/ ./internal/cloud/ ./internal/controller/
 
+# test-soak runs the full many-session churn soak under the race detector:
+# thousands of concurrent sessions cycling through create / starve / evict /
+# revive / teardown against concurrent RCU table pushes, with leak and
+# double-put accounting on. CI runs the -short variant; this is the full one.
+test-soak:
+	$(GO) test -count=1 -race -v -run 'TestSessionChurnSoak' ./internal/chaostest/
+
 vet:
 	$(GO) vet ./...
 
 # bench runs the data-plane micro-benchmarks that gate hot-path changes.
 bench:
-	$(GO) test -run 'XXX' -bench 'BenchmarkAddMulSlice|BenchmarkDotProduct|BenchmarkRecode|BenchmarkVNFPipeline|BenchmarkRecoderPacketProcessing|BenchmarkDecoderBatch|BenchmarkEncodeCodedInto|BenchmarkXorWords|BenchmarkCombineWords|BenchmarkPackBytes' -benchmem \
+	$(GO) test -run 'XXX' -bench 'BenchmarkAddMulSlice|BenchmarkDotProduct|BenchmarkRecode|BenchmarkVNFPipeline|BenchmarkRecoderPacketProcessing|BenchmarkDecoderBatch|BenchmarkEncodeCodedInto|BenchmarkXorWords|BenchmarkCombineWords|BenchmarkPackBytes|BenchmarkTableRead|BenchmarkManySessionPipeline' -benchmem \
 		./internal/gf/ ./internal/rlnc/ ./internal/dataplane/
 	$(GO) test -run 'XXX' -bench 'BenchmarkInverse|BenchmarkMulInto|BenchmarkRREF' -benchmem ./internal/matrix/ ./internal/bitmat/
 
@@ -52,22 +59,26 @@ bench-hotpath:
 	$(GO) test -run 'XXX' -bench 'BenchmarkAddMulSlice' -benchmem ./internal/gf/
 
 # bench-guard reruns the guarded hot-path benchmarks — the telemetry-
-# instrumented VNF pipeline, the GF(2) word-XOR kernels, and the packed
-# GF(2) batch decode — and fails if the best of three runs regresses more
-# than 10% against the benchguard-baseline lines in bench_results.txt.
+# instrumented VNF pipeline, the GF(2) word-XOR kernels, the packed GF(2)
+# batch decode, the lock-free forwarding-table read, and the many-session
+# pipeline over the bounded store — and fails if the best of three runs
+# regresses more than 10% against the benchguard-baseline lines in
+# bench_results.txt.
 bench-guard:
 	$(GO) build -o bin/benchguard ./cmd/benchguard
-	{ $(GO) test -run 'XXX' -bench 'BenchmarkVNFPipeline' -benchtime 200ms -count 3 ./internal/dataplane/ && \
+	{ $(GO) test -run 'XXX' -bench 'BenchmarkVNFPipeline|BenchmarkTableRead|BenchmarkManySessionPipeline' -benchtime 200ms -count 3 ./internal/dataplane/ && \
 	  $(GO) test -run 'XXX' -bench 'BenchmarkXorWords' -benchtime 200ms -count 3 ./internal/gf/ && \
 	  $(GO) test -run 'XXX' -bench 'BenchmarkDecoderBatchGF2' -benchtime 200ms -count 3 ./internal/rlnc/ ; } \
 		| ./bin/benchguard -baseline bench_results.txt
 
 # cover enforces the coverage floors: telemetry >= 90%, the GF kernel and
-# bit-matrix packages >= 85%, repo-wide >= 70%.
+# bit-matrix packages >= 85%, repo-wide >= 70%, and a per-file floor on the
+# session-store eviction machinery.
 cover:
 	$(GO) build -o bin/covercheck ./cmd/covercheck
 	$(GO) test -coverprofile=cover.out ./...
 	./bin/covercheck -profile cover.out -total 70 -floor ncfn/internal/telemetry=90 \
-		-floor ncfn/internal/gf=85 -floor ncfn/internal/bitmat=85
+		-floor ncfn/internal/gf=85 -floor ncfn/internal/bitmat=85 \
+		-filefloor ncfn/internal/dataplane/sessionstore.go=80
 
 check: build lint test test-race

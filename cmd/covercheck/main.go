@@ -1,11 +1,13 @@
 // Command covercheck enforces coverage floors over a Go cover profile.
 // `make cover` runs the full test suite with -coverprofile and then:
 //
-//	covercheck -profile cover.out -total 70 -floor ncfn/internal/telemetry=90
+//	covercheck -profile cover.out -total 70 -floor ncfn/internal/telemetry=90 \
+//	    -filefloor ncfn/internal/dataplane/sessionstore.go=80
 //
-// fails (exit 1) when the repo-wide statement coverage drops below -total
-// or any -floor package drops below its floor. Floors are statement-
-// weighted, matching `go tool cover -func` totals.
+// fails (exit 1) when the repo-wide statement coverage drops below -total,
+// any -floor package drops below its floor, or any -filefloor file drops
+// below its floor. Floors are statement-weighted, matching `go tool cover
+// -func` totals.
 package main
 
 import (
@@ -71,11 +73,13 @@ func run(args []string, w io.Writer) error {
 	total := fs.Float64("total", 0, "repo-wide statement coverage floor in percent (0 disables)")
 	floors := floorList{}
 	fs.Var(floors, "floor", "per-package floor as pkg=percent (repeatable)")
+	fileFloors := floorList{}
+	fs.Var(fileFloors, "filefloor", "per-file floor as path/file.go=percent (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	perPkg, err := parseProfile(*profile)
+	perPkg, perFile, err := parseProfile(*profile)
 	if err != nil {
 		return err
 	}
@@ -104,6 +108,16 @@ func run(args []string, w io.Writer) error {
 			violations = append(violations, fmt.Sprintf("package %s coverage %.1f%% below floor %.1f%%", pkg, got, floor))
 		}
 	}
+	for file, floor := range fileFloors {
+		c, ok := perFile[file]
+		if !ok {
+			violations = append(violations, fmt.Sprintf("file %s not present in profile", file))
+			continue
+		}
+		if got := c.percent(); got < floor {
+			violations = append(violations, fmt.Sprintf("file %s coverage %.1f%% below floor %.1f%%", file, got, floor))
+		}
+	}
 	if *total > 0 && all.percent() < *total {
 		violations = append(violations, fmt.Sprintf("total coverage %.1f%% below floor %.1f%%", all.percent(), *total))
 	}
@@ -114,20 +128,21 @@ func run(args []string, w io.Writer) error {
 	return nil
 }
 
-// parseProfile aggregates a cover profile's statement counts by package.
-// Profile lines look like:
+// parseProfile aggregates a cover profile's statement counts by package and
+// by file. Profile lines look like:
 //
 //	ncfn/internal/telemetry/counter.go:12.34,14.2 3 1
 //
 // where the trailing fields are the statement count and the hit count.
-func parseProfile(path2 string) (map[string]pkgCov, error) {
+func parseProfile(path2 string) (map[string]pkgCov, map[string]pkgCov, error) {
 	f, err := os.Open(path2)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer f.Close()
 
 	perPkg := make(map[string]pkgCov)
+	perFile := make(map[string]pkgCov)
 	sc := bufio.NewScanner(f)
 	first := true
 	for sc.Scan() {
@@ -143,19 +158,19 @@ func parseProfile(path2 string) (map[string]pkgCov, error) {
 		}
 		file, rest, ok := strings.Cut(line, ":")
 		if !ok {
-			return nil, fmt.Errorf("malformed profile line %q", line)
+			return nil, nil, fmt.Errorf("malformed profile line %q", line)
 		}
 		fields := strings.Fields(rest)
 		if len(fields) != 3 {
-			return nil, fmt.Errorf("malformed profile line %q", line)
+			return nil, nil, fmt.Errorf("malformed profile line %q", line)
 		}
 		stmts, err := strconv.Atoi(fields[1])
 		if err != nil {
-			return nil, fmt.Errorf("malformed statement count in %q", line)
+			return nil, nil, fmt.Errorf("malformed statement count in %q", line)
 		}
 		hits, err := strconv.Atoi(fields[2])
 		if err != nil {
-			return nil, fmt.Errorf("malformed hit count in %q", line)
+			return nil, nil, fmt.Errorf("malformed hit count in %q", line)
 		}
 		pkg := path.Dir(file)
 		c := perPkg[pkg]
@@ -164,12 +179,18 @@ func parseProfile(path2 string) (map[string]pkgCov, error) {
 			c.covered += stmts
 		}
 		perPkg[pkg] = c
+		fc := perFile[file]
+		fc.total += stmts
+		if hits > 0 {
+			fc.covered += stmts
+		}
+		perFile[file] = fc
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if len(perPkg) == 0 {
-		return nil, fmt.Errorf("profile %s has no coverage blocks", path2)
+		return nil, nil, fmt.Errorf("profile %s has no coverage blocks", path2)
 	}
-	return perPkg, nil
+	return perPkg, perFile, nil
 }

@@ -27,9 +27,17 @@ ncfn/internal/dataplane/vnf.go:30.2,31.3 2 0
 // telemetry: 10/20 = 50%, dataplane: 8/10 = 80%, total: 18/30 = 60%.
 
 func TestParseProfileAggregatesByPackage(t *testing.T) {
-	perPkg, err := parseProfile(writeProfile(t, sampleProfile))
+	perPkg, perFile, err := parseProfile(writeProfile(t, sampleProfile))
 	if err != nil {
 		t.Fatal(err)
+	}
+	counter := perFile["ncfn/internal/telemetry/counter.go"]
+	if counter.total != 10 || counter.covered != 10 {
+		t.Fatalf("counter.go = %+v, want 10/10", counter)
+	}
+	hist := perFile["ncfn/internal/telemetry/hist.go"]
+	if hist.total != 10 || hist.covered != 0 {
+		t.Fatalf("hist.go = %+v, want 0/10", hist)
 	}
 	tele := perPkg["ncfn/internal/telemetry"]
 	if tele.total != 20 || tele.covered != 10 {
@@ -71,6 +79,25 @@ func TestRunFailsBelowTotalFloor(t *testing.T) {
 	}
 }
 
+func TestRunEnforcesFileFloors(t *testing.T) {
+	p := writeProfile(t, sampleProfile)
+	var sb strings.Builder
+	// counter.go is 100% covered: floor holds.
+	if err := run([]string{"-profile", p, "-filefloor", "ncfn/internal/telemetry/counter.go=90"}, &sb); err != nil {
+		t.Fatalf("file floor should hold: %v", err)
+	}
+	// hist.go is 0% covered: floor violated.
+	err := run([]string{"-profile", p, "-filefloor", "ncfn/internal/telemetry/hist.go=50"}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "hist.go") {
+		t.Fatalf("want hist.go file-floor violation, got %v", err)
+	}
+	// Unknown files are violations, not silent passes.
+	err = run([]string{"-profile", p, "-filefloor", "ncfn/internal/telemetry/gone.go=50"}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "not present") {
+		t.Fatalf("want missing-file violation, got %v", err)
+	}
+}
+
 func TestRunFailsOnMissingFlooredPackage(t *testing.T) {
 	p := writeProfile(t, sampleProfile)
 	var sb strings.Builder
@@ -86,7 +113,7 @@ func TestParseProfileRejectsGarbage(t *testing.T) {
 		"mode: set\nnot a line\n",    // no colon fields
 		"mode: set\nf.go:1.1,2.2 x 1\n", // bad statement count
 	} {
-		if _, err := parseProfile(writeProfile(t, body)); err == nil {
+		if _, _, err := parseProfile(writeProfile(t, body)); err == nil {
 			t.Fatalf("profile %q accepted", body)
 		}
 	}

@@ -115,6 +115,18 @@ func TestFieldsweepOutput(t *testing.T) {
 	}
 }
 
+func TestSessionSoakOutput(t *testing.T) {
+	out := runQuick(t, "sessionsoak")
+	for _, col := range []string{"throughput_mbps", "peak_state_mb", "pause_events", "p99_decode_us", "evicted"} {
+		if !strings.Contains(out, col) {
+			t.Fatalf("sessionsoak missing column %s:\n%s", col, out)
+		}
+	}
+	// The runner itself errors on any pause event or memory-bound violation,
+	// so reaching here already certifies the RCU and bounded-store acceptance
+	// criteria in quick mode.
+}
+
 func TestFig7Ordering(t *testing.T) {
 	out := runQuick(t, "fig7")
 	if strings.Contains(out, "WARNING") {

@@ -7,7 +7,7 @@ import (
 	"time"
 
 	"ncfn/internal/buffer"
-	"ncfn/internal/chaostest/leakcheck"
+	"ncfn/internal/leakcheck"
 	"ncfn/internal/cloud"
 	"ncfn/internal/controller"
 )

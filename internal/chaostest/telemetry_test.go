@@ -3,7 +3,7 @@ package chaostest
 import (
 	"testing"
 
-	"ncfn/internal/chaostest/leakcheck"
+	"ncfn/internal/leakcheck"
 	"ncfn/internal/cloud"
 	"ncfn/internal/controller"
 	"ncfn/internal/telemetry"

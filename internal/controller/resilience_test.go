@@ -8,7 +8,7 @@ import (
 	"testing"
 	"time"
 
-	"ncfn/internal/chaostest/leakcheck"
+	"ncfn/internal/leakcheck"
 	"ncfn/internal/cloud"
 	"ncfn/internal/emunet"
 	"ncfn/internal/probe"

@@ -68,6 +68,11 @@ type Config struct {
 	// CodingCostBytesPerSec models VNF coding CPU throughput (see
 	// dataplane.WithCodingCost); zero disables the model.
 	CodingCostBytesPerSec float64
+	// SessionStore bounds each VNF's per-session coding state
+	// (dataplane.WithSessionStore): LRU/TTL/byte-cap eviction with memory
+	// accounting, for deployments carrying many concurrent sessions. The
+	// zero value keeps the unbounded historical behavior.
+	SessionStore dataplane.SessionStoreConfig
 	// Network optionally supplies an existing emulated network whose host
 	// names match the graph's node IDs. When nil, Deploy builds one from
 	// the graph (links inherit capacity and delay).
@@ -235,6 +240,9 @@ func (s *Service) Deploy() error {
 		}
 		if s.cfg.CodingCostBytesPerSec > 0 {
 			opts = append(opts, dataplane.WithCodingCost(s.cfg.CodingCostBytesPerSec))
+		}
+		if s.cfg.SessionStore != (dataplane.SessionStoreConfig{}) {
+			opts = append(opts, dataplane.WithSessionStore(s.cfg.SessionStore))
 		}
 		vnf := dataplane.NewVNF(s.net.Host(string(node)), opts...)
 		for _, sc := range np.Sessions {

@@ -1,0 +1,375 @@
+package dataplane
+
+import (
+	"container/list"
+	"sync"
+
+	"ncfn/internal/buffer"
+	"ncfn/internal/ncproto"
+	"ncfn/internal/rlnc"
+	"ncfn/internal/telemetry"
+)
+
+// SessionStoreConfig bounds the per-VNF coding state under massive
+// multi-tenancy. With thousands of concurrent sessions, per-generation
+// decoder and recoder state is the dominant memory consumer; the store
+// tracks every live (session, generation) in LRU order and evicts stale
+// generations when any configured bound is exceeded. A zero value in any
+// field disables that bound.
+type SessionStoreConfig struct {
+	// MaxGenerations caps live (session, generation) coding states across
+	// the whole VNF. The least recently touched generation is evicted first.
+	MaxGenerations int
+	// TTLNanos evicts any generation not touched by a packet for this many
+	// clock nanoseconds (the VNF's clock, so the chaos harness drives it
+	// with virtual time).
+	TTLNanos int64
+	// MaxBytes caps the estimated coding-state bytes
+	// (rlnc.Params.StateBytes per live generation).
+	MaxBytes int64
+}
+
+// enabled reports whether any bound is configured.
+func (c SessionStoreConfig) enabled() bool {
+	return c.MaxGenerations > 0 || c.TTLNanos > 0 || c.MaxBytes > 0
+}
+
+// WithSessionStore bounds the VNF's per-session coding state. Without this
+// option the VNF keeps its historical behavior: decoder state pruned only by
+// the reordering window, recoder state only by generation-buffer FIFO
+// capacity, and no memory accounting.
+func WithSessionStore(cfg SessionStoreConfig) VNFOption {
+	return func(v *VNF) {
+		if cfg.enabled() {
+			v.store = &sessionStore{
+				cfg:     cfg,
+				entries: make(map[buffer.GenKey]*genEntry),
+				lru:     list.New(),
+			}
+		}
+	}
+}
+
+// genEntry is one live (session, generation) coding state tracked by the
+// store.
+type genEntry struct {
+	key    buffer.GenKey
+	st     *sessionState
+	bytes  int64
+	lastNs int64
+	elem   *list.Element
+}
+
+// sessionStore is the VNF's bounded index of live generation state. It is
+// deliberately decoupled from the per-session locks: touch/remove take only
+// store.mu (callers already hold their session's st.mu — the lock order is
+// st.mu → store.mu), while eviction enforcement collects victims under
+// store.mu, releases it, and then applies each eviction under that victim's
+// st.mu. Enforcement therefore runs only from call sites that hold no
+// session lock (the shard worker loop between runs, and SweepSessions).
+type sessionStore struct {
+	cfg SessionStoreConfig
+
+	mu      sync.Mutex
+	entries map[buffer.GenKey]*genEntry
+	lru     *list.List // front = least recently touched
+	bytes   int64
+	victims []*genEntry // enforcement scratch, reused under mu
+}
+
+// touch marks (key → st) live with the given footprint estimate, inserting
+// or refreshing its LRU position. Callers hold st.mu.
+func (s *sessionStore) touch(st *sessionState, key buffer.GenKey, bytes int64, nowNs int64, tel *vnfTelemetry) {
+	s.mu.Lock()
+	e, ok := s.entries[key]
+	if !ok {
+		e = &genEntry{key: key, st: st, bytes: bytes, lastNs: nowNs}
+		e.elem = s.lru.PushBack(e)
+		s.entries[key] = e
+		s.bytes += bytes
+		s.mu.Unlock()
+		tel.sessBytes.Add(0, bytes)
+		tel.liveGens.Add(0, 1)
+		return
+	}
+	if e.st != st {
+		// The session was reconfigured (revived) while an old entry for the
+		// same generation still existed; track the new state object.
+		e.st = st
+	}
+	if delta := bytes - e.bytes; delta != 0 {
+		e.bytes = bytes
+		s.bytes += delta
+		s.lru.MoveToBack(e.elem)
+		e.lastNs = nowNs
+		s.mu.Unlock()
+		tel.sessBytes.Add(0, delta)
+		return
+	}
+	e.lastNs = nowNs
+	s.lru.MoveToBack(e.elem)
+	s.mu.Unlock()
+}
+
+// remove forgets a generation (delivered, pruned, or dropped by the caller)
+// and returns whether it was tracked. Callers hold st.mu or no session lock.
+func (s *sessionStore) remove(key buffer.GenKey, tel *vnfTelemetry) bool {
+	s.mu.Lock()
+	e, ok := s.entries[key]
+	if !ok {
+		s.mu.Unlock()
+		return false
+	}
+	s.lru.Remove(e.elem)
+	delete(s.entries, key)
+	s.bytes -= e.bytes
+	s.mu.Unlock()
+	tel.sessBytes.Add(0, -e.bytes)
+	tel.liveGens.Add(0, -1)
+	return true
+}
+
+// removeSession forgets every generation of one session (EndSession or a
+// reconfiguration replacing the session state).
+func (s *sessionStore) removeSession(id ncproto.SessionID, tel *vnfTelemetry) {
+	s.mu.Lock()
+	var freed int64
+	var n int64
+	for key, e := range s.entries {
+		if key.Session != id {
+			continue
+		}
+		s.lru.Remove(e.elem)
+		delete(s.entries, key)
+		s.bytes -= e.bytes
+		freed += e.bytes
+		n++
+	}
+	s.mu.Unlock()
+	if n > 0 {
+		tel.sessBytes.Add(0, -freed)
+		tel.liveGens.Add(0, -n)
+	}
+}
+
+// adjust accounts bytes that are retained outside live generations (the
+// per-session codec free lists kept for arena reuse), so the
+// dataplane_session_bytes gauge reflects everything the store holds onto.
+func (s *sessionStore) adjust(delta int64, tel *vnfTelemetry) {
+	s.mu.Lock()
+	s.bytes += delta
+	s.mu.Unlock()
+	tel.sessBytes.Add(0, delta)
+}
+
+// collect pops eviction victims under store.mu: expired generations first
+// (TTL), then LRU order while over the generation or byte caps. Victims are
+// unlinked from the index immediately — their bytes leave the accounting
+// here — and the caller applies the state teardown lock-free of store.mu.
+func (s *sessionStore) collect(nowNs int64) []*genEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.victims = s.victims[:0]
+	if s.cfg.TTLNanos > 0 {
+		for {
+			front := s.lru.Front()
+			if front == nil {
+				break
+			}
+			e := front.Value.(*genEntry)
+			if nowNs-e.lastNs < s.cfg.TTLNanos {
+				break
+			}
+			s.lru.Remove(front)
+			delete(s.entries, e.key)
+			s.bytes -= e.bytes
+			s.victims = append(s.victims, e)
+		}
+	}
+	for (s.cfg.MaxGenerations > 0 && len(s.entries) > s.cfg.MaxGenerations) ||
+		(s.cfg.MaxBytes > 0 && s.bytes > s.cfg.MaxBytes) {
+		front := s.lru.Front()
+		if front == nil {
+			break
+		}
+		e := front.Value.(*genEntry)
+		s.lru.Remove(front)
+		delete(s.entries, e.key)
+		s.bytes -= e.bytes
+		s.victims = append(s.victims, e)
+	}
+	if len(s.victims) == 0 {
+		return nil
+	}
+	out := make([]*genEntry, len(s.victims))
+	copy(out, s.victims)
+	return out
+}
+
+// overLimit is the cheap pre-check the packet path uses to decide whether
+// enforcement is worth running: one mutex acquisition, no allocation.
+func (s *sessionStore) overLimit(nowNs int64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cfg.MaxGenerations > 0 && len(s.entries) > s.cfg.MaxGenerations {
+		return true
+	}
+	if s.cfg.MaxBytes > 0 && s.bytes > s.cfg.MaxBytes {
+		return true
+	}
+	if s.cfg.TTLNanos > 0 {
+		if front := s.lru.Front(); front != nil {
+			if e := front.Value.(*genEntry); nowNs-e.lastNs >= s.cfg.TTLNanos {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// enforceStore evicts stale generations until the store is within bounds.
+// It must be called with no session mutex held: each victim's teardown
+// takes that session's st.mu. Returns the number of generations evicted.
+func (v *VNF) enforceStore() int {
+	if v.store == nil {
+		return 0
+	}
+	nowNs := v.clock.Now().UnixNano()
+	if !v.store.overLimit(nowNs) {
+		return 0
+	}
+	victims := v.store.collect(nowNs)
+	for _, e := range victims {
+		v.evictGeneration(e)
+	}
+	return len(victims)
+}
+
+// SweepSessions runs session-store eviction immediately and returns how many
+// generations were evicted. The packet path enforces the store continuously;
+// this entry point lets an idle VNF (no traffic to piggyback on) and the
+// deterministic churn harness expire TTLs on demand.
+func (v *VNF) SweepSessions() int { return v.enforceStore() }
+
+// SessionStoreStats reports the store's live accounting: tracked generations
+// and estimated retained bytes (live coding state plus pooled free-list
+// arenas). Both are zero when no store is configured.
+func (v *VNF) SessionStoreStats() (generations int, bytes int64) {
+	if v.store == nil {
+		return 0, 0
+	}
+	v.store.mu.Lock()
+	defer v.store.mu.Unlock()
+	return len(v.store.entries), v.store.bytes
+}
+
+// evictGeneration tears down one victim generation: drop its coding state
+// (recycling the codec arenas into the session's free lists), tombstone the
+// generation so late packets count as evicted drops instead of resurrecting
+// state, and record the eviction.
+func (v *VNF) evictGeneration(e *genEntry) {
+	st, gen := e.st, e.key.Generation
+	st.mu.Lock()
+	if dec, ok := st.decoders[gen]; ok {
+		delete(st.decoders, gen)
+		delete(st.started, gen)
+		st.cacheDecoder(v, dec)
+	}
+	if rec, ok := st.recoders[gen]; ok {
+		delete(st.recoders, gen)
+		delete(st.emitted, gen)
+		delete(st.received, gen)
+		st.cacheRecoder(v, rec)
+	}
+	if st.evicted == nil {
+		st.evicted = make(map[ncproto.GenerationID]bool)
+	}
+	st.evicted[gen] = true
+	// Tombstones only need to cover the reordering window: prune entries far
+	// behind the newest generation this session has seen (same policy as the
+	// delivered set, so a very late packet past the window is indistinguishable
+	// from a new generation — accepted bound, documented in DESIGN.md).
+	const window = 4096
+	if len(st.evicted) > 2*window {
+		maxGen := st.maxGen
+		for gid := range st.evicted {
+			if gid+window < maxGen {
+				delete(st.evicted, gid)
+			}
+		}
+	}
+	st.mu.Unlock()
+
+	v.buf.Drop(e.key)
+	v.tel.evicted.Inc(0)
+	v.tel.sessBytes.Add(0, -e.bytes)
+	v.tel.liveGens.Add(0, -1)
+	v.tel.rec.Record(v.clock.Now().UnixNano(), telemetry.EventGenerationEvict, v.node,
+		uint64(e.key.Session), uint64(gen), e.bytes)
+}
+
+// freeListCap bounds how many finished codecs a session retains for arena
+// reuse. One of each kind covers the steady state (sessions usually have one
+// generation in flight) without letting thousands of idle sessions pin
+// unbounded spare arenas.
+const freeListCap = 1
+
+// cacheDecoder resets a finished decoder and retains it for the session's
+// next generation, or lets it go to GC if the free list is full, the session
+// is closed, or no store is configured. Retained arenas are accounted on the
+// session-bytes gauge. Callers hold st.mu.
+func (st *sessionState) cacheDecoder(v *VNF, dec *rlnc.Decoder) {
+	if v.store == nil || st.closed || len(st.freeDec) >= freeListCap {
+		return
+	}
+	dec.Reset()
+	st.freeDec = append(st.freeDec, dec)
+	v.store.adjust(st.stateBytes, &v.tel)
+}
+
+// takeDecoder pops a recycled decoder, or returns nil if none is pooled.
+// Callers hold st.mu.
+func (st *sessionState) takeDecoder(v *VNF) *rlnc.Decoder {
+	n := len(st.freeDec)
+	if n == 0 {
+		return nil
+	}
+	dec := st.freeDec[n-1]
+	st.freeDec = st.freeDec[:n-1]
+	v.store.adjust(-st.stateBytes, &v.tel)
+	return dec
+}
+
+// cacheRecoder is cacheDecoder's recoder twin. The reset (and RNG reseed)
+// happens at reuse time, when the session's next seed is drawn. Callers hold
+// st.mu.
+func (st *sessionState) cacheRecoder(v *VNF, rec *rlnc.Recoder) {
+	if v.store == nil || st.closed || len(st.freeRec) >= freeListCap {
+		return
+	}
+	st.freeRec = append(st.freeRec, rec)
+	v.store.adjust(st.stateBytes, &v.tel)
+}
+
+// takeRecoder pops a recycled recoder reset with the given seed — bit-
+// identical to rlnc.NewRecoder(params, seed), so recycling never changes
+// emitted packets. Returns nil if none is pooled. Callers hold st.mu.
+func (st *sessionState) takeRecoder(v *VNF, seed int64) *rlnc.Recoder {
+	n := len(st.freeRec)
+	if n == 0 {
+		return nil
+	}
+	rec := st.freeRec[n-1]
+	st.freeRec = st.freeRec[:n-1]
+	rec.Reset(seed)
+	v.store.adjust(-st.stateBytes, &v.tel)
+	return rec
+}
+
+// releaseFreeLists drops a session's pooled codecs and returns the bytes to
+// subtract from the store's accounting. Callers hold st.mu.
+func (st *sessionState) releaseFreeLists() int64 {
+	freed := int64(len(st.freeDec)+len(st.freeRec)) * st.stateBytes
+	st.freeDec, st.freeRec = nil, nil
+	return freed
+}

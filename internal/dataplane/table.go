@@ -24,6 +24,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"ncfn/internal/ncproto"
 )
@@ -82,42 +83,108 @@ func (h HopGroup) Pick(s ncproto.SessionID, g ncproto.GenerationID) string {
 
 // ForwardingTable maps each session to its next-hop groups. The paper
 // stores it as a text file pushed by the controller (NC_FORWARD_TAB) and
-// reloaded on SIGUSR1; Load/Save implement that format, and the VNF's
-// UpdateTable implements the pause-swap-resume cycle.
+// reloaded on SIGUSR1.
+//
+// Reads are RCU-style lock-free: the whole table lives in one immutable
+// snapshot published through an atomic pointer, so the per-packet lookups
+// (AppendNextHops, AppendGroups) cost a single atomic load and never
+// contend with writers. Writers serialize on a mutex, copy the map, mutate
+// the copy, and publish it; installed hop groups are deep-copied on the way
+// in and never mutated afterwards, so a reader that loaded the old snapshot
+// keeps a fully consistent (merely stale) view. A reader observes every
+// entry of a batch update atomically — there is no interleaving where half
+// a push is visible.
 type ForwardingTable struct {
-	mu      sync.RWMutex
+	writeMu sync.Mutex // serializes copy-on-write updates
+	snap    atomic.Pointer[tableSnapshot]
+	version atomic.Uint64
+}
+
+// tableSnapshot is one immutable published table state. The map and every
+// HopGroup slice reachable from it are frozen at publication.
+type tableSnapshot struct {
 	entries map[ncproto.SessionID][]HopGroup
 }
 
 // NewForwardingTable returns an empty table.
 func NewForwardingTable() *ForwardingTable {
-	return &ForwardingTable{entries: make(map[ncproto.SessionID][]HopGroup)}
+	t := &ForwardingTable{}
+	t.snap.Store(&tableSnapshot{entries: map[ncproto.SessionID][]HopGroup{}})
+	return t
 }
 
-// Set replaces the hop groups for a session.
-func (t *ForwardingTable) Set(s ncproto.SessionID, hops []HopGroup) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+// load returns the current immutable snapshot map. Reading a nil map is
+// safe, so even a zero-value table (no snapshot published yet) reads as
+// empty.
+func (t *ForwardingTable) load() map[ncproto.SessionID][]HopGroup {
+	if s := t.snap.Load(); s != nil {
+		return s.entries
+	}
+	return nil
+}
+
+// Version returns the number of published table updates. Readers can cheaply
+// detect that a snapshot they are iterating has been superseded.
+func (t *ForwardingTable) Version() uint64 { return t.version.Load() }
+
+// mutate runs one copy-on-write transaction: clone the current map (sharing
+// the immutable group slices), apply f, publish. Callers must deep-copy any
+// hop groups they install.
+func (t *ForwardingTable) mutate(f func(m map[ncproto.SessionID][]HopGroup)) {
+	t.writeMu.Lock()
+	defer t.writeMu.Unlock()
+	old := t.load()
+	m := make(map[ncproto.SessionID][]HopGroup, len(old)+1)
+	for s, g := range old {
+		m[s] = g
+	}
+	f(m)
+	t.snap.Store(&tableSnapshot{entries: m})
+	t.version.Add(1)
+}
+
+// copyGroups deep-copies hop groups so installed state never aliases caller
+// memory.
+func copyGroups(hops []HopGroup) []HopGroup {
 	cp := make([]HopGroup, len(hops))
 	for i, h := range hops {
 		cp[i] = HopGroup{Addrs: append([]string(nil), h.Addrs...), PerGen: h.PerGen}
 	}
-	t.entries[s] = cp
+	return cp
+}
+
+// Set replaces the hop groups for a session.
+func (t *ForwardingTable) Set(s ncproto.SessionID, hops []HopGroup) {
+	cp := copyGroups(hops)
+	t.mutate(func(m map[ncproto.SessionID][]HopGroup) { m[s] = cp })
 }
 
 // Delete removes a session's entry.
 func (t *ForwardingTable) Delete(s ncproto.SessionID) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	delete(t.entries, s)
+	t.mutate(func(m map[ncproto.SessionID][]HopGroup) { delete(m, s) })
+}
+
+// ApplyBatch applies one controller push as a single copy-on-write
+// transaction: a nil hop list deletes the session, anything else replaces
+// it. Readers observe either the whole batch or none of it, and the table is
+// copied once regardless of batch size (Set in a loop would copy it per
+// entry).
+func (t *ForwardingTable) ApplyBatch(entries map[ncproto.SessionID][]HopGroup) {
+	t.mutate(func(m map[ncproto.SessionID][]HopGroup) {
+		for s, hops := range entries {
+			if hops == nil {
+				delete(m, s)
+				continue
+			}
+			m[s] = copyGroups(hops)
+		}
+	})
 }
 
 // NextHops returns the instance addresses to forward a packet of (s, g) to:
 // one instance per hop group.
 func (t *ForwardingTable) NextHops(s ncproto.SessionID, g ncproto.GenerationID) []string {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	groups := t.entries[s]
+	groups := t.load()[s]
 	if len(groups) == 0 {
 		return nil
 	}
@@ -132,10 +199,10 @@ func (t *ForwardingTable) NextHops(s ncproto.SessionID, g ncproto.GenerationID) 
 
 // AppendNextHops appends the instance addresses for (s, g) to dst and
 // returns it — the allocation-free variant of NextHops for the packet path.
+// The lookup is lock-free: one atomic snapshot load, no reader-writer
+// contention even while a controller push is in flight.
 func (t *ForwardingTable) AppendNextHops(dst []string, s ncproto.SessionID, g ncproto.GenerationID) []string {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	for _, h := range t.entries[s] {
+	for _, h := range t.load()[s] {
 		if a := h.Pick(s, g); a != "" {
 			dst = append(dst, a)
 		}
@@ -145,35 +212,24 @@ func (t *ForwardingTable) AppendNextHops(dst []string, s ncproto.SessionID, g nc
 
 // AppendGroups appends the session's hop groups to dst and returns it — the
 // allocation-free variant of Groups for the packet path. The appended
-// values share the table's stored backing arrays, which are immutable once
-// installed (Set and ReplaceAll deep-copy on the way in and swap whole
-// slices on update), so callers may read them freely but must not mutate
-// them; a concurrent table update leaves previously appended groups intact
-// but stale.
+// values share the snapshot's backing arrays, which are immutable once
+// published (writers deep-copy on the way in and publish whole snapshots),
+// so callers may read them freely but must not mutate them; a concurrent
+// table update leaves previously appended groups intact but stale.
 func (t *ForwardingTable) AppendGroups(dst []HopGroup, s ncproto.SessionID) []HopGroup {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return append(dst, t.entries[s]...)
+	return append(dst, t.load()[s]...)
 }
 
 // Groups returns a copy of the hop groups for a session.
 func (t *ForwardingTable) Groups(s ncproto.SessionID) []HopGroup {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	groups := t.entries[s]
-	out := make([]HopGroup, len(groups))
-	for i, h := range groups {
-		out[i] = HopGroup{Addrs: append([]string(nil), h.Addrs...), PerGen: h.PerGen}
-	}
-	return out
+	return copyGroups(t.load()[s])
 }
 
 // Sessions returns the sessions with entries, sorted.
 func (t *ForwardingTable) Sessions() []ncproto.SessionID {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	out := make([]ncproto.SessionID, 0, len(t.entries))
-	for s := range t.entries {
+	entries := t.load()
+	out := make([]ncproto.SessionID, 0, len(entries))
+	for s := range entries {
 		out = append(out, s)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
@@ -182,50 +238,36 @@ func (t *ForwardingTable) Sessions() []ncproto.SessionID {
 
 // Len returns the number of session entries.
 func (t *ForwardingTable) Len() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return len(t.entries)
+	return len(t.load())
 }
 
 // Snapshot returns a deep copy of the table contents.
 func (t *ForwardingTable) Snapshot() map[ncproto.SessionID][]HopGroup {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	out := make(map[ncproto.SessionID][]HopGroup, len(t.entries))
-	for s, groups := range t.entries {
-		cp := make([]HopGroup, len(groups))
-		for i, h := range groups {
-			cp[i] = HopGroup{Addrs: append([]string(nil), h.Addrs...), PerGen: h.PerGen}
-		}
-		out[s] = cp
+	entries := t.load()
+	out := make(map[ncproto.SessionID][]HopGroup, len(entries))
+	for s, groups := range entries {
+		out[s] = copyGroups(groups)
 	}
 	return out
 }
 
 // ReplaceAll swaps in a whole new table content atomically.
 func (t *ForwardingTable) ReplaceAll(entries map[ncproto.SessionID][]HopGroup) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.entries = make(map[ncproto.SessionID][]HopGroup, len(entries))
+	m := make(map[ncproto.SessionID][]HopGroup, len(entries))
 	for s, groups := range entries {
-		cp := make([]HopGroup, len(groups))
-		for i, h := range groups {
-			cp[i] = HopGroup{Addrs: append([]string(nil), h.Addrs...), PerGen: h.PerGen}
-		}
-		t.entries[s] = cp
+		m[s] = copyGroups(groups)
 	}
+	t.writeMu.Lock()
+	defer t.writeMu.Unlock()
+	t.snap.Store(&tableSnapshot{entries: m})
+	t.version.Add(1)
 }
 
 // Save writes the table in the paper's text format: one line per session,
 // "session <id>: addr1,addr2|addr3" where '|' separates hop groups and ','
 // separates instances within a group.
 func (t *ForwardingTable) Save(path string) error {
-	t.mu.RLock()
-	snapshot := make(map[ncproto.SessionID][]HopGroup, len(t.entries))
-	for s, g := range t.entries {
-		snapshot[s] = g
-	}
-	t.mu.RUnlock()
+	snapshot := t.load()
 
 	f, err := os.Create(path)
 	if err != nil {
@@ -258,14 +300,16 @@ func (t *ForwardingTable) Save(path string) error {
 	return nil
 }
 
-// LoadTable parses a table file written by Save.
+// LoadTable parses a table file written by Save. Entries are collected into
+// one map and published as a single snapshot, so loading an n-session table
+// costs one copy rather than n copy-on-write transactions.
 func LoadTable(path string) (*ForwardingTable, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("dataplane: load table: %w", err)
 	}
 	defer f.Close()
-	t := NewForwardingTable()
+	entries := map[ncproto.SessionID][]HopGroup{}
 	sc := bufio.NewScanner(f)
 	line := 0
 	for sc.Scan() {
@@ -296,10 +340,12 @@ func LoadTable(path string) (*ForwardingTable, error) {
 				hops = append(hops, HopGroup{Addrs: addrs, PerGen: perGen})
 			}
 		}
-		t.Set(ncproto.SessionID(id), hops)
+		entries[ncproto.SessionID(id)] = hops
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("dataplane: load table: %w", err)
 	}
+	t := NewForwardingTable()
+	t.ReplaceAll(entries)
 	return t, nil
 }

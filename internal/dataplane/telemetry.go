@@ -30,6 +30,23 @@ const (
 	// counters to measure the trade.
 	MetricDependentGF2   = "dataplane_dependent_gf2_packets"
 	MetricDependentGF256 = "dataplane_dependent_gf256_packets"
+
+	// Session-store accounting (WithSessionStore). SessionBytes gauges the
+	// estimated coding-state bytes retained across live generations and
+	// pooled free-list arenas; LiveGenerations gauges tracked (session,
+	// generation) states; GenerationsEvicted counts LRU/TTL/byte-cap
+	// evictions; EvictedDrops counts late packets that arrived for an
+	// already-evicted generation (dropped, never resurrected).
+	MetricSessionBytes       = "dataplane_session_bytes"
+	MetricLiveGenerations    = "dataplane_live_generations"
+	MetricGenerationsEvicted = "dataplane_generations_evicted"
+	MetricEvictedDrops       = "dataplane_evicted_packet_drops"
+
+	// MetricTableSwaps counts forwarding-table updates in either swap mode.
+	// Under the default RCU path the pause histogram (MetricTableSwapNs)
+	// stays empty while this counter advances — the observable guarantee
+	// that table pushes no longer stall shards.
+	MetricTableSwaps = "dataplane_table_swaps"
 )
 
 // vnfTelemetry is a VNF's instrument set. Counters are sharded with one
@@ -59,6 +76,15 @@ type vnfTelemetry struct {
 	// shard worker after every drain; Value() sums to the total backlog.
 	queueDepth *telemetry.Gauge
 
+	// Session-store instruments. The gauges are single-cell: they are only
+	// written under store.mu (or from eviction, which is serialized per
+	// victim), so striping would buy nothing.
+	sessBytes    *telemetry.Gauge
+	liveGens     *telemetry.Gauge
+	evicted      *telemetry.Counter
+	evictedDrops *telemetry.Counter
+	tableSwaps   *telemetry.Counter
+
 	rec *telemetry.Recorder
 }
 
@@ -79,7 +105,14 @@ func newVNFTelemetry(reg *telemetry.Registry, workers int) vnfTelemetry {
 		decodeNs:   reg.Histogram(MetricDecodeLatencyNs),
 		tableSwap:  reg.Histogram(MetricTableSwapNs),
 		queueDepth: reg.Gauge(MetricShardQueueDepth, workers),
-		rec:        reg.Recorder(FlightRecorderName, telemetry.DefaultRecorderCapacity),
+
+		sessBytes:    reg.Gauge(MetricSessionBytes, 1),
+		liveGens:     reg.Gauge(MetricLiveGenerations, 1),
+		evicted:      reg.Counter(MetricGenerationsEvicted, 1),
+		evictedDrops: reg.Counter(MetricEvictedDrops, cells),
+		tableSwaps:   reg.Counter(MetricTableSwaps, 1),
+
+		rec: reg.Recorder(FlightRecorderName, telemetry.DefaultRecorderCapacity),
 	}
 }
 

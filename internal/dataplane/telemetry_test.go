@@ -147,13 +147,15 @@ func TestVNFDropRecorded(t *testing.T) {
 	}
 }
 
-// TestVNFTableSwapEvents pins pause/resume tracing: every table update must
-// record one pause and one resume event and observe the swap duration.
+// TestVNFTableSwapEvents pins pause/resume tracing in the legacy pause-swap
+// mode (WithPauseTableSwap): every table update must record one pause and
+// one resume event and observe the swap duration. The default RCU mode is
+// pinned to record neither by TestUpdateTableRCUNoPauseEvents.
 func TestVNFTableSwapEvents(t *testing.T) {
 	n := emunet.NewNetwork(emunet.AllowDefault())
 	defer n.Close()
 	reg := telemetry.NewRegistry()
-	v := NewVNF(n.Host("v"), WithTelemetry(reg))
+	v := NewVNF(n.Host("v"), WithTelemetry(reg), WithPauseTableSwap())
 	v.Start()
 	defer v.Close()
 

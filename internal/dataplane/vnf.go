@@ -103,6 +103,15 @@ type VNF struct {
 	mu       sync.RWMutex
 	sessions map[ncproto.SessionID]*sessionState
 
+	// store, when configured (WithSessionStore), bounds live generation
+	// state with LRU/TTL/byte-cap eviction and accounts retained memory.
+	store *sessionStore
+
+	// pauseSwap selects the legacy pause-swap-resume table update
+	// (WithPauseTableSwap); the default is the RCU path, which publishes a
+	// new snapshot and waits out a grace period without stopping any shard.
+	pauseSwap bool
+
 	workers int
 	shards  []*vnfShard
 
@@ -142,11 +151,19 @@ type vnfShard struct {
 	idx int
 
 	// pauseMu serializes this shard's packet processing against
-	// forwarding-table updates (the SIGUSR1 pause/resume cycle of
-	// Sec. III-A). Table updates pause every shard; packet processing only
-	// ever holds its own shard's lock, so sessions on other shards keep
-	// flowing while one shard is busy.
+	// forwarding-table updates in the legacy pause mode (the SIGUSR1
+	// pause/resume cycle of Sec. III-A) and against synchronous
+	// handlePacket callers. Packet processing only ever holds its own
+	// shard's lock, so sessions on other shards keep flowing while one
+	// shard is busy.
 	pauseMu sync.Mutex
+
+	// epoch is the shard's RCU grace-period counter: incremented entering
+	// and leaving the processing critical section, so an odd value means
+	// "inside". After publishing a new table snapshot, an RCU table update
+	// waits until every shard's epoch is even or has changed — at that
+	// point no in-flight processing can still be reading the old snapshot.
+	epoch atomic.Uint64
 
 	pkt    ncproto.Packet    // decoded view of the in-flight datagram
 	wire   []byte            // outgoing wire-format scratch
@@ -182,6 +199,22 @@ type sessionState struct {
 	nextSeed  int64
 	// custom is the pluggable packet module for RoleCustom sessions.
 	custom Function
+
+	// Session-store state (nil/zero unless WithSessionStore is configured).
+	// evicted tombstones generations whose coding state was evicted: late
+	// packets for them are counted as drops and never resurrect state.
+	// maxGen tracks the newest generation seen, bounding the tombstone set
+	// to the reordering window. closed marks a session removed by
+	// EndSession (or replaced by Configure) so racing packet processing
+	// stops tracking it. freeDec/freeRec pool finished codecs for arena
+	// reuse across generations; stateBytes is the per-generation footprint
+	// estimate (rlnc.Params.StateBytes).
+	evicted    map[ncproto.GenerationID]bool
+	maxGen     ncproto.GenerationID
+	closed     bool
+	stateBytes int64
+	freeDec    []*rlnc.Decoder
+	freeRec    []*rlnc.Recoder
 }
 
 // Option configures a VNF.
@@ -203,6 +236,17 @@ func WithSeed(seed int64) VNFOption {
 // one worker reproduces the fully serial data plane.
 func WithWorkers(n int) VNFOption {
 	return func(v *VNF) { v.workers = n }
+}
+
+// WithPauseTableSwap selects the legacy pause-swap-resume forwarding-table
+// update: every shard's pauseMu is held for the duration of the swap and
+// pause/resume events land in the flight recorder. The default is the RCU
+// path — a copy-on-write snapshot publish plus an epoch grace period — which
+// never stops packet processing. The pause mode survives as the semantic
+// reference: the differential test pins both modes to identical forwarding
+// decisions and decode verdicts.
+func WithPauseTableSwap() VNFOption {
+	return func(v *VNF) { v.pauseSwap = true }
 }
 
 // WithCodingCost models the CPU cost of GF(2^8) coding at the given
@@ -317,16 +361,24 @@ func (v *VNF) Configure(cfg SessionConfig) error {
 		return fmt.Errorf("dataplane: configure session %d: invalid role %d", cfg.ID, int(cfg.Role))
 	}
 	v.mu.Lock()
-	defer v.mu.Unlock()
+	old := v.sessions[cfg.ID]
 	v.sessions[cfg.ID] = &sessionState{
-		cfg:       cfg,
-		emitted:   make(map[ncproto.GenerationID][]int),
-		received:  make(map[ncproto.GenerationID]int),
-		recoders:  make(map[ncproto.GenerationID]*rlnc.Recoder),
-		decoders:  make(map[ncproto.GenerationID]*rlnc.Decoder),
-		delivered: make(map[ncproto.GenerationID]bool),
-		started:   make(map[ncproto.GenerationID]int64),
-		nextSeed:  v.seed,
+		cfg:        cfg,
+		emitted:    make(map[ncproto.GenerationID][]int),
+		received:   make(map[ncproto.GenerationID]int),
+		recoders:   make(map[ncproto.GenerationID]*rlnc.Recoder),
+		decoders:   make(map[ncproto.GenerationID]*rlnc.Decoder),
+		delivered:  make(map[ncproto.GenerationID]bool),
+		started:    make(map[ncproto.GenerationID]int64),
+		nextSeed:   v.seed,
+		stateBytes: int64(cfg.Params.StateBytes()),
+	}
+	v.mu.Unlock()
+	if old != nil {
+		// Reconfiguring an existing session (a revive) replaces its state
+		// wholesale; release everything the old state pinned.
+		v.retireSessionState(cfg.ID, old)
+		v.buf.DropSession(cfg.ID)
 	}
 	return nil
 }
@@ -335,10 +387,32 @@ func (v *VNF) Configure(cfg SessionConfig) error {
 // session termination before NC_VNF_END).
 func (v *VNF) EndSession(id ncproto.SessionID) {
 	v.mu.Lock()
+	st := v.sessions[id]
 	delete(v.sessions, id)
 	v.mu.Unlock()
+	if st != nil {
+		v.retireSessionState(id, st)
+	}
 	v.buf.DropSession(id)
 	v.table.Delete(id)
+}
+
+// retireSessionState releases the session-store accounting a removed (or
+// replaced) sessionState holds: its live generation entries and its pooled
+// free-list arenas. The closed mark stops a racing packet-processing hold of
+// the old state from re-tracking it afterwards.
+func (v *VNF) retireSessionState(id ncproto.SessionID, st *sessionState) {
+	if v.store == nil {
+		return
+	}
+	st.mu.Lock()
+	st.closed = true
+	freed := st.releaseFreeLists()
+	st.mu.Unlock()
+	if freed != 0 {
+		v.store.adjust(-freed, &v.tel)
+	}
+	v.store.removeSession(id, &v.tel)
 }
 
 // Start launches the pipeline: one receive goroutine plus the shard
@@ -418,20 +492,48 @@ func (v *VNF) SessionStatsFor(id ncproto.SessionID) (SessionStats, bool) {
 	}, true
 }
 
-// UpdateTable atomically replaces forwarding entries while packet
-// processing is paused on every shard, mirroring the daemon's SIGUSR1
-// pause → reload → resume cycle. It returns once processing has resumed.
+// UpdateTable atomically replaces forwarding entries (nil hop lists delete
+// their session).
+//
+// In the default RCU mode the new entries are published as one immutable
+// snapshot — packet processing never stops — and UpdateTable then waits out
+// an epoch grace period: when it returns, every shard has finished any
+// processing that could still have been reading the previous snapshot, and
+// every packet processed after the return sees the new table. No pause
+// event is recorded and the table-swap pause histogram stays empty.
+//
+// Under WithPauseTableSwap it mirrors the daemon's SIGUSR1 pause → reload →
+// resume cycle: all shards are pause-locked for the swap and the pause
+// duration is observed. It returns once processing has resumed.
 func (v *VNF) UpdateTable(entries map[ncproto.SessionID][]HopGroup) {
-	v.pauseAll()
-	defer v.resumeAll()
-	start := v.pauseEvent()
-	defer v.resumeEvent(start)
-	for s, hops := range entries {
-		if hops == nil {
-			v.table.Delete(s)
+	defer v.tel.tableSwaps.Inc(0)
+	if v.pauseSwap {
+		v.pauseAll()
+		defer v.resumeAll()
+		start := v.pauseEvent()
+		defer v.resumeEvent(start)
+		v.table.ApplyBatch(entries)
+		return
+	}
+	v.table.ApplyBatch(entries)
+	v.synchronize()
+}
+
+// synchronize waits out one RCU grace period: for every shard that is
+// inside its processing critical section (odd epoch), spin until the epoch
+// changes. Snapshot publication happens-before the epoch loads here, and a
+// shard re-reads the table pointer on every lookup, so once each shard has
+// left the critical section it was in (or was idle), no reader of the old
+// snapshot remains.
+func (v *VNF) synchronize() {
+	for _, sh := range v.shards {
+		e := sh.epoch.Load()
+		if e&1 == 0 {
 			continue
 		}
-		v.table.Set(s, hops)
+		for sh.epoch.Load() == e {
+			runtime.Gosched()
+		}
 	}
 }
 
@@ -451,19 +553,26 @@ func (v *VNF) resumeEvent(start int64) {
 	v.tel.rec.Record(now, telemetry.EventResume, v.node, 0, 0, now-start)
 }
 
-// ReloadTableFile pauses processing, loads a table file pushed by the
-// controller, swaps it in, and resumes — the full NC_FORWARD_TAB handling
-// path whose latency Table III reports.
+// ReloadTableFile loads a table file pushed by the controller and swaps it
+// in — the full NC_FORWARD_TAB handling path whose latency Table III
+// reports. The swap follows the VNF's table-update mode: RCU publish +
+// grace period by default, pause-swap-resume under WithPauseTableSwap.
 func (v *VNF) ReloadTableFile(path string) error {
 	t, err := LoadTable(path)
 	if err != nil {
 		return err
 	}
-	v.pauseAll()
-	defer v.resumeAll()
-	start := v.pauseEvent()
-	defer v.resumeEvent(start)
+	defer v.tel.tableSwaps.Inc(0)
+	if v.pauseSwap {
+		v.pauseAll()
+		defer v.resumeAll()
+		start := v.pauseEvent()
+		defer v.resumeEvent(start)
+		v.table.ReplaceAll(t.Snapshot())
+		return nil
+	}
 	v.table.ReplaceAll(t.Snapshot())
+	v.synchronize()
 	return nil
 }
 
@@ -538,11 +647,19 @@ func (v *VNF) worker(sh *vnfShard) {
 		v.tel.batch.Observe(int64(len(sh.jobs)))
 		v.tel.queueDepth.Set(sh.idx, int64(len(sh.in)))
 		sh.pauseMu.Lock()
+		sh.epoch.Add(1) // odd: inside the processing critical section
 		v.processRun(sh, sh.jobs)
+		sh.epoch.Add(1) // even: quiescent
 		sh.pauseMu.Unlock()
 		for i := range sh.jobs {
 			buffer.PutPacket(sh.jobs[i].pkt)
 			sh.jobs[i] = pktJob{}
+		}
+		if v.store != nil {
+			// Session-store eviction runs here, between runs, when this
+			// goroutine holds no session or shard lock: victims' st.mu can
+			// be taken freely.
+			v.enforceStore()
 		}
 	}
 }
@@ -627,8 +744,23 @@ func (v *VNF) handlePacket(pkt []byte, _ string) {
 	}
 	sh := v.shardFor(hdr.Session)
 	sh.pauseMu.Lock()
+	sh.epoch.Add(1)
 	v.process(sh, pkt, hdr)
+	sh.epoch.Add(1)
 	sh.pauseMu.Unlock()
+	if v.store != nil {
+		v.enforceStore()
+	}
+}
+
+// InjectPacket processes one datagram synchronously on the caller's
+// goroutine, without the receive loop: the entry point for deterministic
+// harnesses (the chaostest churn suite drives thousands of sessions through
+// it under a virtual clock) and benchmarks. The caller keeps ownership of
+// pkt. Concurrent callers are safe — injection serializes on the session's
+// shard exactly like piped traffic.
+func (v *VNF) InjectPacket(pkt []byte) {
+	v.handlePacket(pkt, "")
 }
 
 // process runs the session-role work for one datagram on its shard — the
@@ -691,16 +823,35 @@ func (v *VNF) recode(sh *vnfShard, st *sessionState, p *ncproto.Packet) {
 	cb := rlnc.CodedBlock{Coeffs: p.Coeffs, Payload: p.Payload}
 
 	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		v.dropPkt(sh.idx+1, p.Session, p.Generation, 1)
+		return
+	}
+	if st.evicted[p.Generation] {
+		// Late packet for an evicted generation: count it and drop it; the
+		// state machine never resurrects evicted coding state.
+		st.mu.Unlock()
+		v.tel.evictedDrops.Inc(sh.idx + 1)
+		v.dropPkt(sh.idx+1, p.Session, p.Generation, 1)
+		return
+	}
+	if p.Generation > st.maxGen {
+		st.maxGen = p.Generation
+	}
 	rec, ok := st.recoders[p.Generation]
 	if !ok {
-		var err error
-		rec, err = rlnc.NewRecoder(st.cfg.Params, st.nextSeed)
-		st.nextSeed++
-		if err != nil {
-			st.mu.Unlock()
-			v.dropPkt(sh.idx+1, p.Session, p.Generation, 1)
-			return
+		rec = st.takeRecoder(v, st.nextSeed)
+		if rec == nil {
+			var err error
+			rec, err = rlnc.NewRecoder(st.cfg.Params, st.nextSeed)
+			if err != nil {
+				st.mu.Unlock()
+				v.dropPkt(sh.idx+1, p.Session, p.Generation, 1)
+				return
+			}
 		}
+		st.nextSeed++
 		st.recoders[p.Generation] = rec
 	}
 	uselessBefore := rec.Useless()
@@ -723,10 +874,17 @@ func (v *VNF) recode(sh *vnfShard, st *sessionState, p *ncproto.Packet) {
 	for gid := range st.recoders {
 		gk := buffer.GenKey{Session: p.Session, Generation: gid}
 		if !v.buf.Contains(gk) {
+			st.cacheRecoder(v, st.recoders[gid])
 			delete(st.recoders, gid)
 			delete(st.emitted, gid)
 			delete(st.received, gid)
+			if v.store != nil {
+				v.store.remove(gk, &v.tel)
+			}
 		}
+	}
+	if v.store != nil {
+		v.store.touch(st, key, st.stateBytes, v.clock.Now().UnixNano(), &v.tel)
 	}
 
 	st.received[p.Generation]++
@@ -845,17 +1003,40 @@ func (v *VNF) decodeBatch(cell int, st *sessionState, sess ncproto.SessionID, ge
 		st.mu.Unlock()
 		return
 	}
+	if st.closed {
+		st.mu.Unlock()
+		v.dropPkt(cell, sess, gen, len(batch))
+		return
+	}
+	if st.evicted[gen] {
+		// Late packets for an evicted generation: counted as drops, never
+		// resurrected.
+		st.mu.Unlock()
+		v.tel.evictedDrops.Add(cell, uint64(len(batch)))
+		v.dropPkt(cell, sess, gen, len(batch))
+		return
+	}
+	if gen > st.maxGen {
+		st.maxGen = gen
+	}
 	dec, ok := st.decoders[gen]
 	if !ok {
-		var err error
-		dec, err = rlnc.NewDecoder(st.cfg.Params)
-		if err != nil {
-			st.mu.Unlock()
-			v.dropPkt(cell, sess, gen, len(batch))
-			return
+		dec = st.takeDecoder(v)
+		if dec == nil {
+			var err error
+			dec, err = rlnc.NewDecoder(st.cfg.Params)
+			if err != nil {
+				st.mu.Unlock()
+				v.dropPkt(cell, sess, gen, len(batch))
+				return
+			}
 		}
 		st.decoders[gen] = dec
 		st.started[gen] = v.clock.Now().UnixNano()
+	}
+	if v.store != nil {
+		v.store.touch(st, buffer.GenKey{Session: sess, Generation: gen},
+			st.stateBytes, v.clock.Now().UnixNano(), &v.tel)
 	}
 	innovative, err := dec.AddBatch(batch)
 	if err != nil {
@@ -885,6 +1066,10 @@ func (v *VNF) decodeBatch(cell int, st *sessionState, sess ncproto.SessionID, ge
 	}
 	st.delivered[gen] = true
 	delete(st.decoders, gen)
+	st.cacheDecoder(v, dec)
+	if v.store != nil {
+		v.store.remove(buffer.GenKey{Session: sess, Generation: gen}, &v.tel)
+	}
 	startNs, timed := st.started[gen]
 	delete(st.started, gen)
 	// Prune stale decoder state: generations far behind the newest one
@@ -900,11 +1085,19 @@ func (v *VNF) decodeBatch(cell int, st *sessionState, sess ncproto.SessionID, ge
 		for gid := range st.decoders {
 			if gid+window < gen {
 				delete(st.decoders, gid)
+				if v.store != nil {
+					v.store.remove(buffer.GenKey{Session: sess, Generation: gid}, &v.tel)
+				}
 			}
 		}
 		for gid := range st.started {
 			if gid+window < gen {
 				delete(st.started, gid)
+			}
+		}
+		for gid := range st.evicted {
+			if gid+window < gen {
+				delete(st.evicted, gid)
 			}
 		}
 	}

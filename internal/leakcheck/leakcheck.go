@@ -80,7 +80,7 @@ func Check(t testing.TB) {
 	}
 	t.Cleanup(func() {
 		var leaked []string
-		deadline := time.Now().Add(2 * time.Second) //nolint:nc wall-clock grace: real goroutines exit in real time
+		deadline := time.Now().Add(2 * time.Second)
 		for {
 			leaked = leaked[:0]
 			for _, g := range interestingGoroutines() {
@@ -91,10 +91,10 @@ func Check(t testing.TB) {
 			if len(leaked) == 0 {
 				return
 			}
-			if time.Now().After(deadline) { //nolint:nc wall-clock grace: real goroutines exit in real time
+			if time.Now().After(deadline) {
 				break
 			}
-			time.Sleep(10 * time.Millisecond) //nolint:nc wall-clock poll of the live goroutine set
+			time.Sleep(10 * time.Millisecond)
 		}
 		for _, g := range leaked {
 			t.Errorf("leaked goroutine:\n%v", g)
@@ -115,7 +115,7 @@ func Snapshot() map[string]bool {
 // Diff reports goroutines running now that were not in the snapshot,
 // retrying until the grace period expires.
 func Diff(snap map[string]bool, grace time.Duration) error {
-	deadline := time.Now().Add(grace) //nolint:nc wall-clock grace: real goroutines exit in real time
+	deadline := time.Now().Add(grace)
 	for {
 		var leaked []string
 		for _, g := range interestingGoroutines() {
@@ -126,9 +126,9 @@ func Diff(snap map[string]bool, grace time.Duration) error {
 		if len(leaked) == 0 {
 			return nil
 		}
-		if time.Now().After(deadline) { //nolint:nc wall-clock grace: real goroutines exit in real time
+		if time.Now().After(deadline) {
 			return fmt.Errorf("%d leaked goroutine(s):\n%s", len(leaked), strings.Join(leaked, "\n\n"))
 		}
-		time.Sleep(10 * time.Millisecond) //nolint:nc wall-clock poll of the live goroutine set
+		time.Sleep(10 * time.Millisecond)
 	}
 }

@@ -11,8 +11,9 @@ type EventType uint8
 
 // Event types. The set covers the state transitions the chaos harness and
 // the admin endpoint need to reconstruct a run: data-plane packet drops and
-// decode progress, the pause/resume cycle of forwarding-table swaps, and
-// the control plane's retry/failover/fault-injection history.
+// decode progress, the pause/resume cycle of forwarding-table swaps,
+// session-store evictions, and the control plane's retry/failover/
+// fault-injection history.
 const (
 	EventNone EventType = iota
 	// EventPacketDrop: a malformed, unknown-session, or undecodable packet
@@ -37,6 +38,10 @@ const (
 	// EventFault: a fault was injected (crash, partition, link fault).
 	// Value is implementation-defined.
 	EventFault
+	// EventGenerationEvict: the session store evicted a stale generation's
+	// coding state (LRU/TTL/byte-cap pressure). Value is the estimated bytes
+	// released.
+	EventGenerationEvict
 )
 
 // String names the event type.
@@ -58,6 +63,8 @@ func (t EventType) String() string {
 		return "failover"
 	case EventFault:
 		return "fault"
+	case EventGenerationEvict:
+		return "generation_evict"
 	default:
 		return "none"
 	}
