@@ -41,6 +41,8 @@ func run(args []string, stdin io.Reader, w io.Writer) error {
 	fs := flag.NewFlagSet("benchguard", flag.ContinueOnError)
 	baselinePath := fs.String("baseline", "bench_results.txt", "file holding benchguard-baseline lines")
 	tolerance := fs.Float64("tolerance", 0.10, "allowed fractional slowdown over baseline")
+	only := fs.String("only", "", "regexp restricting which baselines this invocation enforces "+
+		"(lets one baseline file serve several guard runs with different tolerances)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -48,6 +50,17 @@ func run(args []string, stdin io.Reader, w io.Writer) error {
 	baseline, err := loadBaseline(*baselinePath)
 	if err != nil {
 		return err
+	}
+	if *only != "" {
+		re, err := regexp.Compile(*only)
+		if err != nil {
+			return fmt.Errorf("bad -only pattern: %w", err)
+		}
+		for name := range baseline {
+			if !re.MatchString(name) {
+				delete(baseline, name)
+			}
+		}
 	}
 	best, err := parseBench(stdin)
 	if err != nil {

@@ -85,6 +85,27 @@ func TestRunFailsWhenBaselineNeverRan(t *testing.T) {
 	}
 }
 
+func TestRunOnlyRestrictsEnforcedBaselines(t *testing.T) {
+	// The UDP baseline is in the file but outside -only, so neither its
+	// absence from this run nor its value may fail the invocation.
+	base := writeBaseline(t,
+		"benchguard-baseline: BenchmarkVNFPipeline/serial 4000 ns/op",
+		"benchguard-baseline: BenchmarkUDPSendBatch/batch16 100 ns/op",
+	)
+	var sb strings.Builder
+	if err := run([]string{"-baseline", base, "-only", "VNFPipeline"}, strings.NewReader(sampleBench), &sb); err != nil {
+		t.Fatalf("-only should have excluded the missing UDP baseline: %v", err)
+	}
+	var sb2 strings.Builder
+	err := run([]string{"-baseline", base, "-only", "UDPSendBatch"}, strings.NewReader(sampleBench), &sb2)
+	if err == nil || !strings.Contains(err.Error(), "never ran") {
+		t.Fatalf("-only kept the UDP baseline, so its absence must fail: %v", err)
+	}
+	if err := run([]string{"-baseline", base, "-only", "("}, strings.NewReader(sampleBench), &sb2); err == nil {
+		t.Fatal("bad -only pattern must be rejected")
+	}
+}
+
 func TestRunFailsOnEmptyInput(t *testing.T) {
 	base := writeBaseline(t, "benchguard-baseline: BenchmarkVNFPipeline/serial 4000 ns/op")
 	var sb strings.Builder

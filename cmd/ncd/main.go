@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"expvar"
 	"flag"
@@ -44,6 +45,10 @@ func run(args []string) error {
 	dataAddr := fs.String("data", "127.0.0.1:0", "UDP address for coded traffic")
 	controlAddr := fs.String("control", "127.0.0.1:0", "TCP address for control messages")
 	adminAddr := fs.String("admin", "", "HTTP address for the admin endpoint (/stats, /debug/vars, /debug/pprof); empty disables it")
+	batch := fs.Int("batch", emunet.DefaultRxBatch,
+		"datagram I/O batch depth: recvmmsg ring size and per-destination tx coalescing depth (1 = one syscall per packet)")
+	readyFile := fs.String("readyfile", "",
+		"write a JSON {\"data\",\"control\",\"admin\"} address file once all listeners are up (for process harnesses); empty disables it")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -51,15 +56,21 @@ func run(args []string) error {
 		return errors.New("-name is required")
 	}
 
+	reg := telemetry.NewRegistry()
 	registry := emunet.NewRegistry()
-	conn, err := emunet.ListenUDP(*name, *dataAddr, registry)
+	udpOpts := []emunet.UDPOption{emunet.WithUDPTelemetry(reg), emunet.WithRxBatch(*batch)}
+	if *batch <= 1 {
+		udpOpts = append(udpOpts, emunet.WithPortableIO())
+	}
+	conn, err := emunet.ListenUDP(*name, *dataAddr, registry, udpOpts...)
 	if err != nil {
 		return err
 	}
-	reg := telemetry.NewRegistry()
-	daemon := controller.NewDaemon(conn, nil, dataplane.WithTelemetry(reg))
+	daemon := controller.NewDaemon(conn, nil,
+		dataplane.WithTelemetry(reg), dataplane.WithTxCoalesce(*batch))
 	defer daemon.Close()
 
+	adminBound := ""
 	if *adminAddr != "" {
 		adminLn, err := net.Listen("tcp", *adminAddr)
 		if err != nil {
@@ -68,7 +79,8 @@ func run(args []string) error {
 		defer adminLn.Close()
 		reg.PublishExpvar("ncd_" + *name)
 		go serveAdmin(adminLn, reg)
-		log.Printf("ncd %s: admin http://%s/stats", *name, adminLn.Addr())
+		adminBound = adminLn.Addr().String()
+		log.Printf("ncd %s: admin http://%s/stats", *name, adminBound)
 	}
 
 	ln, err := net.Listen("tcp", *controlAddr)
@@ -77,6 +89,19 @@ func run(args []string) error {
 	}
 	defer ln.Close()
 	log.Printf("ncd %s: data %s control %s", *name, conn.UDPAddr(), ln.Addr())
+
+	if *readyFile != "" {
+		// Every listener is up: publish the bound addresses so a launching
+		// harness can stop guessing ports. Write-then-rename keeps readers
+		// from seeing a partial file.
+		if err := writeReadyFile(*readyFile, readyInfo{
+			Data:    conn.UDPAddr().String(),
+			Control: ln.Addr().String(),
+			Admin:   adminBound,
+		}); err != nil {
+			return fmt.Errorf("readyfile: %w", err)
+		}
+	}
 
 	// When the daemon's τ shutdown fires (NC_VNF_END), unblock Accept so
 	// the process exits.
@@ -115,6 +140,27 @@ func run(args []string) error {
 			return nil
 		}
 	}
+}
+
+// readyInfo is the address set a daemon advertises once its listeners are
+// bound (the -readyfile contents).
+type readyInfo struct {
+	Data    string `json:"data"`
+	Control string `json:"control"`
+	Admin   string `json:"admin,omitempty"`
+}
+
+// writeReadyFile atomically publishes the daemon's bound addresses.
+func writeReadyFile(path string, info readyInfo) error {
+	raw, err := json.Marshal(info)
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 // serveAdmin runs the observability endpoint: a JSON telemetry snapshot at

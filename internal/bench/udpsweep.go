@@ -1,0 +1,211 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"time"
+
+	"ncfn/internal/dataplane"
+	"ncfn/internal/emunet"
+	"ncfn/internal/gf"
+	"ncfn/internal/metrics"
+	"ncfn/internal/procnet"
+	"ncfn/internal/rlnc"
+	"ncfn/internal/telemetry"
+)
+
+// UDPSweep measures the real-socket wire path that the rest of the harness
+// emulates: the butterfly deployed as six ncd OS processes on loopback
+// (O1/C1/T/V2 recode, O2/C2 decode), fed unpaced by an in-process source,
+// once with the per-packet syscall path (batch depth 1) and once with the
+// batched sendmmsg/recvmmsg + tx-coalescing path (depth 16). For each
+// block size it reports the delivered goodput at the slower sink, the
+// batched/per-packet speedup, and the deployment-wide syscalls-per-packet
+// ratio (every process's UDP syscalls over every datagram moved) — the
+// number the batch path exists to shrink.
+//
+// This is the Fig. 4 small-block regime on kernel sockets: tiny blocks
+// make the per-packet syscall cost dominate coding cost, which is where
+// batching pays.
+func UDPSweep(w io.Writer, o Options) error {
+	blockSizes := []int{128, 256, 1024}
+	ngen := 768
+	if o.Quick {
+		blockSizes = []int{256}
+		ngen = 192
+	}
+	dir, err := os.MkdirTemp("", "udpsweep")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	bins, err := procnet.Build(dir)
+	if err != nil {
+		return err
+	}
+	s := metrics.NewSeries(
+		"UDP sweep: multi-process butterfly goodput and syscalls/packet, per-packet (b1) vs batched (b16) wire path",
+		"block_bytes", "mbps_b1", "mbps_b16", "speedup", "sys_per_pkt_b1", "sys_per_pkt_b16")
+	for _, bs := range blockSizes {
+		row := make(map[string]float64, 5)
+		for _, depth := range []int{1, 16} {
+			res, err := runUDPPoint(bins, dir, bs, ngen, depth, o.Seed, 256)
+			if err != nil {
+				return fmt.Errorf("udpsweep: block %d depth %d: %w", bs, depth, err)
+			}
+			tag := fmt.Sprintf("b%d", depth)
+			row["mbps_"+tag] = res.mbps
+			row["sys_per_pkt_"+tag] = res.sysPerPkt
+		}
+		if row["mbps_b1"] > 0 {
+			row["speedup"] = row["mbps_b16"] / row["mbps_b1"]
+		}
+		s.Add(float64(bs), row)
+	}
+	return s.WriteTable(w)
+}
+
+// udpPoint is one (block size, batch depth) measurement.
+type udpPoint struct {
+	mbps      float64
+	sysPerPkt float64
+}
+
+// runUDPPoint deploys a fresh six-process butterfly at the given batch
+// depth, streams ngen generations unpaced, and measures goodput over the
+// window in which the sinks made progress. fieldOrder selects the
+// coefficient field (2 or 256) for both the in-process source and the
+// daemons' deploy config.
+func runUDPPoint(bins procnet.Binaries, dir string, blockSize, ngen, depth int, seed int64, fieldOrder int) (udpPoint, error) {
+	const kBlocks = 16 // generation size: per-branch quota 10 fills real batches
+	const redundancy = 2
+	field := gf.GF256
+	if fieldOrder == 2 {
+		field = gf.GF2
+	}
+	params := rlnc.Params{GenerationBlocks: kBlocks, BlockSize: blockSize, Field: field}
+	q := kBlocks/2 + redundancy
+
+	daemons := map[string]*procnet.Daemon{}
+	defer func() {
+		for _, d := range daemons {
+			d.Stop()
+		}
+	}()
+	for _, name := range procnet.ButterflyNodes {
+		d, err := procnet.StartDaemon(bins.Ncd, name, dir, depth)
+		if err != nil {
+			return udpPoint{}, err
+		}
+		daemons[name] = d
+	}
+
+	registry := emunet.NewRegistry()
+	for _, branch := range []string{"O1", "C1"} {
+		addr, err := net.ResolveUDPAddr("udp", daemons[branch].Data)
+		if err != nil {
+			return udpPoint{}, err
+		}
+		registry.Register(branch, addr)
+	}
+	srcReg := telemetry.NewRegistry()
+	srcOpts := []emunet.UDPOption{emunet.WithUDPTelemetry(srcReg)}
+	if depth <= 1 {
+		srcOpts = append(srcOpts, emunet.WithPortableIO())
+	}
+	srcConn, err := emunet.ListenUDP("V1", "127.0.0.1:0", registry, srcOpts...)
+	if err != nil {
+		return udpPoint{}, err
+	}
+
+	deploy, err := procnet.Butterfly(daemons, srcConn.UDPAddr().String(), procnet.Session{
+		ID: 1, Blocks: kBlocks, BlockSize: blockSize, Redundancy: redundancy, Field: fieldOrder,
+	})
+	if err != nil {
+		return udpPoint{}, err
+	}
+	cfgPath := filepath.Join(dir, fmt.Sprintf("deploy-%d-%d.json", blockSize, depth))
+	if err := procnet.WriteDeploy(cfgPath, deploy); err != nil {
+		return udpPoint{}, err
+	}
+	if _, err := procnet.RunCtl(bins.Ncctl, cfgPath, "start"); err != nil {
+		return udpPoint{}, err
+	}
+
+	src, err := dataplane.NewSource(srcConn, dataplane.SourceConfig{
+		Session: 1, Params: params, Redundancy: redundancy,
+		Systematic: true, Seed: seed, TxBatch: depth,
+	})
+	if err != nil {
+		return udpPoint{}, err
+	}
+	defer src.Close()
+	src.SetHops([]dataplane.HopGroup{
+		{Addrs: []string{"O1"}, PerGen: q},
+		{Addrs: []string{"C1"}, PerGen: q},
+	})
+
+	data := make([]byte, ngen*params.GenerationBytes())
+	for i := range data {
+		data[i] = byte(i*31 + int(seed))
+	}
+	start := time.Now()
+	if _, _, err := src.SendData(data); err != nil {
+		return udpPoint{}, err
+	}
+
+	// The sinks' decode counters advance while in-flight packets drain;
+	// stop the clock at the last observed progress (unpaced UDP may drop
+	// beyond the redundancy budget, so "all decoded" is not guaranteed).
+	decoded := func(name string) int {
+		snap, err := procnet.Stats(daemons[name].Admin)
+		if err != nil {
+			return 0
+		}
+		return int(snap.Counters[dataplane.MetricGenerationsDone])
+	}
+	best := 0
+	lastProgress := time.Now()
+	window := time.Since(start)
+	for {
+		o2, c2 := decoded("O2"), decoded("C2")
+		minDone := o2
+		if c2 < minDone {
+			minDone = c2
+		}
+		if minDone > best {
+			best = minDone
+			lastProgress = time.Now()
+			window = time.Since(start)
+		}
+		if best >= ngen || time.Since(lastProgress) > 600*time.Millisecond {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Deployment-wide syscall accounting: the source plus all six daemons.
+	srcSnap := srcReg.Snapshot()
+	sys := srcSnap.Counters[emunet.MetricUDPSyscalls]
+	pkts := srcSnap.Counters[emunet.MetricUDPTxPackets] + srcSnap.Counters[emunet.MetricUDPRxPackets]
+	for _, d := range daemons {
+		snap, err := procnet.Stats(d.Admin)
+		if err != nil {
+			return udpPoint{}, err
+		}
+		sys += snap.Counters[emunet.MetricUDPSyscalls]
+		pkts += snap.Counters[emunet.MetricUDPTxPackets] + snap.Counters[emunet.MetricUDPRxPackets]
+	}
+
+	pt := udpPoint{}
+	if sec := window.Seconds(); sec > 0 {
+		pt.mbps = float64(best) * float64(params.GenerationBytes()) * 8 / sec / 1e6
+	}
+	if pkts > 0 {
+		pt.sysPerPkt = float64(sys) / float64(pkts)
+	}
+	return pt, nil
+}

@@ -64,7 +64,7 @@ func (v *VNF) runCustom(sh *vnfShard, st *sessionState, p *ncproto.Packet) {
 	emitted := false
 	st.custom.OnPacket(p, hops, func(dst string, out *ncproto.Packet) {
 		wire := out.Encode(nil)
-		if err := v.conn.Send(dst, wire); err == nil {
+		if v.sendCoded(sh, dst, wire) {
 			v.tel.tx.Inc(sh.idx + 1)
 			emitted = true
 		}

@@ -27,6 +27,12 @@ type SourceConfig struct {
 	// redundant coded packets, letting downstream nodes forward the first
 	// packet of each generation without coding.
 	Systematic bool
+	// TxBatch coalesces the source's emissions into per-destination rings
+	// of this depth flushed through the conn's SendBatch (sendmmsg on
+	// linux); every generation boundary drains the rings, so a generation
+	// is fully on the wire when SendGeneration returns. Zero or one — or a
+	// conn without a batch path — sends one syscall per packet.
+	TxBatch int
 	// Seed fixes the coding randomness.
 	Seed int64
 	// Clock defaults to the real clock.
@@ -43,12 +49,16 @@ type Source struct {
 	mu      sync.Mutex
 	nextGen ncproto.GenerationID
 
-	// emitMu guards the emission scratch: one reusable coded block and one
-	// wire buffer, so the steady-state send path allocates only its
-	// per-generation encoder.
+	// emitMu guards the emission scratch: one reusable coded block, one
+	// wire buffer, and the tx coalescer — so the steady-state send path
+	// allocates only its per-generation encoder.
 	emitMu sync.Mutex
 	emCB   rlnc.CodedBlock
 	wire   []byte
+	// txc, when non-nil (SourceConfig.TxBatch over a BatchPacketConn),
+	// rings emissions per destination and flushes at ring depth and at
+	// every generation boundary.
+	txc *txCoalescer
 
 	acks      chan AckFrom
 	wg        sync.WaitGroup
@@ -71,6 +81,7 @@ func NewSource(conn emunet.PacketConn, cfg SourceConfig) (*Source, error) {
 		table: NewForwardingTable(),
 		acks:  make(chan AckFrom, 4096),
 		done:  make(chan struct{}),
+		txc:   newTxCoalescer(conn, cfg.TxBatch),
 	}
 	s.wg.Add(1)
 	go s.recvLoop()
@@ -213,6 +224,18 @@ func (s *Source) ResendGeneration(gid ncproto.GenerationID, data []byte, extra i
 			}
 		}
 	}
+	return s.flushEmit()
+}
+
+// flushEmit drains the tx coalescer at a generation boundary (callers hold
+// emitMu).
+func (s *Source) flushEmit() error {
+	if s.txc == nil {
+		return nil
+	}
+	if err := s.txc.flush(); err != nil {
+		return fmt.Errorf("dataplane: emit flush: %w", err)
+	}
 	return nil
 }
 
@@ -264,7 +287,9 @@ func (s *Source) sendGenerationAs(gid ncproto.GenerationID, data []byte, last bo
 			}
 		}
 	}
-	return nil
+	// Generation boundary: everything emitted above is on the wire before
+	// SendGeneration returns, batched or not.
+	return s.flushEmit()
 }
 
 // emit sends one coded block to one destination, encoding into the source's
@@ -284,6 +309,12 @@ func (s *Source) emit(gid ncproto.GenerationID, cb rlnc.CodedBlock, systematic, 
 		Coeffs:     cb.Coeffs,
 		Payload:    cb.Payload,
 	}).Encode(s.wire)
+	if s.txc != nil {
+		if err := s.txc.add(dst, s.wire); err != nil {
+			return fmt.Errorf("dataplane: emit to %s: %w", dst, err)
+		}
+		return nil
+	}
 	if err := s.conn.Send(dst, s.wire); err != nil {
 		return fmt.Errorf("dataplane: emit to %s: %w", dst, err)
 	}

@@ -1,0 +1,119 @@
+package dataplane
+
+import (
+	"ncfn/internal/buffer"
+	"ncfn/internal/emunet"
+)
+
+// txCoalescer accumulates outgoing coded packets into per-destination
+// rings and hands each ring to the conn's SendBatch as one syscall-batched
+// flush. A ring flushes when it reaches the configured depth; a drain
+// flush (end of a worker run, end of a generation at the source) pushes
+// out whatever is pending, so coalescing adds no idle latency — a packet
+// is never held beyond the burst of processing that produced it.
+//
+// Each enqueued packet is copied from the caller's wire scratch into a
+// pool buffer (the scratch is reused for the next emission) and recycled
+// after the flush. Rings flush in first-use order and each ring is FIFO,
+// so packets to one destination keep their emission order; because a
+// session is pinned to one shard (or one source), this preserves per-
+// (session, generation) ordering on every path.
+//
+// A coalescer is single-owner state: each VNF shard's coalescer is
+// guarded by that shard's pauseMu and the source's by emitMu. Flush
+// errors follow datagram semantics — the failed ring's packets are
+// dropped and recycled — with the first error reported to callers that
+// care (the source propagates it, the VNF shard does not, matching the
+// per-packet path's treatment of Send errors).
+type txCoalescer struct {
+	bc    emunet.BatchPacketConn
+	depth int
+	rings map[string]*txRing
+	order []string
+	batch []emunet.Datagram // SendBatch scratch, recycled across flushes
+}
+
+// txRing is one destination's pending packets.
+type txRing struct {
+	dst  string
+	pkts [][]byte
+}
+
+// newTxCoalescer builds a coalescer over conn, or nil when coalescing is
+// disabled (depth <= 1) or the conn has no batch path — callers treat a
+// nil coalescer as "send directly", which reproduces the per-packet
+// behavior exactly.
+func newTxCoalescer(conn emunet.PacketConn, depth int) *txCoalescer {
+	if depth <= 1 {
+		return nil
+	}
+	bc, ok := conn.(emunet.BatchPacketConn)
+	if !ok {
+		return nil
+	}
+	return &txCoalescer{
+		bc:    bc,
+		depth: depth,
+		rings: make(map[string]*txRing),
+	}
+}
+
+// add enqueues one wire-format packet for dst, flushing that ring if it
+// reaches the coalescing depth.
+func (c *txCoalescer) add(dst string, wire []byte) error {
+	r := c.rings[dst]
+	if r == nil {
+		r = &txRing{dst: dst}
+		c.rings[dst] = r
+		c.order = append(c.order, dst)
+	}
+	pkt := buffer.GetPacket(len(wire))
+	copy(pkt, wire)
+	r.pkts = append(r.pkts, pkt)
+	if len(r.pkts) >= c.depth {
+		return c.flushRing(r)
+	}
+	return nil
+}
+
+// flush drains every ring in first-use order, returning the first error.
+func (c *txCoalescer) flush() error {
+	var firstErr error
+	for _, dst := range c.order {
+		if err := c.flushRing(c.rings[dst]); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// flushRing sends one ring's pending packets as a batch and recycles
+// their buffers (sent or not — datagram semantics).
+func (c *txCoalescer) flushRing(r *txRing) error {
+	if len(r.pkts) == 0 {
+		return nil
+	}
+	c.batch = c.batch[:0]
+	for _, p := range r.pkts {
+		c.batch = append(c.batch, emunet.Datagram{Peer: r.dst, Pkt: p})
+	}
+	_, err := c.bc.SendBatch(c.batch)
+	for i, p := range r.pkts {
+		buffer.PutPacket(p)
+		r.pkts[i] = nil
+	}
+	r.pkts = r.pkts[:0]
+	for i := range c.batch {
+		c.batch[i] = emunet.Datagram{}
+	}
+	return err
+}
+
+// pending reports the number of enqueued, unflushed packets (tests).
+func (c *txCoalescer) pending() int {
+	n := 0
+	for _, r := range c.rings {
+		n += len(r.pkts)
+	}
+	return n
+}

@@ -113,6 +113,7 @@ type VNF struct {
 	pauseSwap bool
 
 	workers int
+	txDepth int
 	shards  []*vnfShard
 
 	// reg holds the VNF's instruments (see telemetry.go); tel caches the
@@ -173,6 +174,12 @@ type vnfShard struct {
 	emCB   []rlnc.CodedBlock // reusable emission blocks
 	jobs   []pktJob          // dequeued run of datagrams (worker batch drain)
 	batch  []rlnc.CodedBlock // decoder-batch views into the run's buffers
+
+	// txc, when non-nil (WithTxCoalesce over a BatchPacketConn), collects
+	// this shard's outgoing packets into per-destination rings flushed via
+	// SendBatch — at ring depth or at the end of the processing run.
+	// Guarded by pauseMu like the rest of the shard scratch.
+	txc *txCoalescer
 }
 
 type sessionState struct {
@@ -249,6 +256,21 @@ func WithPauseTableSwap() VNFOption {
 	return func(v *VNF) { v.pauseSwap = true }
 }
 
+// WithTxCoalesce batches outgoing coded packets: each shard accumulates
+// up to depth packets per destination and flushes them through the conn's
+// SendBatch (sendmmsg on linux), amortizing the per-packet syscall. A
+// ring also flushes at the end of every processing run, so coalescing
+// never delays a packet beyond the burst that produced it. Depth <= 1, or
+// a conn without a batch path, disables coalescing and reproduces the
+// per-packet send path exactly.
+//
+// With coalescing on, tx counters are bumped at enqueue rather than at
+// syscall success: flush failures follow datagram semantics (dropped, not
+// retried), exactly as a kernel would drop on a full device queue.
+func WithTxCoalesce(depth int) VNFOption {
+	return func(v *VNF) { v.txDepth = depth }
+}
+
 // WithCodingCost models the CPU cost of GF(2^8) coding at the given
 // effective rate (bytes of generation data combined per second). The data
 // plane charges the actual kernel traffic its codecs report (TakeWork):
@@ -307,7 +329,11 @@ func NewVNF(conn emunet.PacketConn, opts ...VNFOption) *VNF {
 	}
 	v.shards = make([]*vnfShard, v.workers)
 	for i := range v.shards {
-		v.shards[i] = &vnfShard{in: make(chan pktJob, 256), idx: i}
+		v.shards[i] = &vnfShard{
+			in:  make(chan pktJob, 256),
+			idx: i,
+			txc: newTxCoalescer(conn, v.txDepth),
+		}
 	}
 	v.node = conn.LocalAddr()
 	v.tel = newVNFTelemetry(v.reg, v.workers)
@@ -649,6 +675,11 @@ func (v *VNF) worker(sh *vnfShard) {
 		sh.pauseMu.Lock()
 		sh.epoch.Add(1) // odd: inside the processing critical section
 		v.processRun(sh, sh.jobs)
+		if sh.txc != nil {
+			// Drain flush: the run is over, nothing more is coming this
+			// wakeup, so push out every partially filled ring.
+			sh.txc.flush()
+		}
 		sh.epoch.Add(1) // even: quiescent
 		sh.pauseMu.Unlock()
 		for i := range sh.jobs {
@@ -746,6 +777,9 @@ func (v *VNF) handlePacket(pkt []byte, _ string) {
 	sh.pauseMu.Lock()
 	sh.epoch.Add(1)
 	v.process(sh, pkt, hdr)
+	if sh.txc != nil {
+		sh.txc.flush()
+	}
 	sh.epoch.Add(1)
 	sh.pauseMu.Unlock()
 	if v.store != nil {
@@ -810,11 +844,24 @@ func (v *VNF) forward(sh *vnfShard, p *ncproto.Packet) {
 	}
 	sh.wire = p.Encode(sh.wire)
 	for _, h := range sh.hops {
-		if err := v.conn.Send(h, sh.wire); err == nil {
+		if v.sendCoded(sh, h, sh.wire) {
 			v.tel.tx.Inc(sh.idx + 1)
 			v.tel.forwarded.Inc(sh.idx + 1)
 		}
 	}
+}
+
+// sendCoded transmits one wire-format packet from a shard: straight
+// through the conn, or into the shard's tx coalescing ring when batching
+// is on. It reports whether the packet was accepted for transmission
+// (coalesced packets count at enqueue; their flush follows datagram
+// semantics).
+func (v *VNF) sendCoded(sh *vnfShard, dst string, wire []byte) bool {
+	if sh.txc != nil {
+		sh.txc.add(dst, wire)
+		return true
+	}
+	return v.conn.Send(dst, wire) == nil
 }
 
 // recode implements the pipelined intermediate VNF of Sec. III-B2.
@@ -979,7 +1026,7 @@ func (v *VNF) recode(sh *vnfShard, st *sessionState, p *ncproto.Packet) {
 			Payload:    sh.emCB[i].Payload,
 		}
 		sh.wire = outPkt.Encode(sh.wire)
-		if err := v.conn.Send(sh.emDst[i], sh.wire); err == nil {
+		if v.sendCoded(sh, sh.emDst[i], sh.wire) {
 			v.tel.tx.Inc(sh.idx + 1)
 			v.tel.recoded.Inc(sh.idx + 1)
 			st.pktsOut.Add(1)

@@ -1,0 +1,39 @@
+package emunet
+
+// Datagram pairs a packet with its peer: the destination for SendBatch,
+// the source for RecvBatch. Buffer ownership follows the PacketConn
+// contract — SendBatch payloads stay owned by the caller (the conn copies
+// or finishes with them before returning); RecvBatch payloads transfer to
+// the caller, who should PutPacket them once parsed.
+type Datagram struct {
+	Peer string
+	Pkt  []byte
+}
+
+// BatchPacketConn is the optional batched extension of PacketConn. Conns
+// that implement it can move many datagrams per syscall (sendmmsg/recvmmsg
+// on linux); conns that don't are driven one packet at a time. Callers
+// type-assert:
+//
+//	if bc, ok := conn.(BatchPacketConn); ok { bc.SendBatch(batch) }
+//
+// Batches preserve order: SendBatch transmits batch[0], batch[1], ... in
+// sequence on the wire, and RecvBatch returns datagrams in arrival order.
+// HasBatchIO reports whether this platform has the kernel batched-syscall
+// path (sendmmsg/recvmmsg): true on linux/amd64 and linux/arm64, false
+// where UDPConn falls back to the portable one-packet-per-syscall loop.
+// Tests and experiments use it to gate quantitative syscall assertions.
+func HasBatchIO() bool { return batchIOSupported }
+
+type BatchPacketConn interface {
+	PacketConn
+	// SendBatch transmits the batch in order. It attempts every entry even
+	// after a failure, skipping entries it cannot send, and returns the
+	// number actually sent plus the first error encountered (nil when all
+	// went out).
+	SendBatch(batch []Datagram) (int, error)
+	// RecvBatch blocks until at least one datagram is available, then
+	// fills buf with as many as are immediately ready, up to len(buf), and
+	// returns the count. It returns ErrClosed after Close.
+	RecvBatch(buf []Datagram) (int, error)
+}

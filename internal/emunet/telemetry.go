@@ -16,6 +16,57 @@ const (
 	NetFlightName           = "emunet_flight"
 )
 
+// UDP transport instrument names (udp.go). Counters are striped two ways:
+// cell 0 accumulates rx-side events, cell 1 tx-side.
+const (
+	MetricUDPSyscalls  = "emunet_udp_syscalls"
+	MetricUDPTxPackets = "emunet_udp_tx_packets"
+	MetricUDPRxPackets = "emunet_udp_rx_packets"
+	MetricUDPRxDropped = "emunet_udp_rx_dropped"
+	MetricUDPReadErrs  = "emunet_udp_read_errors"
+	MetricUDPBatchSize = "emunet_udp_batch_size"
+	UDPFlightName      = "emunet_udp_flight"
+)
+
+// Counter cells for the UDP instruments.
+const (
+	udpRxCell = 0
+	udpTxCell = 1
+)
+
+// udpTelemetry is one UDP socket's instrument set. Every UDPConn has one
+// (on a private registry unless WithUDPTelemetry shares it), so the hot
+// paths never nil-check.
+type udpTelemetry struct {
+	// syscalls counts datagram I/O syscalls, including EAGAIN retries; the
+	// headline efficiency ratio is syscalls / (rxPkts + txPkts).
+	syscalls *telemetry.Counter
+	txPkts   *telemetry.Counter
+	rxPkts   *telemetry.Counter
+	// rxDropped counts packets discarded because the inbox was full — the
+	// userspace analogue of an SO_RCVBUF overflow.
+	rxDropped *telemetry.Counter
+	readErrs  *telemetry.Counter
+	// batch observes datagrams moved per successful I/O syscall; a mass at
+	// 1 means batching is not engaging.
+	batch *telemetry.Histogram
+	rec   *telemetry.Recorder
+}
+
+// newUDPTelemetry resolves the socket instrument set from reg. Instruments
+// are named (not per-socket), so sockets sharing a registry aggregate.
+func newUDPTelemetry(reg *telemetry.Registry) udpTelemetry {
+	return udpTelemetry{
+		syscalls:  reg.Counter(MetricUDPSyscalls, 2),
+		txPkts:    reg.Counter(MetricUDPTxPackets, 2),
+		rxPkts:    reg.Counter(MetricUDPRxPackets, 2),
+		rxDropped: reg.Counter(MetricUDPRxDropped, 2),
+		readErrs:  reg.Counter(MetricUDPReadErrs, 2),
+		batch:     reg.Histogram(MetricUDPBatchSize),
+		rec:       reg.Recorder(UDPFlightName, telemetry.DefaultRecorderCapacity),
+	}
+}
+
 // netTelemetry is the network-wide instrument set; individual links carry
 // their own linkTel handles resolved from the same registry.
 type netTelemetry struct {

@@ -1,0 +1,10 @@
+package emunet
+
+// batchSender is the platform hook for syscall-batched transmit. The linux
+// build (udp_mmsg_linux.go) implements it over sendmmsg; other platforms
+// provide no implementation, and UDPConn.SendBatch loops the single-packet
+// path instead. Implementations serialize internally: SendBatch may be
+// called from multiple goroutines.
+type batchSender interface {
+	sendBatch(u *UDPConn, batch []Datagram) (int, error)
+}

@@ -1,0 +1,321 @@
+//go:build linux && (amd64 || arm64)
+
+// Batched UDP syscalls: sendmmsg/recvmmsg via raw syscall numbers, stdlib
+// only. The build tag restricts this file to 64-bit linux, where
+// syscall.Msghdr's Iovlen/Controllen are uint64 and the mmsghdr layout
+// below (msghdr + uint32 length + 4 pad bytes) matches the kernel ABI.
+//
+// All descriptor arrays — mmsghdr, iovec, sockaddr storage — are allocated
+// once per sender/receiver and recycled across calls, so the steady state
+// moves packets with zero descriptor allocation. Payload buffers on the
+// receive path are permanent 64 KiB slots; received bytes are copied into
+// right-sized pool buffers (internal/buffer) before delivery, which keeps
+// the inbox from pinning a 64 KiB slot behind every 1 KiB packet.
+//
+// Syscalls run inside syscall.RawConn Read/Write callbacks: returning
+// false on EAGAIN re-parks the goroutine on the runtime poller, so the
+// socket stays in non-blocking mode and blocking semantics are preserved
+// without spinning.
+
+package emunet
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"syscall"
+	"time"
+	"unsafe"
+
+	"ncfn/internal/buffer"
+)
+
+// batchIOSupported reports that this platform has the syscall-batched
+// receive loop.
+const batchIOSupported = true
+
+// maxMsgsPerCall caps how many messages one sendmmsg call carries; larger
+// batches are chunked. 64 descriptors keep the preallocated arrays small
+// (a few KiB) while amortizing the syscall far past the point of
+// diminishing returns.
+const maxMsgsPerCall = 64
+
+// mmsghdr mirrors struct mmsghdr: the kernel writes the per-message byte
+// count into n on return. The trailing pad keeps the 64-bit struct size
+// (sizeof(struct msghdr) == 56, +4 length, +4 pad = 64 bytes).
+type mmsghdr struct {
+	hdr syscall.Msghdr
+	n   uint32
+	_   [4]byte
+}
+
+// putPort stores a port into a raw sockaddr's network-byte-order field.
+func putPort(field *uint16, port int) {
+	p := (*[2]byte)(unsafe.Pointer(field))
+	p[0] = byte(port >> 8)
+	p[1] = byte(port)
+}
+
+// rawPort reads a raw sockaddr's network-byte-order port field.
+func rawPort(field *uint16) int {
+	p := (*[2]byte)(unsafe.Pointer(field))
+	return int(p[0])<<8 | int(p[1])
+}
+
+// mmsgSender batches transmits through sendmmsg. One exists per UDPConn;
+// mu serializes callers so the descriptor arrays can be recycled.
+type mmsgSender struct {
+	mu sync.Mutex
+	rc syscall.RawConn
+	// v6 records the socket family: an AF_INET6 socket needs v4
+	// destinations in v4-mapped form, an AF_INET socket needs plain
+	// sockaddr_in and cannot reach v6 peers (same as WriteToUDP).
+	v6   bool
+	hdrs []mmsghdr
+	iovs []syscall.Iovec
+	// sas is sockaddr storage: RawSockaddrInet6 is the larger of the two
+	// families, so a v4 sockaddr is laid over the same slot.
+	sas  []syscall.RawSockaddrInet6
+	zero [1]byte // iovec base for zero-length packets
+}
+
+// newBatchSender builds the sendmmsg-backed sender for conn, or nil when
+// the raw descriptor is unavailable (the conn then falls back to the
+// portable loop).
+func newBatchSender(conn *net.UDPConn) batchSender {
+	rc, err := conn.SyscallConn()
+	if err != nil {
+		return nil
+	}
+	la, _ := conn.LocalAddr().(*net.UDPAddr)
+	return &mmsgSender{
+		rc:   rc,
+		v6:   la != nil && la.IP.To4() == nil,
+		hdrs: make([]mmsghdr, maxMsgsPerCall),
+		iovs: make([]syscall.Iovec, maxMsgsPerCall),
+		sas:  make([]syscall.RawSockaddrInet6, maxMsgsPerCall),
+	}
+}
+
+// fillSlot populates descriptor slot i for one datagram. It reports false
+// when the destination family is unreachable from this socket.
+func (s *mmsgSender) fillSlot(i int, addr *net.UDPAddr, pkt []byte) bool {
+	sa := &s.sas[i]
+	*sa = syscall.RawSockaddrInet6{}
+	var salen uint32
+	if s.v6 {
+		sa.Family = syscall.AF_INET6
+		if ip4 := addr.IP.To4(); ip4 != nil {
+			sa.Addr[10], sa.Addr[11] = 0xff, 0xff // v4-mapped ::ffff:a.b.c.d
+			copy(sa.Addr[12:], ip4)
+		} else if len(addr.IP) == net.IPv6len {
+			copy(sa.Addr[:], addr.IP)
+		} else {
+			return false
+		}
+		putPort(&sa.Port, addr.Port)
+		salen = syscall.SizeofSockaddrInet6
+	} else {
+		ip4 := addr.IP.To4()
+		if ip4 == nil {
+			return false
+		}
+		sa4 := (*syscall.RawSockaddrInet4)(unsafe.Pointer(sa))
+		sa4.Family = syscall.AF_INET
+		copy(sa4.Addr[:], ip4)
+		putPort(&sa4.Port, addr.Port)
+		salen = syscall.SizeofSockaddrInet4
+	}
+	iov := &s.iovs[i]
+	if len(pkt) > 0 {
+		iov.Base = &pkt[0]
+	} else {
+		iov.Base = &s.zero[0]
+	}
+	iov.SetLen(len(pkt))
+	h := &s.hdrs[i]
+	h.hdr = syscall.Msghdr{Name: (*byte)(unsafe.Pointer(sa)), Namelen: salen, Iov: iov, Iovlen: 1}
+	h.n = 0
+	return true
+}
+
+// sendBatch implements batchSender: chunk, fill descriptors, flush.
+func (s *mmsgSender) sendBatch(u *UDPConn, batch []Datagram) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sent := 0
+	var firstErr error
+	for len(batch) > 0 {
+		chunk := batch
+		if len(chunk) > maxMsgsPerCall {
+			chunk = chunk[:maxMsgsPerCall]
+		}
+		batch = batch[len(chunk):]
+		n := 0
+		for _, d := range chunk {
+			addr, ok := u.registry.Lookup(d.Peer)
+			if !ok {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("%w: %q", ErrNoRoute, d.Peer)
+				}
+				continue
+			}
+			if !s.fillSlot(n, addr, d.Pkt) {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("emunet: send to %q: address family mismatch", d.Peer)
+				}
+				continue
+			}
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		done, err := s.flush(u, n)
+		sent += done
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return sent, firstErr
+}
+
+// flush pushes descriptor slots [0,n) to the kernel, resuming after
+// partial sends and skipping a message whose head send fails so the rest
+// of the batch still goes out.
+func (s *mmsgSender) flush(u *UDPConn, n int) (int, error) {
+	sent := 0
+	var firstErr error
+	for off := 0; off < n; {
+		var sysN int
+		var sysErr syscall.Errno
+		werr := s.rc.Write(func(fd uintptr) bool {
+			r, _, e := syscall.Syscall6(sysSENDMMSG, fd,
+				uintptr(unsafe.Pointer(&s.hdrs[off])), uintptr(n-off), 0, 0, 0)
+			u.tel.syscalls.Inc(udpTxCell)
+			if e == syscall.EAGAIN {
+				return false // re-park on the poller, retry when writable
+			}
+			sysN, sysErr = int(r), e
+			return true
+		})
+		if werr != nil {
+			// The conn itself is gone (closed under us); nothing further
+			// can be sent.
+			if firstErr == nil {
+				firstErr = fmt.Errorf("emunet: sendmmsg: %w", werr)
+			}
+			return sent, firstErr
+		}
+		if sysErr != 0 {
+			// sendmmsg fails wholesale only when message [off] fails; skip
+			// it and keep the rest of the batch moving.
+			if firstErr == nil {
+				firstErr = fmt.Errorf("emunet: sendmmsg: %w", sysErr)
+			}
+			off++
+			continue
+		}
+		if sysN <= 0 {
+			break
+		}
+		u.tel.batch.Observe(int64(sysN))
+		u.tel.txPkts.Add(udpTxCell, uint64(sysN))
+		sent += sysN
+		off += sysN
+	}
+	return sent, firstErr
+}
+
+// readLoopBatched is the recvmmsg receive loop: up to depth datagrams per
+// syscall into permanent slots, each copied into a right-sized pool buffer
+// and delivered. It reports false only when ring setup fails (the caller
+// then falls back to the portable loop); once running it owns the socket
+// until close and returns true.
+func (u *UDPConn) readLoopBatched(depth int) bool {
+	rc, err := u.conn.SyscallConn()
+	if err != nil {
+		return false
+	}
+	hdrs := make([]mmsghdr, depth)
+	iovs := make([]syscall.Iovec, depth)
+	sas := make([]syscall.RawSockaddrInet6, depth)
+	bufs := make([]byte, depth*65536)
+	for i := range hdrs {
+		slot := bufs[i*65536 : (i+1)*65536]
+		iovs[i].Base = &slot[0]
+		iovs[i].SetLen(len(slot))
+		hdrs[i].hdr.Iov = &iovs[i]
+		hdrs[i].hdr.Iovlen = 1
+		hdrs[i].hdr.Name = (*byte)(unsafe.Pointer(&sas[i]))
+	}
+	var backoff time.Duration
+	for {
+		var sysN int
+		var sysErr syscall.Errno
+		rerr := rc.Read(func(fd uintptr) bool {
+			for i := range hdrs {
+				// The kernel shrinks Namelen to the written sockaddr size;
+				// restore capacity before reuse.
+				hdrs[i].hdr.Namelen = syscall.SizeofSockaddrInet6
+				hdrs[i].n = 0
+			}
+			r, _, e := syscall.Syscall6(sysRECVMMSG, fd,
+				uintptr(unsafe.Pointer(&hdrs[0])), uintptr(depth), 0, 0, 0)
+			u.tel.syscalls.Inc(udpRxCell)
+			if e == syscall.EAGAIN {
+				return false // nothing queued; park until readable
+			}
+			sysN, sysErr = int(r), e
+			return true
+		})
+		if rerr != nil {
+			if !u.readErr(&backoff, rerr) {
+				return true
+			}
+			continue
+		}
+		if sysErr != 0 {
+			if !u.readErr(&backoff, sysErr) {
+				return true
+			}
+			continue
+		}
+		backoff = 0
+		u.tel.batch.Observe(int64(sysN))
+		for i := 0; i < sysN; i++ {
+			ln := int(hdrs[i].n)
+			pkt := buffer.GetPacket(ln)
+			copy(pkt, bufs[i*65536:i*65536+ln])
+			u.deliver(pkt, u.rawSrcName(&sas[i]))
+		}
+	}
+}
+
+// rawSrcName resolves a received raw sockaddr to its logical name without
+// allocating: the sockaddr is folded straight into the registry's reverse
+// key (v4 addresses in v4-mapped form, matching keyOf). Unregistered
+// senders format like the portable path would.
+func (u *UDPConn) rawSrcName(sa *syscall.RawSockaddrInet6) string {
+	var k addrKey
+	switch sa.Family {
+	case syscall.AF_INET:
+		sa4 := (*syscall.RawSockaddrInet4)(unsafe.Pointer(sa))
+		k.ip[10], k.ip[11] = 0xff, 0xff
+		copy(k.ip[12:], sa4.Addr[:])
+		k.port = rawPort(&sa4.Port)
+	case syscall.AF_INET6:
+		copy(k.ip[:], sa.Addr[:])
+		k.port = rawPort(&sa.Port)
+	default:
+		return "?"
+	}
+	if name, ok := u.registry.reverseKey(k); ok {
+		return name
+	}
+	ua := net.UDPAddr{IP: net.IP(k.ip[:]), Port: k.port}
+	if ip4 := ua.IP.To4(); ip4 != nil && sa.Family == syscall.AF_INET {
+		ua.IP = ip4
+	}
+	return ua.String()
+}

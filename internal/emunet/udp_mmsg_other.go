@@ -1,0 +1,18 @@
+//go:build !linux || (!amd64 && !arm64)
+
+package emunet
+
+import "net"
+
+// batchIOSupported: no syscall-batched receive loop on this platform; the
+// portable one-datagram-per-syscall loop runs instead.
+const batchIOSupported = false
+
+// newBatchSender has no syscall-batched transmit here; SendBatch loops the
+// single-packet path, byte-identical on the wire.
+func newBatchSender(*net.UDPConn) batchSender { return nil }
+
+// readLoopBatched never runs on this platform (rxBatch is only enabled
+// when batchIOSupported); the stub satisfies the portable read loop's
+// dispatch.
+func (u *UDPConn) readLoopBatched(int) bool { return false }

@@ -1,0 +1,34 @@
+//go:build linux
+
+package emunet
+
+import (
+	"net"
+	"syscall"
+)
+
+// Socket buffer targets: the rx side must absorb a full coalesced burst
+// per in-flight sender while the receiving process is descheduled (64KB
+// max datagrams x depth x a few peers), the tx side one burst.
+const (
+	udpRcvBufBytes = 4 << 20
+	udpSndBufBytes = 1 << 20
+)
+
+// setSocketBuffers enlarges the kernel buffers, best effort. A privileged
+// process (CAP_NET_ADMIN) can exceed rmem_max/wmem_max via the *BUFFORCE
+// options; otherwise the plain options apply and the kernel caps silently.
+func setSocketBuffers(conn *net.UDPConn) {
+	forced := false
+	if rc, err := conn.SyscallConn(); err == nil {
+		_ = rc.Control(func(fd uintptr) {
+			errR := syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, syscall.SO_RCVBUFFORCE, udpRcvBufBytes)
+			errS := syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, syscall.SO_SNDBUFFORCE, udpSndBufBytes)
+			forced = errR == nil && errS == nil
+		})
+	}
+	if !forced {
+		_ = conn.SetReadBuffer(udpRcvBufBytes)
+		_ = conn.SetWriteBuffer(udpSndBufBytes)
+	}
+}

@@ -1,0 +1,12 @@
+//go:build !linux
+
+package emunet
+
+import "net"
+
+// setSocketBuffers enlarges the kernel buffers, best effort: the portable
+// setters apply, and the kernel caps at its configured maxima.
+func setSocketBuffers(conn *net.UDPConn) {
+	_ = conn.SetReadBuffer(4 << 20)
+	_ = conn.SetWriteBuffer(1 << 20)
+}

@@ -1,0 +1,11 @@
+//go:build linux && amd64
+
+package emunet
+
+// Syscall numbers for the batched datagram calls. The stdlib syscall
+// package predates sendmmsg (it exports SYS_RECVMMSG but froze before
+// number 307 landed), so both are pinned here per architecture.
+const (
+	sysRECVMMSG = 299
+	sysSENDMMSG = 307
+)

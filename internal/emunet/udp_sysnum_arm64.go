@@ -1,0 +1,9 @@
+//go:build linux && arm64
+
+package emunet
+
+// Syscall numbers for the batched datagram calls on the arm64 table.
+const (
+	sysRECVMMSG = 243
+	sysSENDMMSG = 269
+)

@@ -1,0 +1,573 @@
+package emunet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"ncfn/internal/buffer"
+	"ncfn/internal/telemetry"
+)
+
+// udpPair opens two conns on loopback sharing a registry and returns them
+// with their (private) telemetry registries.
+func udpPair(t *testing.T, opts ...UDPOption) (*UDPConn, *UDPConn, *telemetry.Registry, *telemetry.Registry) {
+	t.Helper()
+	reg := NewRegistry()
+	ta, tb := telemetry.NewRegistry(), telemetry.NewRegistry()
+	a, err := ListenUDP("a", "127.0.0.1:0", reg, append([]UDPOption{WithUDPTelemetry(ta)}, opts...)...)
+	if err != nil {
+		t.Fatalf("listen a: %v", err)
+	}
+	t.Cleanup(func() { a.Close() })
+	b, err := ListenUDP("b", "127.0.0.1:0", reg, append([]UDPOption{WithUDPTelemetry(tb)}, opts...)...)
+	if err != nil {
+		t.Fatalf("listen b: %v", err)
+	}
+	t.Cleanup(func() { b.Close() })
+	return a, b, ta, tb
+}
+
+func recvDeadline(t *testing.T, c *UDPConn) ([]byte, string) {
+	t.Helper()
+	type res struct {
+		pkt []byte
+		src string
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		pkt, src, err := c.Recv()
+		ch <- res{pkt, src, err}
+	}()
+	select {
+	case r := <-ch:
+		if r.err != nil {
+			t.Fatalf("recv: %v", r.err)
+		}
+		return r.pkt, r.src
+	case <-time.After(5 * time.Second):
+		t.Fatalf("recv: timeout")
+		return nil, ""
+	}
+}
+
+func TestUDPSendRecv(t *testing.T) {
+	a, b, _, _ := udpPair(t)
+	if err := a.Send("b", []byte("hello")); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	pkt, src := recvDeadline(t, b)
+	if src != "a" || string(pkt) != "hello" {
+		t.Fatalf("got %q from %q, want \"hello\" from \"a\"", pkt, src)
+	}
+	buffer.PutPacket(pkt)
+}
+
+func TestUDPBatchRoundTrip(t *testing.T) {
+	a, b, ta, _ := udpPair(t)
+	const n = 48
+	batch := make([]Datagram, n)
+	for i := range batch {
+		batch[i] = Datagram{Peer: "b", Pkt: []byte(fmt.Sprintf("pkt-%03d", i))}
+	}
+	sent, err := a.SendBatch(batch)
+	if err != nil {
+		t.Fatalf("SendBatch: %v", err)
+	}
+	if sent != n {
+		t.Fatalf("SendBatch sent %d, want %d", sent, n)
+	}
+	// Collect all n, via RecvBatch, preserving order.
+	got := make([]Datagram, 0, n)
+	buf := make([]Datagram, 16)
+	for len(got) < n {
+		k, err := b.RecvBatch(buf)
+		if err != nil {
+			t.Fatalf("RecvBatch: %v", err)
+		}
+		got = append(got, buf[:k]...)
+	}
+	for i, d := range got {
+		if d.Peer != "a" {
+			t.Fatalf("packet %d from %q, want \"a\"", i, d.Peer)
+		}
+		if want := fmt.Sprintf("pkt-%03d", i); string(d.Pkt) != want {
+			t.Fatalf("packet %d = %q, want %q (reordered?)", i, d.Pkt, want)
+		}
+		buffer.PutPacket(d.Pkt)
+	}
+	// The headline acceptance ratio: at batch depth >=16 the tx side must
+	// spend well under one syscall per 8 packets. Only meaningful when the
+	// platform batches; the portable path is 1:1 by construction.
+	if batchIOSupported {
+		snap := counterValue(ta, MetricUDPSyscalls)
+		if snap > n/8 {
+			t.Fatalf("tx syscalls = %d for %d packets, want <= %d", snap, n, n/8)
+		}
+	}
+}
+
+func counterValue(reg *telemetry.Registry, name string) int {
+	return int(reg.Snapshot().Counters[name])
+}
+
+// TestUDPBatchMixedRoutes pins SendBatch's skip-and-continue contract:
+// unroutable entries are reported but do not block the rest of the batch.
+func TestUDPBatchMixedRoutes(t *testing.T) {
+	a, b, _, _ := udpPair(t)
+	batch := []Datagram{
+		{Peer: "b", Pkt: []byte("one")},
+		{Peer: "nowhere", Pkt: []byte("lost")},
+		{Peer: "b", Pkt: []byte("two")},
+	}
+	sent, err := a.SendBatch(batch)
+	if !errors.Is(err, ErrNoRoute) {
+		t.Fatalf("SendBatch err = %v, want ErrNoRoute", err)
+	}
+	if sent != 2 {
+		t.Fatalf("SendBatch sent %d, want 2", sent)
+	}
+	for _, want := range []string{"one", "two"} {
+		pkt, _ := recvDeadline(t, b)
+		if string(pkt) != want {
+			t.Fatalf("got %q, want %q", pkt, want)
+		}
+		buffer.PutPacket(pkt)
+	}
+}
+
+// TestUDPDifferentialPortable pins the portable fallback byte-identical to
+// the platform-batched path: the same logical sequence sent through both
+// kinds of conn arrives with the same payloads in the same order.
+func TestUDPDifferentialPortable(t *testing.T) {
+	sizes := []int{1, 13, 256, 1024, 2048, 9000}
+	mkBatch := func() []Datagram {
+		var batch []Datagram
+		seq := 0
+		for _, sz := range sizes {
+			pkt := make([]byte, sz)
+			for i := range pkt {
+				pkt[i] = byte(seq + i)
+			}
+			seq++
+			batch = append(batch, Datagram{Peer: "sink", Pkt: pkt})
+		}
+		return batch
+	}
+	run := func(t *testing.T, senderOpts, sinkOpts []UDPOption) [][]byte {
+		reg := NewRegistry()
+		sink, err := ListenUDP("sink", "127.0.0.1:0", reg, sinkOpts...)
+		if err != nil {
+			t.Fatalf("listen sink: %v", err)
+		}
+		defer sink.Close()
+		src, err := ListenUDP("src", "127.0.0.1:0", reg, senderOpts...)
+		if err != nil {
+			t.Fatalf("listen src: %v", err)
+		}
+		defer src.Close()
+		batch := mkBatch()
+		if sent, err := src.SendBatch(batch); err != nil || sent != len(batch) {
+			t.Fatalf("SendBatch: sent %d err %v", sent, err)
+		}
+		var got [][]byte
+		for range batch {
+			pkt, from := recvDeadline(t, sink)
+			if from != "src" {
+				t.Fatalf("from %q, want \"src\"", from)
+			}
+			got = append(got, append([]byte(nil), pkt...))
+			buffer.PutPacket(pkt)
+		}
+		return got
+	}
+	batched := run(t, nil, nil)
+	portable := run(t, []UDPOption{WithPortableIO()}, []UDPOption{WithPortableIO()})
+	if len(batched) != len(portable) {
+		t.Fatalf("batched delivered %d, portable %d", len(batched), len(portable))
+	}
+	for i := range batched {
+		if string(batched[i]) != string(portable[i]) {
+			t.Fatalf("packet %d differs between batched and portable paths (len %d vs %d)",
+				i, len(batched[i]), len(portable[i]))
+		}
+	}
+}
+
+// TestUDPRxOverflowDrop overflows a slow consumer and checks the drops are
+// accounted — the satellite fix for the formerly silent default: branch.
+func TestUDPRxOverflowDrop(t *testing.T) {
+	reg := NewRegistry()
+	sinkTel := telemetry.NewRegistry()
+	// A 4-packet inbox and a consumer that never reads: everything past
+	// the inbox + kernel buffer must be counted as dropped.
+	sink, err := ListenUDP("sink", "127.0.0.1:0", reg,
+		WithUDPTelemetry(sinkTel), WithUDPInbox(4))
+	if err != nil {
+		t.Fatalf("listen sink: %v", err)
+	}
+	defer sink.Close()
+	src, err := ListenUDP("src", "127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatalf("listen src: %v", err)
+	}
+	defer src.Close()
+
+	pkt := make([]byte, 1024)
+	const total = 512
+	for i := 0; i < total; i++ {
+		if err := src.Send("sink", pkt); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for counterValue(sinkTel, MetricUDPRxDropped) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no rx drops accounted after %d sends into a 4-packet inbox", total)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	dropped := counterValue(sinkTel, MetricUDPRxDropped)
+	// The flight recorder must carry matching drop events.
+	foundDrop := false
+	for _, e := range sinkTel.Snapshot().Events {
+		if e.Type == telemetry.EventPacketDrop && e.Node == "sink" {
+			foundDrop = true
+		}
+	}
+	if !foundDrop {
+		t.Fatalf("counted %d drops but flight recorder has no drop event", dropped)
+	}
+}
+
+// TestUDPReadLoopExitsOnDeadSocket kills the socket underneath a live conn
+// and checks the read loop exits instead of spinning hot on EBADF, and
+// that reopening on the same port restores traffic.
+func TestUDPReadLoopExitsOnDeadSocket(t *testing.T) {
+	reg := NewRegistry()
+	tel := telemetry.NewRegistry()
+	c, err := ListenUDP("victim", "127.0.0.1:0", reg, WithUDPTelemetry(tel))
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	addr := c.UDPAddr()
+	// Close the socket directly (not via Close), as a runtime fault would.
+	c.conn.Close()
+	exited := make(chan struct{})
+	go func() {
+		c.readerWG.Wait()
+		close(exited)
+	}()
+	select {
+	case <-exited:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("read loop still running 5s after socket death (hot spin?)")
+	}
+	if err := c.Close(); err == nil {
+		t.Log("close after socket death returned nil")
+	}
+	// Reopen on the same port: the name rebinds and traffic flows again.
+	c2, err := ListenUDP("victim", addr.String(), reg)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer c2.Close()
+	src, err := ListenUDP("src", "127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatalf("listen src: %v", err)
+	}
+	defer src.Close()
+	if err := src.Send("victim", []byte("back")); err != nil {
+		t.Fatalf("send after reopen: %v", err)
+	}
+	pkt, _ := recvDeadline(t, c2)
+	if string(pkt) != "back" {
+		t.Fatalf("got %q after reopen, want \"back\"", pkt)
+	}
+	buffer.PutPacket(pkt)
+}
+
+// TestUDPReadErrBackoff unit-tests the backoff classifier: transient
+// errors sleep with exponential growth up to the cap; close and dead-
+// socket errors exit.
+func TestUDPReadErrBackoff(t *testing.T) {
+	reg := NewRegistry()
+	tel := telemetry.NewRegistry()
+	c, err := ListenUDP("x", "127.0.0.1:0", reg, WithUDPTelemetry(tel))
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer c.Close()
+
+	transient := errors.New("transient socket error")
+	var backoff time.Duration
+	start := time.Now()
+	for i := 0; i < 4; i++ {
+		if !c.readErr(&backoff, transient) {
+			t.Fatalf("readErr(transient) = false on attempt %d, want retry", i)
+		}
+	}
+	// 1+2+4+8 ms of backoff, minus scheduler slop.
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Fatalf("4 transient errors backed off only %v, want >= ~15ms", elapsed)
+	}
+	if backoff != 8*readBackoffMin {
+		t.Fatalf("backoff = %v after 4 errors, want %v", backoff, 8*readBackoffMin)
+	}
+	for i := 0; i < 20; i++ {
+		c.readErr(&backoff, transient)
+		if backoff > readBackoffMax {
+			t.Fatalf("backoff %v exceeded cap %v", backoff, readBackoffMax)
+		}
+	}
+	if backoff != readBackoffMax {
+		t.Fatalf("backoff = %v after many errors, want cap %v", backoff, readBackoffMax)
+	}
+	if got := counterValue(tel, MetricUDPReadErrs); got < 24 {
+		t.Fatalf("read-error counter = %d, want >= 24", got)
+	}
+	// A dead socket exits without waiting out the (capped) backoff.
+	if c.readErr(&backoff, net.ErrClosed) {
+		t.Fatal("readErr(net.ErrClosed) = true, want exit")
+	}
+	// After Close, any error exits immediately.
+	c.Close()
+	if c.readErr(&backoff, transient) {
+		t.Fatal("readErr after Close = true, want exit")
+	}
+}
+
+func TestRegistryReverse(t *testing.T) {
+	reg := NewRegistry()
+	a1 := &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 7001}
+	a2 := &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 7002}
+	reg.Register("n1", a1)
+	if got := reg.reverse(a1); got != "n1" {
+		t.Fatalf("reverse = %q, want n1", got)
+	}
+	// Unknown addresses fall back to formatting.
+	if got := reg.reverse(a2); got != a2.String() {
+		t.Fatalf("reverse(unknown) = %q, want %q", got, a2.String())
+	}
+	// Re-registering moves the binding and retires the stale reverse entry.
+	reg.Register("n1", a2)
+	if got := reg.reverse(a2); got != "n1" {
+		t.Fatalf("reverse after move = %q, want n1", got)
+	}
+	if got := reg.reverse(a1); got != a1.String() {
+		t.Fatalf("stale reverse entry survived: %q", got)
+	}
+	// v4 and v4-in-v6 forms of the same address resolve identically.
+	reg.Register("n2", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 2).To4(), Port: 9000})
+	mapped := &net.UDPAddr{IP: net.IPv4(127, 0, 0, 2).To16(), Port: 9000}
+	if got := reg.reverse(mapped); got != "n2" {
+		t.Fatalf("reverse(v4-mapped) = %q, want n2", got)
+	}
+}
+
+// TestRegistryReverseZeroAlloc pins the rx-path lookup allocation-free.
+func TestRegistryReverseZeroAlloc(t *testing.T) {
+	reg := NewRegistry()
+	addrs := make([]*net.UDPAddr, 256)
+	for i := range addrs {
+		addrs[i] = &net.UDPAddr{IP: net.IPv4(10, 0, byte(i/256), byte(i%256)), Port: 9000 + i}
+		reg.Register(fmt.Sprintf("node-%d", i), addrs[i])
+	}
+	target := addrs[137]
+	if n := testing.AllocsPerRun(100, func() {
+		if reg.reverse(target) != "node-137" {
+			t.Fatal("wrong reverse result")
+		}
+	}); n != 0 {
+		t.Fatalf("reverse allocates %v per op, want 0", n)
+	}
+}
+
+// BenchmarkRegistryReverse shows the reverse lookup is O(1): the same cost
+// at 16 and 4096 registered peers.
+func BenchmarkRegistryReverse(b *testing.B) {
+	for _, size := range []int{16, 4096} {
+		b.Run(fmt.Sprintf("peers=%d", size), func(b *testing.B) {
+			reg := NewRegistry()
+			var target *net.UDPAddr
+			for i := 0; i < size; i++ {
+				a := &net.UDPAddr{IP: net.IPv4(10, byte(i>>16), byte(i>>8), byte(i)), Port: 1024 + i%60000}
+				reg.Register(fmt.Sprintf("node-%d", i), a)
+				if i == size/2 {
+					target = a
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if reg.reverse(target) == "" {
+					b.Fatal("miss")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkUDPSendBatch compares the per-packet send path against the
+// batched path at depth 16 over a real loopback socket, at a small
+// (syscall-dominated) and a large (copy-dominated) payload. The receiver
+// drains continuously so the kernel buffer never pushes back.
+func BenchmarkUDPSendBatch(b *testing.B) {
+	const depth = 16
+	for _, tc := range []struct {
+		mode    string
+		payload int
+	}{
+		{"single", 128}, {"batch16", 128},
+		{"single", 1024}, {"batch16", 1024},
+	} {
+		mode, payload := tc.mode, tc.payload
+		b.Run(fmt.Sprintf("%s-%dB", mode, payload), func(b *testing.B) {
+			reg := NewRegistry()
+			sink, err := ListenUDP("sink", "127.0.0.1:0", reg)
+			if err != nil {
+				b.Fatalf("listen sink: %v", err)
+			}
+			defer sink.Close()
+			src, err := ListenUDP("src", "127.0.0.1:0", reg)
+			if err != nil {
+				b.Fatalf("listen src: %v", err)
+			}
+			defer src.Close()
+			go func() {
+				for {
+					pkt, _, err := sink.Recv()
+					if err != nil {
+						return
+					}
+					buffer.PutPacket(pkt)
+				}
+			}()
+			pkt := make([]byte, payload)
+			batch := make([]Datagram, depth)
+			for i := range batch {
+				batch[i] = Datagram{Peer: "sink", Pkt: pkt}
+			}
+			b.SetBytes(int64(depth * payload))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if mode == "single" {
+					for j := 0; j < depth; j++ {
+						if err := src.Send("sink", pkt); err != nil {
+							b.Fatalf("send: %v", err)
+						}
+					}
+				} else {
+					if _, err := src.SendBatch(batch); err != nil {
+						b.Fatalf("SendBatch: %v", err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestUDPDualStackBatch exercises the v6-socket descriptor paths: a
+// dual-stack sender reaches a plain v4 sink via v4-mapped sockaddrs and a
+// v6 sink natively, including a zero-length datagram, and the v6 sink's
+// recvmmsg loop resolves a registered v6 peer without allocating.
+func TestUDPDualStackBatch(t *testing.T) {
+	reg := NewRegistry()
+	sink4, err := ListenUDP("sink4", "127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatalf("listen sink4: %v", err)
+	}
+	defer sink4.Close()
+	src, err := ListenUDP("src", "[::]:0", reg)
+	if err != nil {
+		t.Skipf("no dual-stack v6 socket on this host: %v", err)
+	}
+	defer src.Close()
+	sink6, err := ListenUDP("sink6", "[::1]:0", reg)
+	if err != nil {
+		t.Skipf("no v6 loopback on this host: %v", err)
+	}
+	defer sink6.Close()
+
+	// v4-mapped destination plus an empty payload through the same batch.
+	if n, err := src.SendBatch([]Datagram{
+		{Peer: "sink4", Pkt: []byte("mapped")},
+		{Peer: "sink4", Pkt: nil},
+	}); err != nil || n != 2 {
+		t.Fatalf("SendBatch to v4 sink: n=%d err=%v", n, err)
+	}
+	pkt, from := recvDeadline(t, sink4)
+	if string(pkt) != "mapped" {
+		t.Fatalf("v4 sink got %q", pkt)
+	}
+	// The sender is registered at the wildcard address, so the sink cannot
+	// reverse-map it: the portable-style host:port fallback applies.
+	if from == "" || from == "src" {
+		t.Fatalf("expected fallback source name, got %q", from)
+	}
+	if pkt, _ := recvDeadline(t, sink4); len(pkt) != 0 {
+		t.Fatalf("zero-length datagram arrived with %d bytes", len(pkt))
+	}
+
+	// Native v6 destination; the sink learns the sender's real v6 source
+	// address once it is registered under a name.
+	srcPort := src.UDPAddr().Port
+	reg.Register("peer6", &net.UDPAddr{IP: net.ParseIP("::1"), Port: srcPort})
+	if n, err := src.SendBatch([]Datagram{{Peer: "sink6", Pkt: []byte("native6")}}); err != nil || n != 1 {
+		t.Fatalf("SendBatch to v6 sink: n=%d err=%v", n, err)
+	}
+	pkt, from = recvDeadline(t, sink6)
+	if string(pkt) != "native6" || from != "peer6" {
+		t.Fatalf("v6 sink got %q from %q, want native6 from peer6", pkt, from)
+	}
+}
+
+// TestUDPFamilyMismatchSkipped pins the sendBatch contract for a v4 socket
+// asked to reach a v6 peer: the entry is skipped with an error while the
+// rest of the batch still goes out.
+func TestUDPFamilyMismatchSkipped(t *testing.T) {
+	a, b, _, _ := udpPair(t)
+	a.registry.Register("v6peer", &net.UDPAddr{IP: net.ParseIP("2001:db8::1"), Port: 9})
+	n, err := a.SendBatch([]Datagram{
+		{Peer: "v6peer", Pkt: []byte("unreachable")},
+		{Peer: "b", Pkt: []byte("ok")},
+	})
+	if !HasBatchIO() {
+		// Portable path: per-packet Send cannot even resolve the family
+		// until the kernel rejects it; only the count contract holds.
+		if n != 1 {
+			t.Fatalf("portable batch sent %d, want 1", n)
+		}
+		return
+	}
+	if n != 1 || err == nil {
+		t.Fatalf("family mismatch: n=%d err=%v, want 1 sent plus an error", n, err)
+	}
+	if pkt, _ := recvDeadline(t, b); string(pkt) != "ok" {
+		t.Fatalf("surviving entry got %q", pkt)
+	}
+}
+
+// TestUDPBatchChunking sends more datagrams than one sendmmsg call can
+// carry, forcing the chunking loop, and counts arrivals.
+func TestUDPBatchChunking(t *testing.T) {
+	a, b, _, _ := udpPair(t)
+	const total = 150 // > 2 x maxMsgsPerCall
+	batch := make([]Datagram, total)
+	for i := range batch {
+		batch[i] = Datagram{Peer: "b", Pkt: []byte{byte(i)}}
+	}
+	if n, err := a.SendBatch(batch); err != nil || n != total {
+		t.Fatalf("SendBatch: n=%d err=%v", n, err)
+	}
+	for i := 0; i < total; i++ {
+		pkt, _ := recvDeadline(t, b)
+		if len(pkt) != 1 || pkt[0] != byte(i) {
+			t.Fatalf("packet %d corrupted or reordered: %v", i, pkt)
+		}
+		buffer.PutPacket(pkt)
+	}
+}

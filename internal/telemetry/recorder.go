@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"encoding/json"
 	"runtime"
 	"sort"
 	"sync/atomic"
@@ -73,6 +74,25 @@ func (t EventType) String() string {
 // MarshalJSON renders the type as its name.
 func (t EventType) MarshalJSON() ([]byte, error) {
 	return []byte(`"` + t.String() + `"`), nil
+}
+
+// UnmarshalJSON parses the name form, so snapshots fetched from a remote
+// admin endpoint (ncctl stats, the procnet harness) round-trip. Unknown
+// names — a newer daemon talking to an older reader — decode as EventNone
+// rather than failing the whole snapshot.
+func (t *EventType) UnmarshalJSON(raw []byte) error {
+	var name string
+	if err := json.Unmarshal(raw, &name); err != nil {
+		return err
+	}
+	for et := EventNone; et <= EventGenerationEvict; et++ {
+		if et.String() == name {
+			*t = et
+			return nil
+		}
+	}
+	*t = EventNone
+	return nil
 }
 
 // Event is one decoded flight-recorder entry.
