@@ -13,13 +13,17 @@ build:
 
 # nclint is the repo's own analyzer suite (cmd/nclint): buffer-pool
 # discipline, recv-buffer aliasing, hot-path allocation bans, simulated-time
-# purity, and control-plane error handling. See DESIGN.md ("Statically
-# enforced invariants") for the full list and the suppression syntax.
+# purity, control-plane error handling, lock-acquisition order, RCU snapshot
+# hygiene, raw-syscall pointer liveness, telemetry naming, and build-tag twin
+# parity. See DESIGN.md ("Statically enforced invariants") for the full list
+# and the suppression syntax. The -suppressions pass after the findings run
+# keeps every //nolint:nc site carrying a written reason.
 $(NCLINT): $(NCLINT_SRCS) go.mod
 	$(GO) build -o $(NCLINT) ./cmd/nclint
 
 lint: vet $(NCLINT)
 	./$(NCLINT) ./...
+	./$(NCLINT) -suppressions ./...
 
 # test builds the linter first so a broken analyzer fails fast even when
 # only the test target runs.
@@ -88,13 +92,20 @@ bench-guard:
 			-only '^Benchmark(UDPSendBatch|UDPPipeline|RegistryReverse)'
 
 # cover enforces the coverage floors: telemetry >= 90%, the GF kernel and
-# bit-matrix packages >= 85%, repo-wide >= 70%, and per-file floors on the
-# session-store eviction machinery and the new batched UDP wire path.
+# bit-matrix packages >= 85%, each new concurrency/lifecycle analyzer
+# package >= 80% (their golden suites must actually exercise the rules),
+# repo-wide >= 70%, and per-file floors on the session-store eviction
+# machinery and the batched UDP wire path.
 cover:
 	$(GO) build -o bin/covercheck ./cmd/covercheck
 	$(GO) test -coverprofile=cover.out ./...
 	./bin/covercheck -profile cover.out -total 70 -floor ncfn/internal/telemetry=90 \
 		-floor ncfn/internal/gf=85 -floor ncfn/internal/bitmat=85 \
+		-floor ncfn/internal/analysis/lockorder=80 \
+		-floor ncfn/internal/analysis/rcucheck=80 \
+		-floor ncfn/internal/analysis/syscallcheck=80 \
+		-floor ncfn/internal/analysis/telemetrycheck=80 \
+		-floor ncfn/internal/analysis/tagparity=80 \
 		-filefloor ncfn/internal/dataplane/sessionstore.go=80 \
 		-filefloor ncfn/internal/emunet/udp.go=80 \
 		-filefloor ncfn/internal/emunet/udp_mmsg_linux.go=80 \

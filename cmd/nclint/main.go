@@ -8,9 +8,13 @@
 //
 // With no packages it checks ./... . Each analyzer has an enable flag named
 // after it (-poolcheck=false disables poolcheck); -json emits findings as a
-// JSON array for tooling. The exit status is 0 for a clean tree, 1 when
-// findings were reported, 2 for usage or loading errors — the same contract
-// as go vet, so `make lint` and CI can treat it as a blocking check.
+// JSON array for tooling. -suppressions switches to a report of every
+// //nolint:nc site (file:line, silenced analyzers, reason) instead of
+// findings; a directive with no reason makes the report exit nonzero, so
+// the audit trail for silenced findings stays complete. The exit status is
+// 0 for a clean tree, 1 when findings were reported, 2 for usage or loading
+// errors — the same contract as go vet, so `make lint` and CI can treat it
+// as a blocking check.
 package main
 
 import (
@@ -31,6 +35,7 @@ func run(args []string) int {
 	fs := flag.NewFlagSet("nclint", flag.ContinueOnError)
 	jsonOut := fs.Bool("json", false, "emit findings as JSON")
 	list := fs.Bool("list", false, "list analyzers and exit")
+	suppressions := fs.Bool("suppressions", false, "report every //nolint:nc site instead of findings; exit 1 if any lacks a reason")
 	dir := fs.String("C", ".", "directory to run the go tool from (the module root)")
 
 	all := analysis.All()
@@ -80,6 +85,10 @@ func run(args []string) int {
 		return 2
 	}
 
+	if *suppressions {
+		return reportSuppressions(res, *jsonOut)
+	}
+
 	if *jsonOut {
 		type finding struct {
 			Analyzer string `json:"analyzer"`
@@ -118,6 +127,59 @@ func run(args []string) int {
 
 	if len(res.Diagnostics) > 0 {
 		fmt.Fprintf(os.Stderr, "nclint: %d finding(s) in %d package(s)\n", len(res.Diagnostics), len(pkgs))
+		return 1
+	}
+	return 0
+}
+
+// reportSuppressions lists every //nolint:nc directive the load saw —
+// including stale ones that silenced nothing this run — and fails the
+// report when a directive carries no reason. The reason is the only
+// durable record of why a finding was judged safe to silence.
+func reportSuppressions(res ncanalysis.Result, jsonOut bool) int {
+	missing := 0
+	for _, d := range res.Directives {
+		if d.Reason == "" {
+			missing++
+		}
+	}
+
+	if jsonOut {
+		out := struct {
+			Suppressions  []ncanalysis.Directive `json:"suppressions"`
+			MissingReason int                    `json:"missing_reason"`
+		}{Suppressions: res.Directives, MissingReason: missing}
+		if out.Suppressions == nil {
+			out.Suppressions = []ncanalysis.Directive{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "nclint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range res.Directives {
+			analyzers := "-"
+			if len(d.Analyzers) > 0 {
+				analyzers = ""
+				for i, a := range d.Analyzers {
+					if i > 0 {
+						analyzers += ","
+					}
+					analyzers += a
+				}
+			}
+			reason := d.Reason
+			if reason == "" {
+				reason = "<missing reason>"
+			}
+			fmt.Printf("%s:%d: [%s] %s\n", d.File, d.Line, analyzers, reason)
+		}
+		fmt.Fprintf(os.Stderr, "nclint: %d suppression site(s), %d without a reason\n", len(res.Directives), missing)
+	}
+
+	if missing > 0 {
 		return 1
 	}
 	return 0

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"testing"
+
+	"ncfn/internal/analysis/ncanalysis"
+)
+
+func TestReportSuppressionsExitCodes(t *testing.T) {
+	withReason := ncanalysis.Result{Directives: []ncanalysis.Directive{
+		{File: "a.go", Line: 3, Reason: "why", Analyzers: []string{"poolcheck"}},
+		{File: "b.go", Line: 9, Reason: "stale but explained"},
+	}}
+	if got := reportSuppressions(withReason, false); got != 0 {
+		t.Errorf("all reasons present: exit = %d, want 0", got)
+	}
+	if got := reportSuppressions(withReason, true); got != 0 {
+		t.Errorf("all reasons present (json): exit = %d, want 0", got)
+	}
+
+	missing := ncanalysis.Result{Directives: []ncanalysis.Directive{
+		{File: "a.go", Line: 3, Analyzers: []string{"poolcheck", "simtime"}},
+	}}
+	if got := reportSuppressions(missing, false); got != 1 {
+		t.Errorf("missing reason: exit = %d, want 1", got)
+	}
+	if got := reportSuppressions(missing, true); got != 1 {
+		t.Errorf("missing reason (json): exit = %d, want 1", got)
+	}
+
+	if got := reportSuppressions(ncanalysis.Result{}, true); got != 0 {
+		t.Errorf("no directives: exit = %d, want 0", got)
+	}
+}

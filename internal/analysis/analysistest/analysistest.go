@@ -25,6 +25,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -34,6 +35,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"regexp"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -67,6 +69,7 @@ func Run(t *testing.T, a *ncanalysis.Analyzer, pkgPaths ...string) ncanalysis.Re
 		checkWants(t, res.Diagnostics, wants)
 		total.Diagnostics = append(total.Diagnostics, res.Diagnostics...)
 		total.Suppressed += res.Suppressed
+		total.Directives = append(total.Directives, res.Directives...)
 	}
 	return total
 }
@@ -226,9 +229,73 @@ func (im *fixtureImporter) parseDir(path string) ([]*ast.File, error) {
 		if err != nil {
 			return nil, err
 		}
+		if !fileInBuild(name, f) {
+			continue
+		}
 		files = append(files, f)
 	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s satisfy %s/%s build constraints", dir, runtime.GOOS, runtime.GOARCH)
+	}
 	return files, nil
+}
+
+// fileInBuild evaluates a fixture file's build constraints — filename
+// GOOS/GOARCH suffixes and //go:build lines — against the host platform,
+// so twin-file fixtures (thing_linux.go / thing_other.go) load like the
+// real build would instead of colliding.
+func fileInBuild(name string, f *ast.File) bool {
+	base := strings.TrimSuffix(strings.TrimSuffix(name, ".go"), "_test")
+	parts := strings.Split(base, "_")
+	// A trailing _GOARCH and/or _GOOS token constrains the file; check the
+	// last two tokens the way go/build does.
+	if len(parts) > 1 {
+		last := parts[len(parts)-1]
+		if knownArch[last] {
+			if last != runtime.GOARCH {
+				return false
+			}
+			parts = parts[:len(parts)-1]
+		}
+	}
+	if len(parts) > 1 {
+		last := parts[len(parts)-1]
+		if knownOS[last] && last != runtime.GOOS {
+			return false
+		}
+	}
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				continue
+			}
+			return expr.Eval(func(tag string) bool {
+				return tag == runtime.GOOS || tag == runtime.GOARCH
+			})
+		}
+	}
+	return true
+}
+
+var knownOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "illumos": true, "ios": true, "js": true,
+	"linux": true, "netbsd": true, "openbsd": true, "plan9": true,
+	"solaris": true, "wasip1": true, "windows": true,
+}
+
+var knownArch = map[string]bool{
+	"386": true, "amd64": true, "arm": true, "arm64": true,
+	"loong64": true, "mips": true, "mips64": true, "mips64le": true,
+	"mipsle": true, "ppc64": true, "ppc64le": true, "riscv64": true,
+	"s390x": true, "wasm": true,
 }
 
 // Import implements types.Importer.

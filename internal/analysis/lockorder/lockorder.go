@@ -1,0 +1,683 @@
+// Package lockorder machine-checks the mutex discipline the data plane
+// documents in prose. PR 7 introduced a two-level locking scheme — a
+// session's st.mu is acquired before the store's store.mu, never the other
+// way around — and PR 8's shard loop nests pauseMu outside both. Nothing
+// enforced those sentences: one helper that takes the locks in the opposite
+// order deadlocks only under contention, exactly the failure mode tests
+// with light schedules never hit.
+//
+// The analyzer builds a per-package mutex-acquisition graph from AST
+// def-use. A lock is identified by the struct type that owns the mutex
+// field ("sessionState.mu"); declared order edges come from directives
+// anywhere in the package:
+//
+//	//nc:lockorder sessionState.mu -> sessionStore.mu
+//
+// meaning sessionState.mu must be acquired before sessionStore.mu whenever
+// both are held. Chains ("A -> B -> C") declare pairwise edges and the
+// relation is closed transitively. On every intra-function path (branches
+// explored, loop bodies walked once, bounded state fan-out) the analyzer
+// tracks the held set and reports:
+//
+//   - inversion: acquiring a lock (directly, or anywhere inside a
+//     same-package callee, via transitive call summaries) while holding a
+//     lock the declared order says must come after it
+//   - double lock: re-locking an lvalue already held on the same path
+//   - double unlock: unlocking an lvalue this function already released on
+//     the same path (unlocking a mutex the function never locked is the
+//     documented callers-hold-it pattern and stays legal)
+//   - inconsistent release: a lock released on some paths through the
+//     function but still held at return on others (the classic missed
+//     unlock on an error branch); functions that never release a lock are
+//     assumed to hand it off (pauseAll/resumeAll style) and are not flagged
+package lockorder
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"ncfn/internal/analysis/ncanalysis"
+)
+
+// Directive is the comment prefix declaring an order edge.
+const Directive = "//nc:lockorder"
+
+// maxPathStates bounds the per-function path fan-out; beyond it extra
+// branch states are merged away (analysis stays sound for the states kept).
+const maxPathStates = 128
+
+// Analyzer is the lockorder check.
+var Analyzer = &ncanalysis.Analyzer{
+	Name: "lockorder",
+	Doc: "enforce declared //nc:lockorder edges on the per-package mutex-acquisition graph; " +
+		"flag order inversions (including through same-package calls), double lock, double unlock, " +
+		"and locks released on some paths but held at return on others",
+	Run: run,
+}
+
+// lockAction is one Lock/Unlock-family call resolved to a lock identity.
+type lockAction struct {
+	id      string // type-qualified lock identity, e.g. "sessionState.mu"
+	lvalue  string // receiver expression as written, e.g. "st.mu"
+	acquire bool
+	rlock   bool // RLock/RUnlock (read side of an RWMutex)
+}
+
+// held is one lock currently held on a path.
+type held struct {
+	id       string
+	lvalue   string
+	pos      ast.Node // the acquiring call, for reporting
+	deferred bool     // released by a defer at function exit
+}
+
+// pathState is the held stack of one explored path, plus the lvalues this
+// function has already locked-and-released along it (for double-unlock).
+type pathState struct {
+	locks    []held
+	released []string
+}
+
+func (p pathState) clone() pathState {
+	cp := make([]held, len(p.locks))
+	copy(cp, p.locks)
+	rel := make([]string, len(p.released))
+	copy(rel, p.released)
+	return pathState{locks: cp, released: rel}
+}
+
+func (p pathState) holds(lvalue string) int {
+	for i, h := range p.locks {
+		if h.lvalue == lvalue {
+			return i
+		}
+	}
+	return -1
+}
+
+func run(pass *ncanalysis.Pass) error {
+	edges := collectEdges(pass.Files)
+	order := transitiveClosure(edges)
+	summaries := buildSummaries(pass)
+
+	c := &checker{pass: pass, order: order, summaries: summaries}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			c.checkFunc(fn)
+		}
+	}
+	return nil
+}
+
+// collectEdges parses every //nc:lockorder directive in the package.
+func collectEdges(files []*ast.File) map[string][]string {
+	edges := map[string][]string{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, cmt := range cg.List {
+				text := strings.TrimSpace(cmt.Text)
+				if !strings.HasPrefix(text, Directive) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, Directive))
+				parts := strings.Split(rest, "->")
+				for i := 0; i+1 < len(parts); i++ {
+					a, b := strings.TrimSpace(parts[i]), strings.TrimSpace(parts[i+1])
+					if a == "" || b == "" {
+						continue
+					}
+					edges[a] = append(edges[a], b)
+				}
+			}
+		}
+	}
+	return edges
+}
+
+// transitiveClosure returns before[a][b] == true when the declared order
+// requires a to be acquired before b.
+func transitiveClosure(edges map[string][]string) map[string]map[string]bool {
+	before := map[string]map[string]bool{}
+	var visit func(root, node string)
+	visit = func(root, node string) {
+		for _, next := range edges[node] {
+			if before[root] == nil {
+				before[root] = map[string]bool{}
+			}
+			if before[root][next] {
+				continue
+			}
+			before[root][next] = true
+			visit(root, next)
+		}
+	}
+	for a := range edges {
+		visit(a, a)
+	}
+	return before
+}
+
+// buildSummaries computes, for every function in the package, the set of
+// lock ids it may acquire — directly or through same-package calls — to a
+// fixed point.
+func buildSummaries(pass *ncanalysis.Pass) map[*types.Func]map[string]bool {
+	direct := map[*types.Func]map[string]bool{}
+	calls := map[*types.Func][]*types.Func{}
+	fnOf := map[*ast.FuncDecl]*types.Func{}
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			fnOf[fd] = obj
+			acquired := map[string]bool{}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if act, ok := resolveLockCall(pass.TypesInfo, call); ok {
+					if act.acquire {
+						acquired[act.id] = true
+					}
+					return true
+				}
+				if callee := ncanalysis.CalleeOf(pass.TypesInfo, call); callee != nil &&
+					callee.Pkg() != nil && callee.Pkg().Path() == pass.Path {
+					calls[obj] = append(calls[obj], callee)
+				}
+				return true
+			})
+			direct[obj] = acquired
+		}
+	}
+
+	// Propagate callee acquisitions to callers until nothing changes.
+	for changed := true; changed; {
+		changed = false
+		for fn, callees := range calls {
+			for _, callee := range callees {
+				for id := range direct[callee] {
+					if !direct[fn][id] {
+						direct[fn][id] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return direct
+}
+
+// resolveLockCall recognizes a sync.Mutex/RWMutex Lock/Unlock-family call
+// and resolves the lock's identity.
+func resolveLockCall(info *types.Info, call *ast.CallExpr) (lockAction, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockAction{}, false
+	}
+	fn, _ := info.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return lockAction{}, false
+	}
+	var acquire, rlock bool
+	switch fn.Name() {
+	case "Lock", "TryLock":
+		acquire = true
+	case "RLock", "TryRLock":
+		acquire, rlock = true, true
+	case "Unlock":
+	case "RUnlock":
+		rlock = true
+	default:
+		return lockAction{}, false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return lockAction{}, false
+	}
+	return lockAction{
+		id:      lockID(info, sel.X),
+		lvalue:  exprString(sel.X),
+		acquire: acquire,
+		rlock:   rlock,
+	}, true
+}
+
+// lockID derives the type-qualified identity of a mutex expression: for a
+// field access the owning named struct type plus field name
+// ("sessionStore.mu"); for a bare variable its name. The identity is what
+// //nc:lockorder edges refer to.
+func lockID(info *types.Info, e ast.Expr) string {
+	e = ast.Unparen(e)
+	if sel, ok := e.(*ast.SelectorExpr); ok {
+		if base := info.TypeOf(sel.X); base != nil {
+			t := base
+			if p, ok := t.Underlying().(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if named, ok := t.(*types.Named); ok {
+				return named.Obj().Name() + "." + sel.Sel.Name
+			}
+		}
+		return exprString(e)
+	}
+	// A plain identifier: a local or package-level mutex variable, or a
+	// value with an embedded Mutex promoted to the top (x.Lock()).
+	return exprString(e)
+}
+
+// checker walks one function's paths.
+type checker struct {
+	pass      *ncanalysis.Pass
+	order     map[string]map[string]bool // order[a][b]: a must precede b
+	summaries map[*types.Func]map[string]bool
+
+	fname string
+	// release bookkeeping for the inconsistent-release report
+	releasedAnywhere map[string]bool
+	exitHeld         []pathState
+	reported         map[string]bool
+}
+
+func (c *checker) reportf(n ast.Node, format string, args ...any) {
+	c.pass.Reportf(n.Pos(), format, args...)
+}
+
+func (c *checker) checkFunc(fn *ast.FuncDecl) {
+	c.fname = fn.Name.Name
+	c.releasedAnywhere = map[string]bool{}
+	c.exitHeld = nil
+	c.reported = map[string]bool{}
+
+	// Pre-scan: which lvalues does this function ever release (explicitly
+	// or by defer)? Locks it never releases are treated as handed off.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if act, ok := resolveLockCall(c.pass.TypesInfo, call); ok && !act.acquire {
+			c.releasedAnywhere[act.lvalue] = true
+		}
+		return true
+	})
+
+	states := c.stmtList(fn.Body.List, []pathState{{}})
+	c.exitHeld = append(c.exitHeld, states...)
+	c.checkInconsistentRelease()
+}
+
+// checkInconsistentRelease fires when a lock is held at return on some
+// paths and released on others.
+func (c *checker) checkInconsistentRelease() {
+	if len(c.exitHeld) < 2 {
+		return
+	}
+	// Count, for each acquired lvalue, on how many exit paths it is still
+	// held (ignoring deferred releases, which cover every exit).
+	heldOn := map[string]int{}
+	pos := map[string]ast.Node{}
+	for _, st := range c.exitHeld {
+		for _, h := range st.locks {
+			if h.deferred {
+				continue
+			}
+			heldOn[h.lvalue]++
+			pos[h.lvalue] = h.pos
+		}
+	}
+	for lv, n := range heldOn {
+		if n == len(c.exitHeld) || !c.releasedAnywhere[lv] {
+			continue // held on every path (handoff) or never released (handoff)
+		}
+		key := "incons:" + lv
+		if c.reported[key] {
+			continue
+		}
+		c.reported[key] = true
+		c.reportf(pos[lv], "%s releases %s on some paths but can return with it still held", c.fname, lv)
+	}
+}
+
+// stmtList threads the path states through a statement sequence.
+func (c *checker) stmtList(list []ast.Stmt, states []pathState) []pathState {
+	for _, s := range list {
+		states = c.stmt(s, states)
+		if len(states) == 0 {
+			break // every path terminated
+		}
+	}
+	return states
+}
+
+// stmt applies one statement to every live path state and returns the
+// states that fall through to the next statement.
+func (c *checker) stmt(s ast.Stmt, states []pathState) []pathState {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return c.stmtList(s.List, states)
+	case *ast.ExprStmt:
+		return c.exprEffects(s.X, states)
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			states = c.exprEffects(rhs, states)
+		}
+		return states
+	case *ast.DeclStmt:
+		return c.walkCalls(s, states)
+	case *ast.DeferStmt:
+		return c.deferEffects(s, states)
+	case *ast.GoStmt:
+		// The spawned goroutine runs concurrently and does not inherit the
+		// held set; its body is checked when its function is (literals are
+		// skipped — they have no FuncDecl — an accepted gap).
+		return states
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			states = c.exprEffects(r, states)
+		}
+		c.exitHeld = append(c.exitHeld, states...)
+		return nil
+	case *ast.BranchStmt:
+		// break/continue/goto: give up on tracking this path rather than
+		// modeling jump targets; no leak reporting for it.
+		return nil
+	case *ast.IfStmt:
+		if s.Init != nil {
+			states = c.stmt(s.Init, states)
+		}
+		states = c.exprEffects(s.Cond, states)
+		thenStates := c.stmtList(s.Body.List, cloneAll(states))
+		var elseStates []pathState
+		if s.Else != nil {
+			elseStates = c.stmt(s.Else, cloneAll(states))
+		} else {
+			elseStates = states
+		}
+		return capStates(append(thenStates, elseStates...))
+	case *ast.ForStmt:
+		if s.Init != nil {
+			states = c.stmt(s.Init, states)
+		}
+		if s.Cond != nil {
+			states = c.exprEffects(s.Cond, states)
+		}
+		body := c.stmtList(s.Body.List, cloneAll(states))
+		if s.Post != nil {
+			body = c.stmt(s.Post, body)
+		}
+		// One trip through the body plus the zero-trip fall-through.
+		return capStates(append(body, states...))
+	case *ast.RangeStmt:
+		states = c.exprEffects(s.X, states)
+		body := c.stmtList(s.Body.List, cloneAll(states))
+		return capStates(append(body, states...))
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			states = c.stmt(s.Init, states)
+		}
+		if s.Tag != nil {
+			states = c.exprEffects(s.Tag, states)
+		}
+		return c.caseBodies(s.Body, states)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			states = c.stmt(s.Init, states)
+		}
+		return c.caseBodies(s.Body, states)
+	case *ast.SelectStmt:
+		return c.caseBodies(s.Body, states)
+	case *ast.LabeledStmt:
+		return c.stmt(s.Stmt, states)
+	case *ast.SendStmt:
+		states = c.exprEffects(s.Chan, states)
+		return c.exprEffects(s.Value, states)
+	default:
+		return c.walkCalls(s, states)
+	}
+}
+
+// deferEffects handles a defer statement. `defer mu.Unlock()` marks the
+// lock as released-at-exit on every path (it stays in the held set so
+// order and double-lock checks still see it; the inconsistent-release
+// check skips it). Arguments of any deferred call evaluate now; other
+// deferred bodies run at exit and are not modeled.
+func (c *checker) deferEffects(s *ast.DeferStmt, states []pathState) []pathState {
+	for _, a := range s.Call.Args {
+		states = c.exprEffects(a, states)
+	}
+	if act, ok := resolveLockCall(c.pass.TypesInfo, s.Call); ok && !act.acquire {
+		for i := range states {
+			st := &states[i]
+			if idx := st.holds(act.lvalue); idx >= 0 {
+				st.locks[idx].deferred = true
+			}
+		}
+	}
+	return states
+}
+
+// caseBodies explores each case clause as an independent branch.
+func (c *checker) caseBodies(body *ast.BlockStmt, states []pathState) []pathState {
+	var out []pathState
+	hasDefault := false
+	for _, cl := range body.List {
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			if cl.List == nil {
+				hasDefault = true
+			}
+			out = append(out, c.stmtList(cl.Body, cloneAll(states))...)
+		case *ast.CommClause:
+			if cl.Comm == nil {
+				hasDefault = true
+			}
+			sub := cloneAll(states)
+			if cl.Comm != nil {
+				sub = c.stmt(cl.Comm, sub)
+			}
+			out = append(out, c.stmtList(cl.Body, sub)...)
+		}
+	}
+	if !hasDefault {
+		out = append(out, states...) // no case taken
+	}
+	return capStates(out)
+}
+
+// walkCalls applies exprEffects to every call found under an otherwise
+// unmodeled statement.
+func (c *checker) walkCalls(n ast.Node, states []pathState) []pathState {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if call, ok := m.(*ast.CallExpr); ok {
+			states = c.callEffect(call, states)
+		}
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		return true
+	})
+	return states
+}
+
+// exprEffects applies lock effects of every call inside an expression, in
+// syntactic order. Function literals are opaque: their bodies execute at
+// call time, not here.
+func (c *checker) exprEffects(e ast.Expr, states []pathState) []pathState {
+	if e == nil {
+		return states
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			// Visit arguments first (inner calls evaluate before the outer
+			// call fires); ast.Inspect is pre-order, so recurse manually.
+			for _, a := range call.Args {
+				states = c.exprEffects(a, states)
+			}
+			states = c.callEffect(call, states)
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return true
+	})
+	return states
+}
+
+// callEffect applies one call's lock semantics to every path state.
+func (c *checker) callEffect(call *ast.CallExpr, states []pathState) []pathState {
+	if act, ok := resolveLockCall(c.pass.TypesInfo, call); ok {
+		if act.acquire {
+			return c.acquire(call, act, states)
+		}
+		return c.release(call, act, states)
+	}
+	// Same-package callee: its summary's acquisitions are checked against
+	// the held set (the callee may take and release them internally; order
+	// still matters while we hold ours).
+	if callee := ncanalysis.CalleeOf(c.pass.TypesInfo, call); callee != nil &&
+		callee.Pkg() != nil && callee.Pkg().Path() == c.pass.Path {
+		if sum := c.summaries[callee]; len(sum) > 0 {
+			for id := range sum {
+				for _, st := range states {
+					c.checkOrder(call, id, "call to "+callee.Name()+" acquires "+id, st)
+				}
+			}
+		}
+	}
+	return states
+}
+
+// acquire checks order and double-lock, then pushes the lock.
+func (c *checker) acquire(call *ast.CallExpr, act lockAction, states []pathState) []pathState {
+	for i := range states {
+		st := &states[i]
+		if !act.rlock {
+			if st.holds(act.lvalue) >= 0 {
+				key := "dbl:" + posKey(c.pass, call)
+				if !c.reported[key] {
+					c.reported[key] = true
+					c.reportf(call, "%s locks %s while already holding it on this path (double lock)", c.fname, act.lvalue)
+				}
+			}
+		}
+		c.checkOrder(call, act.id, "acquiring "+act.lvalue, *st)
+		st.locks = append(st.locks, held{id: act.id, lvalue: act.lvalue, pos: call})
+	}
+	return states
+}
+
+// checkOrder reports when acquiring id while holding a lock that the
+// declared order requires id to precede.
+func (c *checker) checkOrder(call *ast.CallExpr, id, what string, st pathState) {
+	for _, h := range st.locks {
+		if h.id == id {
+			continue
+		}
+		if c.order[id][h.id] {
+			key := "ord:" + id + ":" + h.id + ":" + posKey(c.pass, call)
+			if c.reported[key] {
+				continue
+			}
+			c.reported[key] = true
+			c.reportf(call, "%s: %s while holding %s inverts the declared lock order %s -> %s",
+				c.fname, what, h.lvalue, id, h.id)
+		}
+	}
+}
+
+// release pops the lock, flagging a second release on the same path. An
+// unlock of an lvalue this path never locked is the callers-hold-it
+// handoff pattern and stays silent.
+func (c *checker) release(call *ast.CallExpr, act lockAction, states []pathState) []pathState {
+	for i := range states {
+		st := &states[i]
+		if idx := st.holds(act.lvalue); idx >= 0 {
+			st.locks = append(st.locks[:idx], st.locks[idx+1:]...)
+			st.released = append(st.released, act.lvalue)
+			continue
+		}
+		for _, rel := range st.released {
+			if rel == act.lvalue {
+				key := "dblun:" + posKey(c.pass, call)
+				if !c.reported[key] {
+					c.reported[key] = true
+					c.reportf(call, "%s unlocks %s which this path already released (double unlock)", c.fname, act.lvalue)
+				}
+				break
+			}
+		}
+	}
+	return states
+}
+
+// capStates merges away excess path states.
+func capStates(states []pathState) []pathState {
+	if len(states) > maxPathStates {
+		return states[:maxPathStates]
+	}
+	return states
+}
+
+func cloneAll(states []pathState) []pathState {
+	out := make([]pathState, len(states))
+	for i, st := range states {
+		out[i] = st.clone()
+	}
+	return out
+}
+
+func posKey(pass *ncanalysis.Pass, n ast.Node) string {
+	p := pass.Fset.Position(n.Pos())
+	return p.Filename + ":" + itoa(p.Line) + ":" + itoa(p.Column)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [12]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// exprString renders a small expression for identities and messages.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[" + exprString(e.Index) + "]"
+	case *ast.SliceExpr:
+		return exprString(e.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	case *ast.BasicLit:
+		return e.Value
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "()"
+	}
+	return "expr"
+}

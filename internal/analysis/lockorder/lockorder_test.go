@@ -1,0 +1,15 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"ncfn/internal/analysis/analysistest"
+	"ncfn/internal/analysis/lockorder"
+)
+
+func TestLockorder(t *testing.T) {
+	res := analysistest.Run(t, lockorder.Analyzer, "fix", "clean")
+	if res.Suppressed != 1 {
+		t.Fatalf("suppressed = %d, want 1 (the nolint'd double lock)", res.Suppressed)
+	}
+}

@@ -1,0 +1,23 @@
+// Package clean has no //nc:lockorder directives: only the intra-function
+// double-lock/unlock and leak checks apply, and nothing here trips them.
+package clean
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (b *box) bump() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.n++
+}
+
+func (b *box) read() int {
+	b.mu.Lock()
+	n := b.n
+	b.mu.Unlock()
+	return n
+}

@@ -1,0 +1,179 @@
+// Package fix exercises every lockorder report kind against a miniature of
+// the data plane's two-level locking scheme.
+//
+//nc:lockorder shard.pauseMu -> sessionState.mu -> sessionStore.mu
+package fix
+
+import "sync"
+
+type sessionStore struct {
+	mu sync.Mutex
+	n  int
+}
+
+type sessionState struct {
+	mu    sync.Mutex
+	store *sessionStore
+}
+
+type shard struct {
+	pauseMu sync.Mutex
+	st      *sessionState
+}
+
+// ok: the declared nesting.
+func conforming(st *sessionState) {
+	st.mu.Lock()
+	st.store.mu.Lock()
+	st.store.n++
+	st.store.mu.Unlock()
+	st.mu.Unlock()
+}
+
+// inversion: the store's lock taken first.
+func inverted(st *sessionState) {
+	st.store.mu.Lock()
+	st.mu.Lock() // want `inverted: acquiring st.mu while holding st.store.mu inverts the declared lock order sessionState.mu -> sessionStore.mu`
+	st.mu.Unlock()
+	st.store.mu.Unlock()
+}
+
+// inversion through the transitive closure of the declared chain.
+func transitiveInverted(sh *shard) {
+	sh.st.store.mu.Lock()
+	sh.pauseMu.Lock() // want `acquiring sh.pauseMu while holding sh.st.store.mu inverts the declared lock order shard.pauseMu -> sessionStore.mu`
+	sh.pauseMu.Unlock()
+	sh.st.store.mu.Unlock()
+}
+
+// lockSt is conforming on its own; its summary says it acquires
+// sessionState.mu.
+func lockSt(st *sessionState) {
+	st.mu.Lock()
+	st.mu.Unlock()
+}
+
+// inversion hidden behind a same-package call.
+func interproc(st *sessionState) {
+	st.store.mu.Lock()
+	lockSt(st) // want `interproc: call to lockSt acquires sessionState.mu while holding st.store.mu inverts the declared lock order sessionState.mu -> sessionStore.mu`
+	st.store.mu.Unlock()
+}
+
+func doubleLock(st *sessionState) {
+	st.mu.Lock()
+	st.mu.Lock() // want `doubleLock locks st.mu while already holding it on this path \(double lock\)`
+	st.mu.Unlock()
+	st.mu.Unlock()
+}
+
+func doubleUnlock(st *sessionState) {
+	st.mu.Lock()
+	st.mu.Unlock()
+	st.mu.Unlock() // want `doubleUnlock unlocks st.mu which this path already released \(double unlock\)`
+}
+
+// ok: lock handed to the caller (pauseAll style) — never released here.
+func lockHandoff(st *sessionState) {
+	st.mu.Lock()
+	st.store.n++
+}
+
+// ok: caller holds the lock (resumeAll style) — never acquired here.
+func unlockHandoff(st *sessionState) {
+	st.store.n++
+	st.mu.Unlock()
+}
+
+// released on the happy path, leaked on the early return.
+func leaky(st *sessionState, err bool) int {
+	st.mu.Lock() // want `leaky releases st.mu on some paths but can return with it still held`
+	if err {
+		return 0
+	}
+	st.mu.Unlock()
+	return 1
+}
+
+// ok: defer covers every exit.
+func deferred(st *sessionState, err bool) int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if err {
+		return 0
+	}
+	return 1
+}
+
+// ok: read locks may be taken recursively.
+func readers(mu *sync.RWMutex) {
+	mu.RLock()
+	mu.RLock()
+	mu.RUnlock()
+	mu.RUnlock()
+}
+
+// suppressed: the directive silences the double lock.
+func silenced(st *sessionState) {
+	st.mu.Lock()
+	st.mu.Lock() //nolint:nc fixture exercises suppression accounting
+	st.mu.Unlock()
+	st.mu.Unlock()
+}
+
+// an inversion inside one switch arm is still an inversion.
+func switched(st *sessionState, mode int) {
+	st.store.mu.Lock()
+	switch mode {
+	case 0:
+		st.store.n++
+	case 1:
+		st.mu.Lock() // want `switched: acquiring st.mu while holding st.store.mu inverts the declared lock order sessionState.mu -> sessionStore.mu`
+		st.mu.Unlock()
+	default:
+		st.store.n--
+	}
+	st.store.mu.Unlock()
+}
+
+// ok: per-iteration lock/unlock over indexed shards; the loop, range,
+// select, send, and type-switch forms all fall through cleanly.
+func shapes(shards []shard, vals any, ch chan int, done chan struct{}) {
+	for i := 0; i < len(shards); i++ {
+		shards[i].pauseMu.Lock()
+		shards[i].pauseMu.Unlock()
+	}
+	for i := range shards {
+		shards[i].pauseMu.Lock()
+		shards[i].pauseMu.Unlock()
+	}
+	switch v := vals.(type) {
+	case int:
+		_ = v
+	case string:
+	}
+	select {
+	case n := <-ch:
+		ch <- n
+	case <-done:
+	default:
+	}
+loop:
+	for {
+		for range ch {
+			continue loop
+		}
+		break
+	}
+}
+
+// ok: the goroutine body does not inherit the spawner's held set, and a
+// deferred call's arguments evaluate at the defer statement.
+func spawns(st *sessionState, ch chan int) {
+	st.mu.Lock()
+	go func() { ch <- 1 }()
+	defer notify(ch, len("x"))
+	st.mu.Unlock()
+}
+
+func notify(ch chan int, n int) { ch <- n }

@@ -19,6 +19,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"sort"
 )
 
 // Analyzer describes one static check. Name must be a valid flag name; it is
@@ -73,17 +74,20 @@ func (d Diagnostic) String() string {
 }
 
 // Result is the outcome of running a set of analyzers over a set of
-// packages: the findings that survived //nolint:nc filtering, plus how many
-// findings the directives suppressed.
+// packages: the findings that survived //nolint:nc filtering, how many
+// findings the directives suppressed, and every directive site encountered
+// (the `nclint -suppressions` report reads these).
 type Result struct {
 	Diagnostics []Diagnostic
 	Suppressed  int
+	Directives  []Directive
 }
 
 // Run applies every analyzer to every package and filters the findings
 // through the packages' //nolint:nc directives.
 func Run(pkgs []*Package, analyzers []*Analyzer) (Result, error) {
 	var res Result
+	seen := map[string]bool{} // directive file:line dedupe across packages
 	for _, pkg := range pkgs {
 		sup := collectNolint(pkg.Fset, pkg.Syntax)
 		var diags []Diagnostic
@@ -102,12 +106,27 @@ func Run(pkgs []*Package, analyzers []*Analyzer) (Result, error) {
 			}
 		}
 		for _, d := range diags {
-			if sup.suppresses(d.Pos) {
+			if dir := sup.suppresses(d.Pos); dir != nil {
+				dir.recordHit(d.Analyzer)
 				res.Suppressed++
 				continue
 			}
 			res.Diagnostics = append(res.Diagnostics, d)
 		}
+		for _, dir := range sup.directives {
+			key := fmt.Sprintf("%s:%d", dir.File, dir.Line)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			res.Directives = append(res.Directives, *dir)
+		}
 	}
+	sort.Slice(res.Directives, func(i, j int) bool {
+		if res.Directives[i].File != res.Directives[j].File {
+			return res.Directives[i].File < res.Directives[j].File
+		}
+		return res.Directives[i].Line < res.Directives[j].Line
+	})
 	return res, nil
 }

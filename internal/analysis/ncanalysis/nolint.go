@@ -3,6 +3,7 @@ package ncanalysis
 import (
 	"go/ast"
 	"go/token"
+	"sort"
 	"strings"
 )
 
@@ -12,22 +13,37 @@ import (
 //
 // placed on the flagged line (trailing) or on the line immediately above it
 // silences every nclint finding for that line. The reason is mandatory by
-// convention — the self-check test greps for bare directives — and the
+// convention — the self-check test greps for bare directives and the
+// `nclint -suppressions` report exits nonzero on a reasonless site — and the
 // driver counts how many findings each run suppressed so silenced debt stays
 // visible.
 const nolintPrefix = "nolint:nc"
 
+// Directive is one //nolint:nc site: where it is, why it is there, and
+// which analyzers it actually silenced in the run that collected it.
+type Directive struct {
+	File   string `json:"file"`
+	Line   int    `json:"line"`
+	Reason string `json:"reason"`
+	// Analyzers lists the analyzers whose findings this directive
+	// suppressed, sorted and deduplicated; empty for a directive that
+	// silenced nothing in the run (stale, or guarding a platform-specific
+	// finding the current build does not produce).
+	Analyzers []string `json:"analyzers"`
+}
+
 // suppressions records, per file, the set of source lines a //nolint:nc
-// directive covers.
+// directive covers, each line pointing back at its directive.
 type suppressions struct {
-	lines map[string]map[int]bool
+	lines      map[string]map[int]*Directive
+	directives []*Directive
 }
 
 // collectNolint scans the comment groups of every file for nolint:nc
 // directives. A directive covers its own line and the following line, so it
 // works both trailing a statement and on its own line above one.
 func collectNolint(fset *token.FileSet, files []*ast.File) suppressions {
-	s := suppressions{lines: make(map[string]map[int]bool)}
+	s := suppressions{lines: make(map[string]map[int]*Directive)}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -42,21 +58,35 @@ func collectNolint(fset *token.FileSet, files []*ast.File) suppressions {
 				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
 					continue
 				}
+				rest = strings.TrimSuffix(strings.TrimSpace(rest), "*/")
 				pos := fset.Position(c.Pos())
+				d := &Directive{File: pos.Filename, Line: pos.Line, Reason: strings.TrimSpace(rest)}
+				s.directives = append(s.directives, d)
 				m := s.lines[pos.Filename]
 				if m == nil {
-					m = make(map[int]bool)
+					m = make(map[int]*Directive)
 					s.lines[pos.Filename] = m
 				}
-				m[pos.Line] = true
-				m[pos.Line+1] = true
+				m[pos.Line] = d
+				m[pos.Line+1] = d
 			}
 		}
 	}
 	return s
 }
 
-// suppresses reports whether a finding at pos is covered by a directive.
-func (s suppressions) suppresses(pos token.Position) bool {
+// suppresses returns the directive covering a finding at pos, or nil.
+func (s suppressions) suppresses(pos token.Position) *Directive {
 	return s.lines[pos.Filename][pos.Line]
+}
+
+// recordHit notes that d silenced a finding from the named analyzer.
+func (d *Directive) recordHit(analyzer string) {
+	for _, a := range d.Analyzers {
+		if a == analyzer {
+			return
+		}
+	}
+	d.Analyzers = append(d.Analyzers, analyzer)
+	sort.Strings(d.Analyzers)
 }

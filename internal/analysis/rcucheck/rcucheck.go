@@ -1,0 +1,369 @@
+// Package rcucheck enforces the forwarding table's RCU read discipline.
+// PR 7 made table reads lock-free: readers take one atomic snapshot
+// (`atomic.Pointer.Load`) and work entirely inside it, writers publish
+// whole replacement snapshots under a writer mutex. Both halves are
+// conventions the type system cannot see: a reader that loads twice can
+// observe two different table versions in one operation, a snapshot held
+// across a blocking point goes stale while the holder sleeps, and a
+// `Store` outside the writer lock can lose a concurrent copy-on-write
+// update entirely.
+//
+// For every struct with an atomic.Pointer field the analyzer checks each
+// function of the package:
+//
+//   - exactly-once deref: at most one snapshot-load call site per
+//     operation, counting both direct `.Load()` calls and calls to the
+//     type's trivial accessor (a tiny method like ForwardingTable.load
+//     that just wraps the atomic load)
+//   - no retention across blocking points: a variable bound from a
+//     snapshot load must not be used after a channel send/receive, a
+//     select, or a mutex acquisition, nor inside a loop (entered after
+//     the load) that contains such a blocking point — iterating over the
+//     snapshot's own data is fine, parking with it is not
+//   - writer-only Store: `.Store()` on the atomic.Pointer must be
+//     preceded, in the same function, by locking a mutex field on the
+//     same base value — the copy-on-write serialization point
+package rcucheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"ncfn/internal/analysis/ncanalysis"
+)
+
+// Analyzer is the rcucheck check.
+var Analyzer = &ncanalysis.Analyzer{
+	Name: "rcucheck",
+	Doc: "enforce single-snapshot RCU reads of atomic.Pointer tables: one deref per operation, " +
+		"no snapshot retained across channel ops/locks/blocking loops, Store only under the writer mutex",
+	Run: run,
+}
+
+// maxAccessorStmts is how small a method body must be to count as a
+// trivial snapshot accessor rather than a full operation.
+const maxAccessorStmts = 2
+
+func run(pass *ncanalysis.Pass) error {
+	accessors := findAccessors(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if _, isAccessor := accessors[funcObj(pass, fn)]; isAccessor {
+				continue
+			}
+			checkFunc(pass, fn, accessors)
+		}
+	}
+	return nil
+}
+
+func funcObj(pass *ncanalysis.Pass, fn *ast.FuncDecl) *types.Func {
+	obj, _ := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+	return obj
+}
+
+// isAtomicPointer reports whether t is sync/atomic.Pointer[T].
+func isAtomicPointer(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		if p, ok := t.(*types.Pointer); ok {
+			return isAtomicPointer(p.Elem())
+		}
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Pointer" && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// snapField resolves e as an access to an atomic.Pointer struct field and
+// returns its identity ("ForwardingTable.snap") plus the base expression
+// ("t"). ok is false for anything else (atomic.Uint64 fields, locals).
+func snapField(info *types.Info, e ast.Expr) (id string, base ast.Expr, ok bool) {
+	sel, isSel := ast.Unparen(e).(*ast.SelectorExpr)
+	if !isSel {
+		return "", nil, false
+	}
+	t := info.TypeOf(e)
+	if t == nil || !isAtomicPointer(t) {
+		return "", nil, false
+	}
+	owner := info.TypeOf(sel.X)
+	if owner == nil {
+		return "", nil, false
+	}
+	if p, isPtr := owner.Underlying().(*types.Pointer); isPtr {
+		owner = p.Elem()
+	}
+	named, isNamed := owner.(*types.Named)
+	if !isNamed {
+		return "", nil, false
+	}
+	return named.Obj().Name() + "." + sel.Sel.Name, sel.X, true
+}
+
+// loadCall recognizes `<x>.<field>.Load()` on an atomic.Pointer field.
+func loadCall(info *types.Info, call *ast.CallExpr) (id string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel || sel.Sel.Name != "Load" {
+		return "", false
+	}
+	id, _, ok = snapField(info, sel.X)
+	return id, ok
+}
+
+// storeCall recognizes `<x>.<field>.Store(v)` on an atomic.Pointer field.
+func storeCall(info *types.Info, call *ast.CallExpr) (id string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel || sel.Sel.Name != "Store" {
+		return "", false
+	}
+	id, _, ok = snapField(info, sel.X)
+	return id, ok
+}
+
+// findAccessors maps each trivial snapshot accessor (a method of at most
+// maxAccessorStmts statements whose body performs a direct atomic.Pointer
+// Load) to the field identity it loads.
+func findAccessors(pass *ncanalysis.Pass) map[*types.Func]string {
+	out := map[*types.Func]string{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || fn.Body == nil || len(fn.Body.List) > maxAccessorStmts {
+				continue
+			}
+			// An accessor's only non-builtin call is the atomic load
+			// itself; anything that calls other functions (or another
+			// accessor) is a full operation, however short.
+			var fieldID string
+			onlyLoads := true
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := loadCall(pass.TypesInfo, call); ok {
+					fieldID = id
+					return true
+				}
+				if callee := ncanalysis.CalleeOf(pass.TypesInfo, call); callee != nil {
+					onlyLoads = false
+				}
+				return true
+			})
+			if fieldID == "" || !onlyLoads {
+				continue
+			}
+			if obj := funcObj(pass, fn); obj != nil {
+				out[obj] = fieldID
+			}
+		}
+	}
+	return out
+}
+
+// barrier is one blocking point: a channel op, select, or mutex acquire.
+type barrier struct {
+	pos  token.Pos
+	end  token.Pos // only meaningful for kind "blocking loop"
+	kind string
+}
+
+// snapshotBinding is one `x := t.load()` / `s := t.snap.Load()` binding.
+type snapshotBinding struct {
+	id  string
+	pos token.Pos
+}
+
+func checkFunc(pass *ncanalysis.Pass, fn *ast.FuncDecl, accessors map[*types.Func]string) {
+	info := pass.TypesInfo
+
+	// Pass 1: collect snapshot load sites (direct or through an accessor),
+	// snapshot variable bindings, barriers, and Store sites.
+	type loadSite struct {
+		id  string
+		pos token.Pos
+	}
+	var loads []loadSite
+	var stores []*ast.CallExpr
+	storeIDs := map[*ast.CallExpr]string{}
+	var barriers []barrier
+	bindings := map[types.Object]snapshotBinding{}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := loadCall(info, n); ok {
+				loads = append(loads, loadSite{id: id, pos: n.Pos()})
+				break
+			}
+			if id, ok := storeCall(info, n); ok {
+				stores = append(stores, n)
+				storeIDs[n] = id
+				break
+			}
+			if callee := ncanalysis.CalleeOf(info, n); callee != nil {
+				if id, ok := accessors[callee]; ok {
+					loads = append(loads, loadSite{id: id, pos: n.Pos()})
+				} else if isMutexAcquire(callee) {
+					barriers = append(barriers, barrier{pos: n.Pos(), kind: "mutex acquisition"})
+				}
+			}
+		case *ast.SendStmt:
+			barriers = append(barriers, barrier{pos: n.Pos(), kind: "channel send"})
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				barriers = append(barriers, barrier{pos: n.Pos(), kind: "channel receive"})
+			}
+		case *ast.SelectStmt:
+			barriers = append(barriers, barrier{pos: n.Pos(), kind: "select"})
+		case *ast.AssignStmt:
+			// x := <load> binds a snapshot variable.
+			if len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+				call, isCall := ast.Unparen(n.Rhs[0]).(*ast.CallExpr)
+				if !isCall {
+					break
+				}
+				id, isLoad := loadCall(info, call)
+				if !isLoad {
+					if callee := ncanalysis.CalleeOf(info, call); callee != nil {
+						id, isLoad = accessors[callee]
+					}
+				}
+				if !isLoad {
+					break
+				}
+				if ident, isIdent := n.Lhs[0].(*ast.Ident); isIdent {
+					if obj := info.Defs[ident]; obj != nil {
+						bindings[obj] = snapshotBinding{id: id, pos: n.Pos()}
+					} else if obj := info.Uses[ident]; obj != nil {
+						bindings[obj] = snapshotBinding{id: id, pos: n.Pos()}
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// Exactly-once deref: two or more load sites of the same field in one
+	// operation.
+	seen := map[string]token.Pos{}
+	for _, l := range loads {
+		if first, dup := seen[l.id]; dup {
+			pass.Reportf(l.pos, "%s derefs the %s snapshot again (first load at line %d); RCU operations must load exactly once and work inside that snapshot",
+				fn.Name.Name, l.id, pass.Fset.Position(first).Line)
+			continue
+		}
+		seen[l.id] = l.pos
+	}
+
+	// Store under the writer lock: a mutex must be acquired textually
+	// before the Store in this function (the copy-on-write serialization
+	// point; the specific mutex is not distinguished).
+	for _, st := range stores {
+		locked := false
+		for _, b := range barriers {
+			if b.kind == "mutex acquisition" && b.pos < st.Pos() {
+				locked = true
+				break
+			}
+		}
+		if !locked {
+			pass.Reportf(st.Pos(), "%s calls %s.Store outside the writer lock; copy-on-write publishes must hold the writer mutex",
+				fn.Name.Name, storeIDs[st])
+		}
+	}
+
+	// Retention: uses of a snapshot variable after a barrier, or inside a
+	// barrier-containing loop entered after the binding.
+	if len(bindings) > 0 {
+		checkRetention(pass, fn, bindings, barriers)
+	}
+}
+
+// isMutexAcquire reports whether callee is sync.Mutex/RWMutex Lock/RLock.
+func isMutexAcquire(callee *types.Func) bool {
+	if callee.Pkg() == nil || callee.Pkg().Path() != "sync" {
+		return false
+	}
+	switch callee.Name() {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		return true
+	}
+	return false
+}
+
+// checkRetention flags snapshot-variable uses that happen after a blocking
+// point: textually after a barrier, or inside a loop that both starts
+// after the binding and contains a barrier (so the use recurs across
+// blocking iterations).
+func checkRetention(pass *ncanalysis.Pass, fn *ast.FuncDecl, bindings map[types.Object]snapshotBinding, barriers []barrier) {
+	info := pass.TypesInfo
+
+	// Collect loops containing a barrier.
+	type loopSpan struct{ pos, end token.Pos }
+	var blockingLoops []loopSpan
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch l := n.(type) {
+		case *ast.ForStmt:
+			body = l.Body
+		case *ast.RangeStmt:
+			body = l.Body
+			// Ranging over a channel blocks on every iteration.
+			if t := info.TypeOf(l.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					blockingLoops = append(blockingLoops, loopSpan{pos: n.Pos(), end: body.End()})
+					return true
+				}
+			}
+		default:
+			return true
+		}
+		for _, b := range barriers {
+			if b.pos > body.Pos() && b.pos < body.End() {
+				blockingLoops = append(blockingLoops, loopSpan{pos: n.Pos(), end: body.End()})
+				break
+			}
+		}
+		return true
+	})
+
+	reported := map[types.Object]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		ident, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[ident]
+		if obj == nil {
+			return true
+		}
+		bind, isSnap := bindings[obj]
+		if !isSnap || reported[obj] || ident.Pos() <= bind.pos {
+			return true
+		}
+		for _, b := range barriers {
+			if b.pos > bind.pos && b.pos < ident.Pos() {
+				reported[obj] = true
+				pass.Reportf(ident.Pos(), "%s uses snapshot %s (loaded from %s) after a %s; reload the snapshot after blocking",
+					fn.Name.Name, ident.Name, bind.id, b.kind)
+				return true
+			}
+		}
+		for _, l := range blockingLoops {
+			if bind.pos < l.pos && ident.Pos() > l.pos && ident.Pos() < l.end {
+				reported[obj] = true
+				pass.Reportf(ident.Pos(), "%s retains snapshot %s (loaded from %s) across iterations of a blocking loop; reload it inside the loop",
+					fn.Name.Name, ident.Name, bind.id)
+				return true
+			}
+		}
+		return true
+	})
+}

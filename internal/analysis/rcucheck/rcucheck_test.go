@@ -1,0 +1,15 @@
+package rcucheck_test
+
+import (
+	"testing"
+
+	"ncfn/internal/analysis/analysistest"
+	"ncfn/internal/analysis/rcucheck"
+)
+
+func TestRcucheck(t *testing.T) {
+	res := analysistest.Run(t, rcucheck.Analyzer, "fix", "clean")
+	if res.Suppressed != 1 {
+		t.Fatalf("suppressed = %d, want 1 (the nolint'd constructor store)", res.Suppressed)
+	}
+}

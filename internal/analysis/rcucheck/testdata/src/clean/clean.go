@@ -1,0 +1,20 @@
+// Package clean has no atomic.Pointer snapshots; rcucheck must stay
+// silent on ordinary atomics and mutex use.
+package clean
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counterSet struct {
+	mu sync.Mutex
+	n  atomic.Uint64
+}
+
+func (c *counterSet) bump() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n.Store(c.n.Load() + 1)
+	return c.n.Load()
+}

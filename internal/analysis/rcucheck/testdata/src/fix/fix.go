@@ -1,0 +1,110 @@
+// Package fix exercises rcucheck against a miniature of the forwarding
+// table's copy-on-write snapshot scheme.
+package fix
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type snapshot struct {
+	entries map[int][]string
+}
+
+type table struct {
+	writeMu sync.Mutex
+	snap    atomic.Pointer[snapshot]
+	version atomic.Uint64
+}
+
+// load is the trivial accessor: counted as a snapshot deref at call sites,
+// not flagged itself.
+func (t *table) load() map[int][]string {
+	if s := t.snap.Load(); s != nil {
+		return s.entries
+	}
+	return nil
+}
+
+// ok: one deref, work stays inside the snapshot (looping over its own
+// data is not retention).
+func (t *table) lookup(id int) []string {
+	m := t.load()
+	out := make([]string, 0, len(m[id]))
+	for _, a := range m[id] {
+		out = append(out, a)
+	}
+	return out
+}
+
+// ok: non-pointer atomics are not snapshots.
+func (t *table) bump() uint64 {
+	t.version.Load()
+	return t.version.Add(1)
+}
+
+// two derefs in one operation can observe two table versions.
+func (t *table) doubleDeref(id int) int {
+	n := len(t.load()[id])
+	return n + len(t.snap.Load().entries[id]) // want `doubleDeref derefs the table.snap snapshot again`
+}
+
+// the snapshot goes stale while the channel op blocks.
+func (t *table) retainAcrossChannel(ch chan int, id int) []string {
+	m := t.load()
+	ch <- id
+	return m[id] // want `retainAcrossChannel uses snapshot m \(loaded from table.snap\) after a channel send`
+}
+
+// the snapshot goes stale while waiting for the lock.
+func (t *table) retainAcrossLock(mu *sync.Mutex, id int) []string {
+	m := t.load()
+	mu.Lock()
+	defer mu.Unlock()
+	return m[id] // want `retainAcrossLock uses snapshot m \(loaded from table.snap\) after a mutex acquisition`
+}
+
+// one snapshot serves every iteration of a loop that blocks: each wakeup
+// reads stale routes.
+func (t *table) retainAcrossLoop(ch chan int) []string {
+	m := t.load()
+	var out []string
+	for id := range ch {
+		out = append(out, m[id]...) // want `retainAcrossLoop retains snapshot m \(loaded from table.snap\) across iterations of a blocking loop`
+	}
+	return out
+}
+
+// ok: the reload happens inside the blocking loop.
+func (t *table) reloadInLoop(ch chan int) []string {
+	var out []string
+	for id := range ch {
+		out = append(out, t.load()[id]...)
+	}
+	return out
+}
+
+// ok: the writer path publishes under the writer lock.
+func (t *table) set(id int, addrs []string) {
+	t.writeMu.Lock()
+	defer t.writeMu.Unlock()
+	old := t.load()
+	m := make(map[int][]string, len(old)+1)
+	for k, v := range old {
+		m[k] = v
+	}
+	m[id] = addrs
+	t.snap.Store(&snapshot{entries: m})
+}
+
+// publishing without the writer lock races concurrent copy-on-write.
+func (t *table) unlockedStore() {
+	t.snap.Store(&snapshot{entries: map[int][]string{}}) // want `unlockedStore calls table.snap.Store outside the writer lock`
+}
+
+// suppressed: constructor-style store, silenced with a reason.
+func newTable() *table {
+	t := &table{}
+	t.snap.Store(&snapshot{entries: map[int][]string{}}) //nolint:nc fixture exercises suppression accounting
+	return t
+}

@@ -8,9 +8,14 @@ import (
 	"ncfn/internal/analysis/aliascheck"
 	"ncfn/internal/analysis/errcheckctl"
 	"ncfn/internal/analysis/hotpath"
+	"ncfn/internal/analysis/lockorder"
 	"ncfn/internal/analysis/ncanalysis"
 	"ncfn/internal/analysis/poolcheck"
+	"ncfn/internal/analysis/rcucheck"
 	"ncfn/internal/analysis/simtime"
+	"ncfn/internal/analysis/syscallcheck"
+	"ncfn/internal/analysis/tagparity"
+	"ncfn/internal/analysis/telemetrycheck"
 )
 
 // All returns the full suite in stable order.
@@ -19,7 +24,12 @@ func All() []*ncanalysis.Analyzer {
 		aliascheck.Analyzer,
 		errcheckctl.Analyzer,
 		hotpath.Analyzer,
+		lockorder.Analyzer,
 		poolcheck.Analyzer,
+		rcucheck.Analyzer,
 		simtime.Analyzer,
+		syscallcheck.Analyzer,
+		tagparity.Analyzer,
+		telemetrycheck.Analyzer,
 	}
 }

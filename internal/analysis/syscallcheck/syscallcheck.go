@@ -1,0 +1,276 @@
+// Package syscallcheck guards the unsafe.Pointer liveness rules around the
+// raw sendmmsg/recvmmsg path PR 8 introduced. The descriptor rings hand
+// the kernel interior pointers smuggled through syscall.Msghdr fields; the
+// Go GC cannot see those uintptr-shaped references, so every local whose
+// address sits in a descriptor must be kept reachable by ordinary means —
+// in practice an explicit runtime.KeepAlive — for as long as the kernel
+// may read it. The compiler's liveness analysis is free to reclaim a local
+// after its last syntactic use, which for a recycled ring is typically
+// long before the last syscall touches it.
+//
+// Two rules, both per function (function literals are analyzed inside
+// their enclosing declaration, where the locals live):
+//
+//   - pointer smuggling: a uintptr(unsafe.Pointer(...)) conversion is only
+//     legal inside the argument list of a syscall.Syscall/Syscall6/
+//     RawSyscall/RawSyscall6 call, where the compiler pins the referent
+//     for the call's duration; anywhere else the uintptr outlives the
+//     pin and is a stale-pointer bug waiting for a GC
+//   - descriptor liveness: in a function that performs a raw syscall, a
+//     local variable whose address is stored into a struct field (an
+//     iovec base, an mmsghdr name/iov) must be kept alive with
+//     runtime.KeepAlive(x); storing into a receiver/parameter-rooted or
+//     package-level struct is exempt — those outlive the call on their
+//     own, and the typed field keeps the referent reachable
+package syscallcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"ncfn/internal/analysis/ncanalysis"
+)
+
+// Analyzer is the syscallcheck check.
+var Analyzer = &ncanalysis.Analyzer{
+	Name: "syscallcheck",
+	Doc: "require runtime.KeepAlive for locals whose addresses feed raw-syscall descriptor structs, " +
+		"and forbid uintptr(unsafe.Pointer(...)) outside a raw syscall's argument list",
+	Run: run,
+}
+
+func run(pass *ncanalysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+// isRawSyscall reports whether call is syscall.Syscall/Syscall6/RawSyscall/
+// RawSyscall6.
+func isRawSyscall(info *types.Info, call *ast.CallExpr) bool {
+	callee := ncanalysis.CalleeOf(info, call)
+	if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "syscall" {
+		return false
+	}
+	switch callee.Name() {
+	case "Syscall", "Syscall6", "RawSyscall", "RawSyscall6":
+		return true
+	}
+	return false
+}
+
+// isKeepAlive reports whether call is runtime.KeepAlive.
+func isKeepAlive(info *types.Info, call *ast.CallExpr) bool {
+	callee := ncanalysis.CalleeOf(info, call)
+	return callee != nil && callee.Pkg() != nil &&
+		callee.Pkg().Path() == "runtime" && callee.Name() == "KeepAlive"
+}
+
+// isUintptrOfUnsafe reports whether call is the conversion
+// uintptr(<unsafe.Pointer value>).
+func isUintptrOfUnsafe(info *types.Info, call *ast.CallExpr) bool {
+	if len(call.Args) != 1 {
+		return false
+	}
+	t := info.TypeOf(call)
+	if b, ok := t.(*types.Basic); !ok || b.Kind() != types.Uintptr {
+		return false
+	}
+	// Conversions have a type, not a function, as the callee.
+	if ident, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isType := info.Uses[ident].(*types.TypeName); !isType {
+			return false
+		}
+	} else {
+		return false
+	}
+	at := info.TypeOf(call.Args[0])
+	b, ok := at.(*types.Basic)
+	return ok && b.Kind() == types.UnsafePointer
+}
+
+func checkFunc(pass *ncanalysis.Pass, fn *ast.FuncDecl) {
+	info := pass.TypesInfo
+
+	// Collect the raw-syscall call spans and KeepAlive'd roots.
+	var syscalls []*ast.CallExpr
+	kept := map[types.Object]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isRawSyscall(info, call) {
+			syscalls = append(syscalls, call)
+		} else if isKeepAlive(info, call) && len(call.Args) == 1 {
+			if obj := rootObj(info, call.Args[0]); obj != nil {
+				kept[obj] = true
+			}
+		}
+		return true
+	})
+
+	inSyscallArgs := func(pos token.Pos) bool {
+		for _, sc := range syscalls {
+			if pos > sc.Pos() && pos < sc.End() {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Rule 1: pointer smuggling through uintptr outside a syscall.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isUintptrOfUnsafe(info, call) {
+			return true
+		}
+		if !inSyscallArgs(call.Pos()) {
+			pass.Reportf(call.Pos(),
+				"%s converts unsafe.Pointer to uintptr outside a raw syscall's arguments; the referent is not kept alive",
+				fn.Name.Name)
+		}
+		return true
+	})
+
+	if len(syscalls) == 0 {
+		return
+	}
+
+	// Rule 2: descriptor liveness. First resolve slice-derivation chains
+	// (slot := bufs[a:b] roots slot at bufs), then find address-of-local
+	// stores into struct fields.
+	derived := map[types.Object]types.Object{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			ident, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			def := info.Defs[ident]
+			if def == nil {
+				continue
+			}
+			switch ast.Unparen(as.Rhs[i]).(type) {
+			case *ast.SliceExpr, *ast.IndexExpr, *ast.Ident,
+				*ast.SelectorExpr, *ast.UnaryExpr, *ast.StarExpr:
+				if src := rootObj(info, as.Rhs[i]); src != nil {
+					derived[def] = src
+				}
+			}
+		}
+		return true
+	})
+	resolve := func(obj types.Object) types.Object {
+		for i := 0; i < 16; i++ {
+			src, ok := derived[obj]
+			if !ok {
+				return obj
+			}
+			obj = src
+		}
+		return obj
+	}
+
+	isLocal := func(obj types.Object) bool {
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() {
+			return false
+		}
+		// Parameters, receivers, and named results declare outside the
+		// body; package-level vars outside the function entirely.
+		return obj.Pos() > fn.Body.Pos() && obj.Pos() < fn.Body.End()
+	}
+
+	reported := map[types.Object]bool{}
+	checkAddr := func(rhs ast.Expr, target ast.Expr) {
+		// The store target must be rooted at a local for the referent's
+		// reachability to depend on this frame's liveness.
+		troot := rootObj(info, target)
+		if troot == nil || !isLocal(resolve(troot)) {
+			return
+		}
+		ast.Inspect(rhs, func(n ast.Node) bool {
+			un, ok := n.(*ast.UnaryExpr)
+			if !ok || un.Op != token.AND {
+				return true
+			}
+			obj := rootObj(info, un.X)
+			if obj == nil {
+				return true
+			}
+			obj = resolve(obj)
+			if !isLocal(obj) || kept[obj] || reported[obj] {
+				return true
+			}
+			reported[obj] = true
+			pass.Reportf(un.Pos(),
+				"%s stores &%s into a raw-syscall descriptor but never calls runtime.KeepAlive(%s); the GC may reclaim it while the kernel still reads it",
+				fn.Name.Name, obj.Name(), obj.Name())
+			return true
+		})
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			if i >= len(as.Rhs) {
+				break
+			}
+			// Only stores into struct fields of another value count:
+			// x.f = &local, x[i].f = &local, x.f.g = &local.
+			if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok {
+				checkAddr(as.Rhs[i], sel.X)
+			}
+		}
+		return true
+	})
+}
+
+// rootObj resolves the leftmost identifier of an expression to its object.
+func rootObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if obj := info.Uses[x]; obj != nil {
+				return obj
+			}
+			return info.Defs[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.CallExpr:
+			// A conversion like (*byte)(unsafe.Pointer(&sas[i])): look
+			// through to the single argument.
+			if len(x.Args) == 1 {
+				e = x.Args[0]
+				continue
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,15 @@
+package syscallcheck_test
+
+import (
+	"testing"
+
+	"ncfn/internal/analysis/analysistest"
+	"ncfn/internal/analysis/syscallcheck"
+)
+
+func TestSyscallcheck(t *testing.T) {
+	res := analysistest.Run(t, syscallcheck.Analyzer, "fix", "clean")
+	if res.Suppressed != 1 {
+		t.Fatalf("suppressed = %d, want 1 (the nolint'd smuggle)", res.Suppressed)
+	}
+}

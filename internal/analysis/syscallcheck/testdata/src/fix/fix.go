@@ -1,0 +1,82 @@
+// Package fix exercises syscallcheck against miniature descriptor rings.
+package fix
+
+import (
+	"runtime"
+	"syscall"
+	"unsafe"
+)
+
+type iovec struct {
+	base *byte
+	n    uint64
+}
+
+type ring struct {
+	iovs []iovec
+}
+
+// locals feed the descriptor ring and nothing pins them.
+func recvLeaky(fd uintptr) int {
+	hdrs := make([]iovec, 4)
+	bufs := make([]byte, 4*512)
+	for i := range hdrs {
+		slot := bufs[i*512 : (i+1)*512]
+		hdrs[i].base = &slot[0] // want `recvLeaky stores &bufs into a raw-syscall descriptor but never calls runtime.KeepAlive\(bufs\)`
+	}
+	r, _, _ := syscall.Syscall6(0, fd, uintptr(unsafe.Pointer(&hdrs[0])), uintptr(len(hdrs)), 0, 0, 0)
+	return int(r)
+}
+
+// ok: KeepAlive pins the payload until return.
+func recvPinned(fd uintptr) int {
+	hdrs := make([]iovec, 4)
+	bufs := make([]byte, 4*512)
+	defer runtime.KeepAlive(bufs)
+	for i := range hdrs {
+		slot := bufs[i*512 : (i+1)*512]
+		hdrs[i].base = &slot[0]
+	}
+	r, _, _ := syscall.Syscall6(0, fd, uintptr(unsafe.Pointer(&hdrs[0])), uintptr(len(hdrs)), 0, 0, 0)
+	return int(r)
+}
+
+// ok: the descriptors live in the receiver, which outlives the call and
+// keeps the payload reachable through typed fields.
+func (rg *ring) send(fd uintptr, pkt []byte) int {
+	rg.iovs[0].base = &pkt[0]
+	r, _, _ := syscall.Syscall6(1, fd, uintptr(unsafe.Pointer(&rg.iovs[0])), 1, 0, 0, 0)
+	return int(r)
+}
+
+// the syscall runs in a callback literal; the ring locals still need pins.
+func viaCallback(run func(func(fd uintptr) bool)) int {
+	hdrs := make([]iovec, 2)
+	sas := make([]int64, 2)
+	for i := range hdrs {
+		hdrs[i].base = (*byte)(unsafe.Pointer(&sas[i])) // want `viaCallback stores &sas into a raw-syscall descriptor but never calls runtime.KeepAlive\(sas\)`
+	}
+	n := 0
+	run(func(fd uintptr) bool {
+		r, _, _ := syscall.Syscall6(0, fd, uintptr(unsafe.Pointer(&hdrs[0])), 2, 0, 0, 0)
+		n = int(r)
+		return true
+	})
+	return n
+}
+
+// a uintptr'd pointer outside a syscall argument list outlives its pin.
+func smuggle(p *int) uintptr {
+	return uintptr(unsafe.Pointer(p)) // want `smuggle converts unsafe.Pointer to uintptr outside a raw syscall's arguments`
+}
+
+// suppressed: the directive silences the smuggle with a reason.
+func smuggleSilenced(p *int) uintptr {
+	return uintptr(unsafe.Pointer(p)) //nolint:nc fixture exercises suppression accounting
+}
+
+// ok: plain unsafe.Pointer reinterpretation without uintptr is outside
+// this analyzer's scope (aliascheck owns it).
+func reinterpret(p *uint16) *[2]byte {
+	return (*[2]byte)(unsafe.Pointer(p))
+}

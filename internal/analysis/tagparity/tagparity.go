@@ -1,0 +1,347 @@
+// Package tagparity keeps build-tag twin files in lockstep. PR 8's wire
+// path ships platform variants — udp_mmsg_linux.go with a portable
+// udp_mmsg_other.go fallback, per-arch syscall-number files — and the
+// compiler only ever sees one side of each pair. A helper added to the
+// linux file but not the fallback builds green on every CI run of the
+// primary platform and breaks the portable build weeks later; a constant
+// renamed in the amd64 sysnum file but not the arm64 one does the same to
+// the arm port.
+//
+// The analyzer groups a package's files by stripping GOOS/GOARCH/"other"
+// filename suffixes (udp_mmsg_linux.go and udp_mmsg_other.go share the
+// group "udp_mmsg") and, for each group with at least two members, parses
+// the out-of-build twins straight from disk (syntax only — they cannot be
+// type-checked on this platform). Every twin must declare the group's
+// required symbol set: symbols that are exported, plus symbols referenced
+// by in-build files outside the group. Variant-internal helpers (an
+// mmsghdr struct only the linux file touches) stay free to differ.
+//
+// Diagnostics anchor in the in-build twin so //nolint:nc suppression
+// works: a symbol the fallback lacks is reported at its declaration, a
+// symbol only the fallback declares is reported at the package clause.
+package tagparity
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"ncfn/internal/analysis/ncanalysis"
+)
+
+// twin is one member of a build-tag twin group.
+type twin struct {
+	filename string
+	file     *ast.File // nil for out-of-build twins until parsed
+	inBuild  bool
+}
+
+// Analyzer is the tagparity check.
+var Analyzer = &ncanalysis.Analyzer{
+	Name: "tagparity",
+	Doc: "build-tag twin files (platform variants and their portable fallbacks) must declare " +
+		"identical exported/externally-referenced symbol sets so no variant silently drifts",
+	Run: run,
+}
+
+var knownOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "illumos": true, "ios": true, "js": true,
+	"linux": true, "netbsd": true, "openbsd": true, "plan9": true,
+	"solaris": true, "wasip1": true, "windows": true,
+}
+
+var knownArch = map[string]bool{
+	"386": true, "amd64": true, "arm": true, "arm64": true,
+	"loong64": true, "mips": true, "mips64": true, "mips64le": true,
+	"mipsle": true, "ppc64": true, "ppc64le": true, "riscv64": true,
+	"s390x": true, "wasm": true,
+}
+
+// groupKey strips variant suffixes (_GOOS, _GOARCH, _other, combinations)
+// from a file's base name. It returns "" when the name carries no variant
+// suffix — such files have no twins.
+func groupKey(name string) string {
+	base := strings.TrimSuffix(name, ".go")
+	if strings.HasSuffix(base, "_test") {
+		return ""
+	}
+	stripped := false
+	for i := 0; i < 2; i++ {
+		idx := strings.LastIndexByte(base, '_')
+		if idx <= 0 {
+			break
+		}
+		suffix := base[idx+1:]
+		if knownOS[suffix] || knownArch[suffix] || suffix == "other" {
+			base = base[:idx]
+			stripped = true
+			continue
+		}
+		break
+	}
+	if !stripped {
+		return ""
+	}
+	return base
+}
+
+// symbolsOf collects a file's package-level declarations, methods keyed as
+// "(Recv).name".
+func symbolsOf(f *ast.File) map[string]token.Pos {
+	syms := map[string]token.Pos{}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			name := d.Name.Name
+			if name == "init" || name == "_" {
+				continue
+			}
+			if d.Recv != nil && len(d.Recv.List) > 0 {
+				name = "(" + recvTypeName(d.Recv.List[0].Type) + ")." + name
+			}
+			syms[name] = d.Name.Pos()
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.ValueSpec:
+					for _, n := range s.Names {
+						if n.Name != "_" {
+							syms[n.Name] = n.Pos()
+						}
+					}
+				case *ast.TypeSpec:
+					if s.Name.Name != "_" {
+						syms[s.Name.Name] = s.Name.Pos()
+					}
+				}
+			}
+		}
+	}
+	return syms
+}
+
+// recvTypeName renders a receiver type without pointer/generic decoration.
+func recvTypeName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.StarExpr:
+		return recvTypeName(e.X)
+	case *ast.Ident:
+		return e.Name
+	case *ast.IndexExpr:
+		return recvTypeName(e.X)
+	case *ast.IndexListExpr:
+		return recvTypeName(e.X)
+	}
+	return "?"
+}
+
+// exported reports whether a symbol key names an exported identifier
+// (methods by their method name).
+func exported(key string) bool {
+	name := key
+	if i := strings.LastIndexByte(key, '.'); i >= 0 {
+		name = key[i+1:]
+	}
+	return name != "" && name[0] >= 'A' && name[0] <= 'Z'
+}
+
+func run(pass *ncanalysis.Pass) error {
+	// Map in-build files by filename and group by variant-stripped base.
+	inBuild := map[string]*ast.File{}
+	var dir string
+	for _, f := range pass.Files {
+		pos := pass.Fset.Position(f.Pos())
+		name := filepath.Base(pos.Filename)
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		inBuild[name] = f
+		if dir == "" {
+			dir = filepath.Dir(pos.Filename)
+		}
+	}
+	if dir == "" {
+		return nil
+	}
+
+	groups := map[string][]*twin{}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		// Generated or cache-relative paths (no on-disk dir): nothing to
+		// compare against.
+		return nil
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		key := groupKey(name)
+		if key == "" {
+			continue
+		}
+		f, ok := inBuild[name]
+		groups[key] = append(groups[key], &twin{filename: name, file: f, inBuild: ok})
+	}
+
+	for key, twins := range groups {
+		if len(twins) < 2 {
+			continue
+		}
+		// Only groups with an in-build anchor can report (and matter on
+		// this platform).
+		hasInBuild := false
+		for _, tw := range twins {
+			if tw.inBuild {
+				hasInBuild = true
+			}
+		}
+		if !hasInBuild {
+			continue
+		}
+		checkGroup(pass, dir, key, twins)
+	}
+	return nil
+}
+
+func checkGroup(pass *ncanalysis.Pass, dir, key string, twins []*twin) {
+	_ = key
+	// Parse out-of-build twins from disk, syntax only.
+	for _, tw := range twins {
+		if tw.file != nil {
+			continue
+		}
+		f, err := parser.ParseFile(pass.Fset, filepath.Join(dir, tw.filename), nil, parser.SkipObjectResolution)
+		if err != nil {
+			// Anchor the parse failure at an in-build twin.
+			for _, anchor := range twins {
+				if anchor.inBuild {
+					pass.Reportf(anchor.file.Name.Pos(), "build-tag twin %s does not parse: %v", tw.filename, err)
+					break
+				}
+			}
+			return
+		}
+		tw.file = f
+	}
+
+	symsByTwin := map[*twin]map[string]token.Pos{}
+	for _, tw := range twins {
+		symsByTwin[tw] = symbolsOf(tw.file)
+	}
+
+	// Required symbols: exported anywhere in the group, or referenced from
+	// an in-build file outside the group.
+	required := map[string]bool{}
+	for _, tw := range twins {
+		for s := range symsByTwin[tw] {
+			if exported(s) {
+				required[s] = true
+			}
+		}
+	}
+	for s := range externallyReferenced(pass, twins, symsByTwin) {
+		required[s] = true
+	}
+
+	// Every twin must declare every required symbol.
+	var reqSorted []string
+	for s := range required {
+		reqSorted = append(reqSorted, s)
+	}
+	sort.Strings(reqSorted)
+	for _, tw := range twins {
+		syms := symsByTwin[tw]
+		for _, s := range reqSorted {
+			if _, ok := syms[s]; ok {
+				continue
+			}
+			// Anchor at the declaring in-build twin if the symbol lives
+			// there, else at an in-build package clause.
+			reported := false
+			for _, owner := range twins {
+				if !owner.inBuild {
+					continue
+				}
+				if pos, ok := symsByTwin[owner][s]; ok {
+					pass.Reportf(pos, "build-tag twin %s does not declare %s; twin files must declare identical symbol sets",
+						tw.filename, s)
+					reported = true
+					break
+				}
+			}
+			if !reported {
+				for _, anchor := range twins {
+					if anchor.inBuild {
+						pass.Reportf(anchor.file.Name.Pos(), "build-tag twin %s declares %s which %s lacks; twin files must declare identical symbol sets",
+							declaringTwin(twins, symsByTwin, s), s, tw.filename)
+						break
+					}
+				}
+			}
+		}
+	}
+}
+
+// declaringTwin names a twin that declares s.
+func declaringTwin(twins []*twin, syms map[*twin]map[string]token.Pos, s string) string {
+	for _, tw := range twins {
+		if _, ok := syms[tw][s]; ok {
+			return tw.filename
+		}
+	}
+	return "?"
+}
+
+// externallyReferenced finds group symbols used by in-build files outside
+// the group: those are the package's real cross-variant API.
+func externallyReferenced(pass *ncanalysis.Pass, twins []*twin, syms map[*twin]map[string]token.Pos) map[string]bool {
+	// Spans of the group's in-build files, and decl-pos -> symbol key.
+	type span struct{ lo, hi token.Pos }
+	var spans []span
+	declPos := map[token.Pos]string{}
+	for _, tw := range twins {
+		if !tw.inBuild {
+			continue
+		}
+		tf := pass.Fset.File(tw.file.Pos())
+		if tf == nil {
+			continue
+		}
+		spans = append(spans, span{lo: token.Pos(tf.Base()), hi: token.Pos(tf.Base() + tf.Size())})
+		for s, pos := range syms[tw] {
+			declPos[pos] = s
+		}
+	}
+	inGroup := func(p token.Pos) bool {
+		for _, sp := range spans {
+			if p >= sp.lo && p <= sp.hi {
+				return true
+			}
+		}
+		return false
+	}
+
+	out := map[string]bool{}
+	for ident, obj := range pass.TypesInfo.Uses {
+		if obj == nil {
+			continue
+		}
+		s, ok := declPos[obj.Pos()]
+		if !ok || inGroup(ident.Pos()) {
+			continue
+		}
+		// References from _test.go files don't count: tests are not part
+		// of the cross-platform build graph the twins serve.
+		if strings.HasSuffix(pass.Fset.Position(ident.Pos()).Filename, "_test.go") {
+			continue
+		}
+		out[s] = true
+	}
+	return out
+}

@@ -1,0 +1,19 @@
+package tagparity_test
+
+import (
+	"runtime"
+	"testing"
+
+	"ncfn/internal/analysis/analysistest"
+	"ncfn/internal/analysis/tagparity"
+)
+
+func TestTagparity(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skipf("fixture wants assume the linux twin is in build (GOOS=%s)", runtime.GOOS)
+	}
+	res := analysistest.Run(t, tagparity.Analyzer, "fix", "clean")
+	if res.Suppressed != 1 {
+		t.Fatalf("suppressed = %d, want 1 (the nolint'd linux-only symbol)", res.Suppressed)
+	}
+}

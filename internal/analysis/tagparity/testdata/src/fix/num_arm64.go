@@ -1,0 +1,4 @@
+// Arch twins in lockstep: no findings regardless of host arch.
+package fix
+
+const sysFOO = 243

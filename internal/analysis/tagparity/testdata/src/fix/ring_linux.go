@@ -1,0 +1,20 @@
+//go:build linux
+
+// The linux variant of the twin pair; the golden test runs on linux, so
+// this file is the in-build anchor where diagnostics (and wants) live.
+package fix // want `build-tag twin ring_other.go declares OnlyInOther which ring_linux.go lacks`
+
+const ringSupported = true
+
+// Ring is exported, declared by both twins: fine.
+type Ring struct{}
+
+func newRing() *Ring { return &Ring{} }
+
+func pump() int { return 1 } // want `build-tag twin ring_other.go does not declare pump`
+
+// internalHelper is variant-internal: unexported and unreferenced outside
+// the group, so the fallback is free to lack it.
+func internalHelper() int { return 2 }
+
+func linuxTuned() int { return 4 } //nolint:nc linux-only fast path; the fallback intentionally lacks it

@@ -1,0 +1,14 @@
+//go:build !linux
+
+// The portable fallback: drifted from the linux twin on purpose — it
+// lacks pump and linuxTuned and grew an exported symbol of its own.
+package fix
+
+const ringSupported = false
+
+type Ring struct{}
+
+func newRing() *Ring { return &Ring{} }
+
+// OnlyInOther is exported but missing from the linux twin.
+func OnlyInOther() int { return 3 }

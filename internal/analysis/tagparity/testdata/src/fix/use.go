@@ -1,0 +1,12 @@
+// use.go sits outside every twin group; its references define which
+// unexported twin symbols are cross-variant API.
+package fix
+
+func Use() int {
+	r := newRing()
+	_ = r
+	if !ringSupported {
+		return 0
+	}
+	return pump() + linuxTuned() + sysFOO
+}

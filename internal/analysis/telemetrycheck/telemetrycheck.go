@@ -1,0 +1,192 @@
+// Package telemetrycheck enforces the telemetry subsystem's naming and
+// lifecycle conventions. PR 5's instruments are cheap because they are
+// created once, at layer construction time, under stable snake_case names
+// the admin endpoint and bench tooling grep for (`dataplane_rx_packets`,
+// `emunet_udp_syscalls`, ...). A name invented ad hoc — or an instrument
+// created lazily inside a packet-path function — silently fragments the
+// metric namespace and puts a map lookup + mutex on the hot path.
+//
+// Three rules, applied outside the telemetry package itself and outside
+// _test.go files (scratch names in tests are fine):
+//
+//   - instrument names passed to Registry.Counter/Gauge/GaugeFunc/
+//     Histogram/Recorder must be compile-time string constants matching
+//     `<layer>_snake_case` with a known layer prefix, or a constant such
+//     prefix concatenated with a dynamic suffix (the per-link counters:
+//     "emunet_link_tx:" + name)
+//   - instruments are never created inside a //nc:hotpath function
+//   - flight-recorder Record calls pass a declared telemetry.EventType
+//     constant, not a bare number or variable
+package telemetrycheck
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"ncfn/internal/analysis/hotpath"
+	"ncfn/internal/analysis/ncanalysis"
+)
+
+// Analyzer is the telemetrycheck check.
+var Analyzer = &ncanalysis.Analyzer{
+	Name: "telemetrycheck",
+	Doc: "require constant layer-prefixed snake_case instrument names created outside //nc:hotpath " +
+		"functions, and declared EventType constants for flight-recorder events",
+	Run: run,
+}
+
+// telemetryPkg is the package whose Registry/Recorder types anchor the
+// check; the package itself is exempt (it constructs scratch instruments
+// in its own helpers).
+const telemetryPkg = "ncfn/internal/telemetry"
+
+// constructors are the Registry methods that create a named instrument.
+var constructors = map[string]bool{
+	"Counter":   true,
+	"Gauge":     true,
+	"GaugeFunc": true,
+	"Histogram": true,
+	"Recorder":  true,
+}
+
+// nameRE is the full-name shape: layer prefix + snake_case.
+var nameRE = regexp.MustCompile(`^(dataplane|emunet|cloud|controller)_[a-z0-9_]+$`)
+
+// prefixRE is the shape of a constant prefix completed at runtime; the
+// trailing colon separates the namespace from the dynamic suffix.
+var prefixRE = regexp.MustCompile(`^(dataplane|emunet|cloud|controller)_[a-z0-9_]+:$`)
+
+func run(pass *ncanalysis.Pass) error {
+	if pass.Path == telemetryPkg {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			hot := hotpath.IsHot(fn)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				checkCall(pass, fn, call, hot)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// methodOn resolves call as a method named one of names on a type from the
+// telemetry package, returning the method name.
+func methodOn(info *types.Info, call *ast.CallExpr, typeName string, names map[string]bool) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, _ := info.Uses[sel.Sel].(*types.Func)
+	if fn == nil || !names[fn.Name()] {
+		return "", false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return "", false
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != telemetryPkg ||
+		named.Obj().Name() != typeName {
+		return "", false
+	}
+	return fn.Name(), true
+}
+
+func checkCall(pass *ncanalysis.Pass, fn *ast.FuncDecl, call *ast.CallExpr, hot bool) {
+	info := pass.TypesInfo
+
+	if method, ok := methodOn(info, call, "Registry", constructors); ok {
+		if hot {
+			pass.Reportf(call.Pos(),
+				"%s creates instrument via Registry.%s inside a //nc:hotpath function; instruments are construction-time only",
+				fn.Name.Name, method)
+		}
+		if len(call.Args) > 0 {
+			checkName(pass, fn, call.Args[0], method)
+		}
+		return
+	}
+
+	if _, ok := methodOn(info, call, "Recorder", map[string]bool{"Record": true}); ok {
+		if len(call.Args) < 2 {
+			return
+		}
+		// The event must name a declared EventType constant — not a bare
+		// conversion like EventType(3) and not a variable.
+		var obj types.Object
+		switch e := ast.Unparen(call.Args[1]).(type) {
+		case *ast.Ident:
+			obj = info.Uses[e]
+		case *ast.SelectorExpr:
+			obj = info.Uses[e.Sel]
+		}
+		c, isConst := obj.(*types.Const)
+		if !isConst || !isEventType(c.Type()) {
+			pass.Reportf(call.Args[1].Pos(),
+				"%s records a flight-recorder event that is not a declared telemetry.EventType constant",
+				fn.Name.Name)
+		}
+	}
+}
+
+// isEventType reports whether t is telemetry.EventType.
+func isEventType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "EventType" &&
+		named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == telemetryPkg
+}
+
+// checkName validates the instrument-name argument: a constant string with
+// a layer-prefixed snake_case value, or a constant prefix concatenation.
+func checkName(pass *ncanalysis.Pass, fn *ast.FuncDecl, arg ast.Expr, method string) {
+	info := pass.TypesInfo
+
+	if tv, ok := info.Types[arg]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		name := constant.StringVal(tv.Value)
+		if !nameRE.MatchString(name) {
+			pass.Reportf(arg.Pos(),
+				"%s names a %s instrument %q; instrument names are snake_case with a layer prefix (dataplane_/emunet_/cloud_/controller_)",
+				fn.Name.Name, method, name)
+		}
+		return
+	}
+
+	// A dynamic name is only allowed as CONSTPREFIX + suffix, with the
+	// prefix carrying the namespace and ending in ':'.
+	if bin, ok := ast.Unparen(arg).(*ast.BinaryExpr); ok {
+		if tv, ok := info.Types[bin.X]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+			prefix := constant.StringVal(tv.Value)
+			if !prefixRE.MatchString(prefix) {
+				pass.Reportf(arg.Pos(),
+					"%s builds a %s instrument name from prefix %q; dynamic names need a layer-prefixed constant prefix ending in ':'",
+					fn.Name.Name, method, prefix)
+			}
+			return
+		}
+	}
+
+	pass.Reportf(arg.Pos(),
+		"%s passes a non-constant %s instrument name; names are compile-time literals (or a constant prefix + dynamic suffix)",
+		fn.Name.Name, method)
+}

@@ -1,0 +1,15 @@
+package telemetrycheck_test
+
+import (
+	"testing"
+
+	"ncfn/internal/analysis/analysistest"
+	"ncfn/internal/analysis/telemetrycheck"
+)
+
+func TestTelemetrycheck(t *testing.T) {
+	res := analysistest.Run(t, telemetrycheck.Analyzer, "fix", "clean")
+	if res.Suppressed != 1 {
+		t.Fatalf("suppressed = %d, want 1 (the nolint'd scratch name)", res.Suppressed)
+	}
+}

@@ -1,0 +1,11 @@
+// Package clean touches no telemetry; the analyzer must stay silent, even
+// on methods that share constructor names on unrelated types.
+package clean
+
+type registry struct{}
+
+func (r *registry) Counter(name string, cells int) int { return cells }
+
+func other(r *registry) int {
+	return r.Counter("AnythingGoes", 1)
+}

@@ -1,0 +1,37 @@
+// Package fix exercises telemetrycheck's naming, lifecycle, and event
+// rules.
+package fix
+
+import "ncfn/internal/telemetry"
+
+const (
+	good      = "dataplane_good_counter"
+	linkTx    = "emunet_link_tx:"
+	badPrefix = "link_tx_"
+)
+
+func construct(reg *telemetry.Registry, name string) {
+	reg.Counter(good, 1)
+	reg.Histogram("emunet_batch_size")
+	reg.Counter(linkTx+name, 1)
+	reg.Counter("BadName", 1)       // want `construct names a Counter instrument "BadName"`
+	reg.Gauge("no_layer_prefix", 1) // want `construct names a Gauge instrument "no_layer_prefix"`
+	reg.Counter(badPrefix+name, 1)  // want `construct builds a Counter instrument name from prefix "link_tx_"`
+	reg.Histogram(name)             // want `construct passes a non-constant Histogram instrument name`
+}
+
+//nc:hotpath
+func hotCreate(reg *telemetry.Registry) {
+	reg.Counter("dataplane_lazy_create", 1) // want `hotCreate creates instrument via Registry.Counter inside a //nc:hotpath function`
+}
+
+func record(rec *telemetry.Recorder, now int64, t telemetry.EventType) {
+	rec.Record(now, telemetry.EventPacketDrop, "n", 0, 0, 0)
+	rec.Record(now, t, "n", 0, 0, 0)                      // want `record records a flight-recorder event that is not a declared telemetry.EventType constant`
+	rec.Record(now, telemetry.EventType(3), "n", 0, 0, 0) // want `record records a flight-recorder event that is not a declared telemetry.EventType constant`
+}
+
+// suppressed: a scratch name silenced with a reason.
+func scratch(reg *telemetry.Registry) {
+	reg.Counter("scratch", 1) //nolint:nc fixture exercises suppression accounting
+}

@@ -1,0 +1,26 @@
+// Package telemetry is a miniature of the real registry API, just enough
+// surface for the telemetrycheck fixtures to type-check against.
+package telemetry
+
+type Registry struct{}
+
+type Counter struct{}
+type Gauge struct{}
+type Histogram struct{}
+type Recorder struct{}
+
+func (r *Registry) Counter(name string, cells int) *Counter        { return &Counter{} }
+func (r *Registry) Gauge(name string, cells int) *Gauge            { return &Gauge{} }
+func (r *Registry) GaugeFunc(name string, f func() int64)          {}
+func (r *Registry) Histogram(name string) *Histogram               { return &Histogram{} }
+func (r *Registry) Recorder(name string, capacity int) *Recorder   { return &Recorder{} }
+
+type EventType uint8
+
+const (
+	EventNone EventType = iota
+	EventPacketDrop
+)
+
+func (r *Recorder) Record(now int64, typ EventType, node string, session, gen uint64, value int64) {
+}

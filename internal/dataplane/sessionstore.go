@@ -62,11 +62,18 @@ type genEntry struct {
 
 // sessionStore is the VNF's bounded index of live generation state. It is
 // deliberately decoupled from the per-session locks: touch/remove take only
-// store.mu (callers already hold their session's st.mu — the lock order is
-// st.mu → store.mu), while eviction enforcement collects victims under
-// store.mu, releases it, and then applies each eviction under that victim's
-// st.mu. Enforcement therefore runs only from call sites that hold no
-// session lock (the shard worker loop between runs, and SweepSessions).
+// store.mu (callers already hold their session's st.mu), while eviction
+// enforcement collects victims under store.mu, releases it, and then
+// applies each eviction under that victim's st.mu. Enforcement therefore
+// runs only from call sites that hold no session lock (the shard worker
+// loop between runs, and SweepSessions).
+//
+// The declared acquisition order below is the package contract nclint's
+// lockorder analyzer enforces: a shard's pauseMu is outermost, a session's
+// mu next, and store.mu innermost — never take an earlier lock while
+// holding a later one.
+//
+//nc:lockorder vnfShard.pauseMu -> sessionState.mu -> sessionStore.mu
 type sessionStore struct {
 	cfg SessionStoreConfig
 

@@ -109,7 +109,9 @@ type tableSnapshot struct {
 // NewForwardingTable returns an empty table.
 func NewForwardingTable() *ForwardingTable {
 	t := &ForwardingTable{}
+	t.writeMu.Lock()
 	t.snap.Store(&tableSnapshot{entries: map[ncproto.SessionID][]HopGroup{}})
+	t.writeMu.Unlock()
 	return t
 }
 

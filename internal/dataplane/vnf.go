@@ -156,7 +156,8 @@ type vnfShard struct {
 	// pause/resume cycle of Sec. III-A) and against synchronous
 	// handlePacket callers. Packet processing only ever holds its own
 	// shard's lock, so sessions on other shards keep flowing while one
-	// shard is busy.
+	// shard is busy. pauseMu is the outermost lock of the declared
+	// //nc:lockorder chain in sessionstore.go.
 	pauseMu sync.Mutex
 
 	// epoch is the shard's RCU grace-period counter: incremented entering

@@ -22,6 +22,7 @@ package emunet
 import (
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
 	"syscall"
 	"time"
@@ -172,6 +173,11 @@ func (s *mmsgSender) sendBatch(u *UDPConn, batch []Datagram) (int, error) {
 			continue
 		}
 		done, err := s.flush(u, n)
+		// Payload bytes reach the kernel via s.iovs[i].Base; those are
+		// typed *byte fields on the live receiver, but the chunk is the
+		// only reference the compiler can see from this frame — pin it
+		// until the flush has fully copied the datagrams out.
+		runtime.KeepAlive(chunk)
 		sent += done
 		if err != nil && firstErr == nil {
 			firstErr = err
@@ -241,6 +247,14 @@ func (u *UDPConn) readLoopBatched(depth int) bool {
 	iovs := make([]syscall.Iovec, depth)
 	sas := make([]syscall.RawSockaddrInet6, depth)
 	bufs := make([]byte, depth*65536)
+	// hdrs reaches the kernel through uintptr(unsafe.Pointer(&hdrs[0]))
+	// inside the Syscall6 argument list, which pins it for the call; the
+	// arrays it points at (iovs, sas, bufs) are only reachable through
+	// those stored raw pointers, invisible to the GC. Keep them live for
+	// the loop's whole lifetime or the kernel scribbles into freed memory.
+	defer runtime.KeepAlive(iovs)
+	defer runtime.KeepAlive(sas)
+	defer runtime.KeepAlive(bufs)
 	for i := range hdrs {
 		slot := bufs[i*65536 : (i+1)*65536]
 		iovs[i].Base = &slot[0]
