@@ -6,7 +6,7 @@ GO ?= go
 NCLINT := bin/nclint
 NCLINT_SRCS := $(shell find cmd/nclint internal/analysis -name '*.go' -not -path '*/testdata/*')
 
-.PHONY: build test test-race test-chaos test-soak test-e2e vet lint bench bench-hotpath bench-guard cover check
+.PHONY: build test test-race test-chaos test-soak test-e2e test-rolling vet lint bench bench-hotpath bench-guard cover check
 
 build:
 	$(GO) build ./...
@@ -48,6 +48,20 @@ test-chaos:
 # `go test ./...`.
 test-e2e:
 	$(GO) test -count=1 -short -v -run 'TestE2E' ./internal/e2e/
+
+# test-rolling runs the zero-downtime operations tier: the six-process
+# loopback butterfly carries a multicast while `ncctl rolling-restart` walks
+# every relay VNF through drain → exec-handoff restart → reconfigure (zero
+# dropped sessions, both sinks decode every generation); the in-process
+# simclock twin then drains and hot-reloads relays under churn and fault
+# injection with -race, leak checking, and pool double-put accounting on;
+# finally the procnet lifecycle harness exercises /drain, SIGTERM, and the
+# /restart handoff against real processes. CI runs the -short variant next
+# to the e2e-linux job.
+test-rolling:
+	$(GO) test -count=1 -v -run 'TestRollingRestartButterfly' ./internal/e2e/
+	$(GO) test -count=1 -race -v -run 'TestRollingRestartUnderTraffic|TestReloadChurnSoak' ./internal/chaostest/
+	$(GO) test -count=1 -run 'TestDrainExitsProcess|TestSigtermDrainsProcess|TestRestartHandoff' ./internal/procnet/
 
 # test-soak runs the full many-session churn soak under the race detector:
 # thousands of concurrent sessions cycling through create / starve / evict /
@@ -109,6 +123,10 @@ cover:
 		-filefloor ncfn/internal/dataplane/sessionstore.go=80 \
 		-filefloor ncfn/internal/emunet/udp.go=80 \
 		-filefloor ncfn/internal/emunet/udp_mmsg_linux.go=80 \
-		-filefloor ncfn/internal/dataplane/txring.go=80
+		-filefloor ncfn/internal/dataplane/txring.go=80 \
+		-filefloor ncfn/internal/dataplane/drain.go=80 \
+		-filefloor ncfn/internal/controller/lifecycle.go=80 \
+		-filefloor ncfn/internal/controller/deployfile.go=80 \
+		-filefloor ncfn/internal/controller/admin.go=80
 
 check: build lint test test-race

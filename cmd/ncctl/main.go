@@ -1,28 +1,25 @@
 // Command ncctl is the central controller CLI: it pushes session settings,
 // peer bindings, and forwarding tables to running ncd daemons over their
-// TCP control ports, and can end sessions / shut VNFs down — the
-// operational surface of Sec. III-A.
-//
-// The deployment is described by a JSON file:
-//
-//	{
-//	  "sessions": [{
-//	    "id": 1, "blocks": 4, "blockSize": 1460, "redundancy": 1,
-//	    "roles": {"relay1": "recoder", "recv1": "decoder"},
-//	    "inPerGen": {"relay1": 4},
-//	    "tables": {"relay1": [{"addrs": ["recv1"], "perGen": 4}]}
-//	  }],
-//	  "peers": {"relay1": "127.0.0.1:7001", "recv1": "127.0.0.1:7002"},
-//	  "daemons": {"relay1": "127.0.0.1:8001", "recv1": "127.0.0.1:8002"}
-//	}
+// TCP control ports, and drives the operational lifecycle — graceful
+// drains, deploy-file hot-reloads, and one-at-a-time rolling restarts —
+// over their admin endpoints. The deployment schema is
+// controller.DeployFile (see deploy.example.json).
 //
 // Usage:
 //
-//	ncctl -config deploy.json start     # NC_SETTINGS + NC_FORWARD_TAB + NC_START
-//	ncctl -config deploy.json stop -tau 10m
+//	ncctl -config deploy.json start            # NC_SETTINGS + NC_FORWARD_TAB + NC_START
+//	ncctl -config deploy.json stop -tau 10m    # NC_VNF_END with τ
+//	ncctl -config deploy.json stats            # per-node /stats snapshots
+//	ncctl -config deploy.json drain            # POST /drain to every node
+//	ncctl -config deploy.json reload           # POST the file to every /reload
+//	ncctl -config deploy.json rolling-restart  # drain→restart→reconfigure, one node at a time
+//
+// -nodes restricts drain/reload/rolling-restart to a comma-separated node
+// subset (e.g. only the relays, never the decoders).
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -33,43 +30,11 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"ncfn/internal/controller"
-	"ncfn/internal/dataplane"
-	"ncfn/internal/gf"
-	"ncfn/internal/ncproto"
-	"ncfn/internal/rlnc"
 )
-
-// deployConfig is the JSON schema ncctl reads.
-type deployConfig struct {
-	Sessions []sessionConfig   `json:"sessions"`
-	Peers    map[string]string `json:"peers"`
-	Daemons  map[string]string `json:"daemons"`
-	// Admin maps node names to ncd admin endpoints (-admin), read by the
-	// stats command.
-	Admin map[string]string `json:"admin"`
-}
-
-type sessionConfig struct {
-	ID         int `json:"id"`
-	Blocks     int `json:"blocks"`
-	BlockSize  int `json:"blockSize"`
-	Redundancy int `json:"redundancy"`
-	// Field selects the coefficient field: 2 for GF(2) (bit-packed
-	// word-wide codec), 256 or 0 for GF(2^8). Per session, so one
-	// deployment can mix fields across sessions.
-	Field    int                     `json:"field"`
-	Roles    map[string]string       `json:"roles"`
-	InPerGen map[string]int          `json:"inPerGen"`
-	Tables   map[string][]tableGroup `json:"tables"`
-}
-
-type tableGroup struct {
-	Addrs  []string `json:"addrs"`
-	PerGen int      `json:"perGen"`
-}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -83,6 +48,11 @@ func run(args []string) error {
 	configPath := fs.String("config", "", "deployment JSON (required)")
 	tau := fs.Duration("tau", 10*time.Minute, "shutdown delay for stop")
 	timeout := fs.Duration("timeout", controller.DefaultPushTimeout, "per-daemon push timeout")
+	nodesFlag := fs.String("nodes", "", "comma-separated node subset for drain/reload/rolling-restart (default: all daemons)")
+	drainDeadline := fs.Duration("drain-deadline", controller.DefaultDrainDeadline,
+		"drain deadline passed to /drain and /restart")
+	wait := fs.Duration("wait", time.Minute,
+		"how long rolling-restart waits for each node to drain, restart, and come back healthy")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -93,53 +63,68 @@ func run(args []string) error {
 		return errors.New("-config is required")
 	}
 	if fs.NArg() != 1 {
-		return errors.New("expected one command: start | stop | stats")
+		return errors.New("expected one command: start | stop | stats | drain | reload | rolling-restart")
 	}
 	raw, err := os.ReadFile(*configPath)
 	if err != nil {
 		return err
 	}
-	var cfg deployConfig
-	if err := json.Unmarshal(raw, &cfg); err != nil {
+	f, err := controller.ParseDeployFile(raw)
+	if err != nil {
 		return fmt.Errorf("parse %s: %w", *configPath, err)
 	}
 	switch cmd := fs.Arg(0); cmd {
 	case "start":
-		return start(cfg)
+		return start(f, os.Stdout)
 	case "stop":
-		return stop(cfg, *tau)
+		return stop(f, *tau, os.Stdout)
 	case "stats":
-		return stats(cfg, os.Stdout)
+		return stats(f, os.Stdout)
+	case "drain":
+		nodes, err := selectNodes(f, *nodesFlag)
+		if err != nil {
+			return err
+		}
+		return drain(f, nodes, *drainDeadline, os.Stdout)
+	case "reload":
+		nodes, err := selectNodes(f, *nodesFlag)
+		if err != nil {
+			return err
+		}
+		return reload(f, raw, nodes, os.Stdout)
+	case "rolling-restart":
+		nodes, err := selectNodes(f, *nodesFlag)
+		if err != nil {
+			return err
+		}
+		return rollingRestart(f, nodes, *drainDeadline, *wait, os.Stdout)
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
 }
 
-// parseField maps the JSON field order (2, 256, or 0 for the default)
-// to the gf.Field enum.
-func parseField(order int) (gf.Field, error) {
-	switch order {
-	case 0, 256:
-		return gf.GF256, nil
-	case 2:
-		return gf.GF2, nil
-	default:
-		return 0, fmt.Errorf("unknown field order %d (want 2 or 256)", order)
+// selectNodes resolves the -nodes filter against the deploy file's daemon
+// list: empty means every daemon, and every named node must exist.
+func selectNodes(f *controller.DeployFile, filter string) ([]string, error) {
+	if filter == "" {
+		return f.Nodes(), nil
 	}
-}
-
-// parseRole maps a config string to a dataplane role.
-func parseRole(s string) (dataplane.Role, error) {
-	switch s {
-	case "recoder":
-		return dataplane.RoleRecoder, nil
-	case "decoder":
-		return dataplane.RoleDecoder, nil
-	case "forwarder":
-		return dataplane.RoleForwarder, nil
-	default:
-		return 0, fmt.Errorf("unknown role %q", s)
+	var nodes []string
+	for _, n := range strings.Split(filter, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		if _, ok := f.Daemons[n]; !ok {
+			return nil, fmt.Errorf("-nodes: %q is not in the deploy file's daemons", n)
+		}
+		nodes = append(nodes, n)
 	}
+	if len(nodes) == 0 {
+		return nil, errors.New("-nodes selected no nodes")
+	}
+	sort.Strings(nodes)
+	return nodes, nil
 }
 
 // pushTimeout bounds each individual RPC — the dial, every message push,
@@ -170,23 +155,38 @@ func push(daemonAddr string, msgs []*controller.Message) error {
 	return nil
 }
 
+// pushRetry pushes with dial retries until the deadline: after a restart the
+// replacement daemon's control port may take a moment to come back.
+func pushRetry(daemonAddr string, msgs []*controller.Message, deadline time.Time) error {
+	for {
+		err := push(daemonAddr, msgs)
+		if err == nil {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return err
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
 // stats fetches each daemon's telemetry snapshot from its admin endpoint
 // and prints it. Every fetch is bounded by the per-RPC timeout, so one
 // dead daemon delays the report by at most one timeout before it is
 // reported as unreachable.
-func stats(cfg deployConfig, w io.Writer) error {
-	if len(cfg.Admin) == 0 {
+func stats(f *controller.DeployFile, w io.Writer) error {
+	if len(f.Admin) == 0 {
 		return errors.New(`config has no "admin" section (map node -> ncd -admin address)`)
 	}
-	nodes := make([]string, 0, len(cfg.Admin))
-	for n := range cfg.Admin {
+	nodes := make([]string, 0, len(f.Admin))
+	for n := range f.Admin {
 		nodes = append(nodes, n)
 	}
 	sort.Strings(nodes)
 	client := &http.Client{Timeout: pushTimeout}
 	var firstErr error
 	for _, node := range nodes {
-		raw, err := fetchStats(client, cfg.Admin[node])
+		raw, err := fetchStats(client, f.Admin[node])
 		if err != nil {
 			fmt.Fprintf(w, "%s: unreachable: %v\n", node, err)
 			if firstErr == nil {
@@ -212,89 +212,226 @@ func fetchStats(client *http.Client, addr string) ([]byte, error) {
 	return io.ReadAll(resp.Body)
 }
 
-// nodesOf lists the daemon nodes in deterministic order.
-func nodesOf(cfg deployConfig) []string {
-	nodes := make([]string, 0, len(cfg.Daemons))
-	for n := range cfg.Daemons {
-		nodes = append(nodes, n)
+// adminPost POSTs to one admin endpoint and returns the status and body.
+func adminPost(client *http.Client, addr, pathAndQuery string, body []byte) (int, []byte, error) {
+	resp, err := client.Post("http://"+addr+pathAndQuery, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
 	}
-	sort.Strings(nodes)
-	return nodes
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, nil, err
+	}
+	return resp.StatusCode, raw, nil
+}
+
+// adminAddr resolves one node's admin endpoint.
+func adminAddr(f *controller.DeployFile, node string) (string, error) {
+	addr, ok := f.Admin[node]
+	if !ok {
+		return "", fmt.Errorf(`node %s has no "admin" address in the deploy file`, node)
+	}
+	return addr, nil
 }
 
 // start pushes settings, peers, tables, and NC_START to every daemon.
-func start(cfg deployConfig) error {
-	for _, node := range nodesOf(cfg) {
-		var msgs []*controller.Message
-		for _, s := range cfg.Sessions {
-			roleName, ok := s.Roles[node]
-			if !ok {
-				continue
-			}
-			role, err := parseRole(roleName)
-			if err != nil {
-				return err
-			}
-			blocks := s.Blocks
-			if blocks == 0 {
-				blocks = rlnc.DefaultGenerationBlocks
-			}
-			blockSize := s.BlockSize
-			if blockSize == 0 {
-				blockSize = rlnc.DefaultBlockSize
-			}
-			field, err := parseField(s.Field)
-			if err != nil {
-				return fmt.Errorf("session %d: %w", s.ID, err)
-			}
-			params := rlnc.Params{GenerationBlocks: blocks, BlockSize: blockSize, Field: field}
-			if err := params.Validate(); err != nil {
-				return fmt.Errorf("session %d: %w", s.ID, err)
-			}
-			msgs = append(msgs, &controller.Message{
-				Signal: controller.NCSettings,
-				Peers:  cfg.Peers,
-				Settings: &dataplane.SessionConfig{
-					ID:         ncproto.SessionID(s.ID),
-					Params:     params,
-					Role:       role,
-					Redundancy: s.Redundancy,
-					InPerGen:   s.InPerGen[node],
-				},
-			})
-			if groups, ok := s.Tables[node]; ok {
-				table := map[ncproto.SessionID][]dataplane.HopGroup{}
-				var hops []dataplane.HopGroup
-				for _, g := range groups {
-					hops = append(hops, dataplane.HopGroup{Addrs: g.Addrs, PerGen: g.PerGen})
-				}
-				table[ncproto.SessionID(s.ID)] = hops
-				msgs = append(msgs, &controller.Message{
-					Signal: controller.NCForwardTab,
-					Table:  table,
-				})
-			}
+func start(f *controller.DeployFile, w io.Writer) error {
+	for _, node := range f.Nodes() {
+		msgs, err := f.NodeMessages(node)
+		if err != nil {
+			return err
 		}
 		if len(msgs) == 0 {
 			continue
 		}
-		msgs = append(msgs, &controller.Message{Signal: controller.NCStart})
-		if err := push(cfg.Daemons[node], msgs); err != nil {
+		if err := push(f.Daemons[node], msgs); err != nil {
 			return fmt.Errorf("node %s: %w", node, err)
 		}
-		fmt.Printf("started %s (%d messages)\n", node, len(msgs))
+		fmt.Fprintf(w, "started %s (%d messages)\n", node, len(msgs))
 	}
 	return nil
 }
 
 // stop sends NC_VNF_END with τ to every daemon.
-func stop(cfg deployConfig, tau time.Duration) error {
-	for _, node := range nodesOf(cfg) {
+func stop(f *controller.DeployFile, tau time.Duration, w io.Writer) error {
+	for _, node := range f.Nodes() {
 		msg := &controller.Message{Signal: controller.NCVNFEnd, ShutdownAfter: tau}
-		if err := push(cfg.Daemons[node], []*controller.Message{msg}); err != nil {
+		if err := push(f.Daemons[node], []*controller.Message{msg}); err != nil {
 			return fmt.Errorf("node %s: %w", node, err)
 		}
-		fmt.Printf("stopping %s in %v\n", node, tau)
+		fmt.Fprintf(w, "stopping %s in %v\n", node, tau)
+	}
+	return nil
+}
+
+// drain POSTs /drain to the selected nodes: each stops admitting new
+// sessions and generations, flushes in flight, and exits at quiescence (or
+// the deadline).
+func drain(f *controller.DeployFile, nodes []string, deadline time.Duration, w io.Writer) error {
+	client := &http.Client{Timeout: pushTimeout}
+	for _, node := range nodes {
+		addr, err := adminAddr(f, node)
+		if err != nil {
+			return err
+		}
+		code, body, err := adminPost(client, addr, "/drain?deadline="+deadline.String(), nil)
+		if err != nil {
+			return fmt.Errorf("node %s: %w", node, err)
+		}
+		if code != http.StatusOK {
+			return fmt.Errorf("node %s: drain: %d %s", node, code, strings.TrimSpace(string(body)))
+		}
+		fmt.Fprintf(w, "draining %s (deadline %v)\n", node, deadline)
+	}
+	return nil
+}
+
+// reload POSTs the deploy file to the selected nodes' /reload endpoints;
+// each daemon diffs it against its live state and hot-applies the changes
+// without a restart.
+func reload(f *controller.DeployFile, raw []byte, nodes []string, w io.Writer) error {
+	client := &http.Client{Timeout: pushTimeout}
+	for _, node := range nodes {
+		addr, err := adminAddr(f, node)
+		if err != nil {
+			return err
+		}
+		code, body, err := adminPost(client, addr, "/reload", raw)
+		if err != nil {
+			return fmt.Errorf("node %s: %w", node, err)
+		}
+		if code != http.StatusOK {
+			return fmt.Errorf("node %s: reload: %d %s", node, code, strings.TrimSpace(string(body)))
+		}
+		fmt.Fprintf(w, "reloaded %s: %s\n", node, strings.TrimSpace(string(body)))
+	}
+	return nil
+}
+
+// drainStatusDoc mirrors the admin /drain status document.
+type drainStatusDoc struct {
+	State    string `json:"state"`
+	Draining bool   `json:"draining"`
+}
+
+// waitHealthy polls one admin endpoint until it reports a running (not
+// draining) daemon — i.e. until the restarted replacement process answers —
+// or the deadline passes.
+func waitHealthy(client *http.Client, addr string, deadline time.Time) error {
+	var lastErr error
+	for {
+		lastErr = func() error {
+			resp, err := client.Get("http://" + addr + "/drain")
+			if err != nil {
+				return err
+			}
+			defer resp.Body.Close()
+			raw, err := io.ReadAll(resp.Body)
+			if err != nil {
+				return err
+			}
+			if resp.StatusCode != http.StatusOK {
+				return fmt.Errorf("status %s", resp.Status)
+			}
+			var st drainStatusDoc
+			if err := json.Unmarshal(raw, &st); err != nil {
+				return err
+			}
+			if st.Draining || st.State != "running" {
+				// Still the outgoing process.
+				return fmt.Errorf("state %s", st.State)
+			}
+			return nil
+		}()
+		if lastErr == nil {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return lastErr
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// upstreamsOf lists the nodes (other than node itself) whose forwarding
+// tables reference node by name — the ones whose tables must be re-pushed
+// after node restarts.
+func upstreamsOf(f *controller.DeployFile, node string) []string {
+	set := map[string]bool{}
+	for i := range f.Sessions {
+		for owner, groups := range f.Sessions[i].Tables {
+			if owner == node {
+				continue
+			}
+			for _, g := range groups {
+				for _, a := range g.Addrs {
+					if a == node {
+						set[owner] = true
+					}
+				}
+			}
+		}
+	}
+	ups := make([]string, 0, len(set))
+	for n := range set {
+		ups = append(ups, n)
+	}
+	sort.Strings(ups)
+	return ups
+}
+
+// rollingRestart walks the selected nodes one at a time: trigger /restart
+// (drain, then exec handoff onto the same addresses), wait for the
+// replacement to come back healthy, reconfigure it over its control port,
+// and re-push the forwarding tables of every upstream that references it —
+// only then move to the next node. One node is down at any moment, so a
+// redundancy-1 session keeps decoding throughout.
+func rollingRestart(f *controller.DeployFile, nodes []string, drainDeadline, wait time.Duration, w io.Writer) error {
+	client := &http.Client{Timeout: pushTimeout}
+	for _, node := range nodes {
+		addr, err := adminAddr(f, node)
+		if err != nil {
+			return err
+		}
+		code, body, err := adminPost(client, addr, "/restart?deadline="+drainDeadline.String(), nil)
+		if err != nil {
+			return fmt.Errorf("node %s: restart: %w", node, err)
+		}
+		if code != http.StatusOK {
+			return fmt.Errorf("node %s: restart: %d %s", node, code, strings.TrimSpace(string(body)))
+		}
+		deadline := time.Now().Add(wait)
+		if err := waitHealthy(client, addr, deadline); err != nil {
+			return fmt.Errorf("node %s: replacement never came back: %w", node, err)
+		}
+		// The replacement starts blank: push its full control sequence
+		// (settings, peers, tables, start) with dial retries while its
+		// control listener finishes coming up.
+		msgs, err := f.NodeMessages(node)
+		if err != nil {
+			return err
+		}
+		if len(msgs) > 0 {
+			if err := pushRetry(f.Daemons[node], msgs, deadline); err != nil {
+				return fmt.Errorf("node %s: reconfigure: %w", node, err)
+			}
+		}
+		// Re-push upstream tables that point at the restarted node. Its
+		// addresses are pinned across the exec handoff, so this is a
+		// correctness no-op but re-arms name→address bindings and covers
+		// supervisors that restart onto new ports.
+		for _, up := range upstreamsOf(f, node) {
+			m := &controller.Message{
+				Signal: controller.NCForwardTab,
+				Peers:  f.Peers,
+				Table:  f.NodeTable(up),
+			}
+			if err := pushRetry(f.Daemons[up], []*controller.Message{m}, deadline); err != nil {
+				return fmt.Errorf("node %s: re-push upstream %s: %w", node, up, err)
+			}
+		}
+		fmt.Fprintf(w, "restarted %s\n", node)
 	}
 	return nil
 }

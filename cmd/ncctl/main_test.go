@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"io"
 	"net"
 	"net/http"
 	"net/http/httptest"
@@ -12,58 +13,35 @@ import (
 	"time"
 
 	"ncfn/internal/controller"
-	"ncfn/internal/dataplane"
 	"ncfn/internal/emunet"
 	"ncfn/internal/telemetry"
 )
 
-func TestParseRole(t *testing.T) {
-	cases := map[string]dataplane.Role{
-		"recoder":   dataplane.RoleRecoder,
-		"decoder":   dataplane.RoleDecoder,
-		"forwarder": dataplane.RoleForwarder,
-	}
-	for name, want := range cases {
-		got, err := parseRole(name)
-		if err != nil || got != want {
-			t.Fatalf("parseRole(%q) = %v, %v", name, got, err)
-		}
-	}
-	if _, err := parseRole("alchemist"); err == nil {
-		t.Fatal("unknown role accepted")
-	}
-}
-
-func TestConfigJSONRoundTrip(t *testing.T) {
-	raw := []byte(`{
-	  "sessions": [{
-	    "id": 1, "blocks": 4, "blockSize": 1460, "redundancy": 1,
-	    "roles": {"relay1": "recoder", "recv1": "decoder"},
-	    "inPerGen": {"relay1": 4},
-	    "tables": {"relay1": [{"addrs": ["recv1"], "perGen": 4}]}
-	  }],
-	  "peers": {"relay1": "127.0.0.1:7001", "recv1": "127.0.0.1:7002"},
-	  "daemons": {"relay1": "127.0.0.1:8001"}
-	}`)
-	var cfg deployConfig
-	if err := json.Unmarshal(raw, &cfg); err != nil {
-		t.Fatal(err)
-	}
-	if len(cfg.Sessions) != 1 || cfg.Sessions[0].Roles["relay1"] != "recoder" {
-		t.Fatalf("parsed config wrong: %+v", cfg)
-	}
-	if cfg.Sessions[0].Tables["relay1"][0].PerGen != 4 {
-		t.Fatal("table quota lost")
+// testDeploy is a two-node deployment: a recoding relay feeding a decoder.
+func testDeploy() *controller.DeployFile {
+	return &controller.DeployFile{
+		Version: 1,
+		Sessions: []controller.DeploySession{{
+			ID: 1, Blocks: 4, BlockSize: 64, Redundancy: 1,
+			Roles:    map[string]string{"relay1": "recoder", "recv1": "decoder"},
+			InPerGen: map[string]int{"relay1": 4},
+			Tables: map[string][]controller.DeployHopGroup{
+				"relay1": {{Addrs: []string{"recv1"}, PerGen: 4}},
+			},
+		}},
+		Peers:   map[string]string{"relay1": "127.0.0.1:7001", "recv1": "127.0.0.1:7002"},
+		Daemons: map[string]string{"relay1": "127.0.0.1:8001", "recv1": "127.0.0.1:8002"},
+		Admin:   map[string]string{"relay1": "127.0.0.1:9001", "recv1": "127.0.0.1:9002"},
 	}
 }
 
 // startTestDaemon runs a real daemon behind a TCP control listener, the
 // way cmd/ncd does, and returns its control address.
-func startTestDaemon(t *testing.T) (string, *controller.Daemon) {
+func startTestDaemon(t *testing.T, name string) (string, *controller.Daemon) {
 	t.Helper()
 	n := emunet.NewNetwork(emunet.AllowDefault())
 	t.Cleanup(func() { n.Close() })
-	d := controller.NewDaemon(n.Host("relay1"), nil)
+	d := controller.NewDaemon(n.Host(name), nil)
 	t.Cleanup(func() { d.Close() })
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -85,21 +63,25 @@ func startTestDaemon(t *testing.T) (string, *controller.Daemon) {
 	return ln.Addr().String(), d
 }
 
+// adminTestServer serves a daemon's admin endpoint over httptest and
+// returns its host:port.
+func adminTestServer(t *testing.T, d *controller.Daemon) string {
+	t.Helper()
+	srv := httptest.NewServer(controller.NewAdminMux(controller.AdminConfig{
+		Daemon:   d,
+		Registry: d.VNF().Telemetry(),
+		Node:     "relay1",
+	}))
+	t.Cleanup(srv.Close)
+	return strings.TrimPrefix(srv.URL, "http://")
+}
+
 func TestStartAgainstLiveDaemon(t *testing.T) {
-	addr, d := startTestDaemon(t)
-	cfg := deployConfig{
-		Sessions: []sessionConfig{{
-			ID:         1,
-			Blocks:     4,
-			BlockSize:  64,
-			Redundancy: 1,
-			Roles:      map[string]string{"relay1": "recoder"},
-			InPerGen:   map[string]int{"relay1": 4},
-			Tables:     map[string][]tableGroup{"relay1": {{Addrs: []string{"recv1"}, PerGen: 4}}},
-		}},
-		Daemons: map[string]string{"relay1": addr},
-	}
-	if err := start(cfg); err != nil {
+	addr, d := startTestDaemon(t, "relay1")
+	f := testDeploy()
+	f.Daemons = map[string]string{"relay1": addr}
+	var out strings.Builder
+	if err := start(f, &out); err != nil {
 		t.Fatal(err)
 	}
 	deadline := time.Now().Add(5 * time.Second)
@@ -112,12 +94,15 @@ func TestStartAgainstLiveDaemon(t *testing.T) {
 	if d.VNF().Table().NextHops(1, 0)[0] != "recv1" {
 		t.Fatal("table not pushed")
 	}
+	if !strings.Contains(out.String(), "started relay1") {
+		t.Fatalf("output: %q", out.String())
+	}
 }
 
 func TestStopAgainstLiveDaemon(t *testing.T) {
-	addr, d := startTestDaemon(t)
-	cfg := deployConfig{Daemons: map[string]string{"relay1": addr}}
-	if err := stop(cfg, time.Hour); err != nil {
+	addr, d := startTestDaemon(t, "relay1")
+	f := &controller.DeployFile{Daemons: map[string]string{"relay1": addr}}
+	if err := stop(f, time.Hour, &strings.Builder{}); err != nil {
 		t.Fatal(err)
 	}
 	if d.LastSignal() != controller.NCVNFEnd {
@@ -148,6 +133,34 @@ func TestRunArgsValidation(t *testing.T) {
 	if err := run([]string{"-config", path, "start"}); err == nil {
 		t.Fatal("bad json accepted")
 	}
+	// The deploy file is validated before any command runs.
+	os.WriteFile(path, []byte(`{"sessions":[{"id":1,"roles":{"n":"wizard"}}]}`), 0o644)
+	if err := run([]string{"-config", path, "start"}); err == nil {
+		t.Fatal("invalid role accepted")
+	}
+	// -nodes must name daemons from the file.
+	os.WriteFile(path, []byte(`{"sessions":[],"daemons":{"a":"127.0.0.1:1"}}`), 0o644)
+	if err := run([]string{"-config", path, "-nodes", "ghost", "drain"}); err == nil {
+		t.Fatal("unknown -nodes entry accepted")
+	}
+}
+
+func TestSelectNodes(t *testing.T) {
+	f := testDeploy()
+	all, err := selectNodes(f, "")
+	if err != nil || len(all) != 2 || all[0] != "recv1" || all[1] != "relay1" {
+		t.Fatalf("all nodes = %v, %v", all, err)
+	}
+	sub, err := selectNodes(f, " relay1 ")
+	if err != nil || len(sub) != 1 || sub[0] != "relay1" {
+		t.Fatalf("subset = %v, %v", sub, err)
+	}
+	if _, err := selectNodes(f, "relay1,ghost"); err == nil {
+		t.Fatal("unknown node accepted")
+	}
+	if _, err := selectNodes(f, " , "); err == nil {
+		t.Fatal("empty selection accepted")
+	}
 }
 
 // statsServer serves a registry snapshot the way ncd's admin endpoint does.
@@ -171,9 +184,9 @@ func TestStatsFetchesSnapshots(t *testing.T) {
 	reg.Counter("dataplane_rx_packets", 1).Add(0, 42)
 	addr := statsServer(t, reg)
 
-	cfg := deployConfig{Admin: map[string]string{"relay1": addr}}
+	f := &controller.DeployFile{Admin: map[string]string{"relay1": addr}}
 	var out strings.Builder
-	if err := stats(cfg, &out); err != nil {
+	if err := stats(f, &out); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -205,9 +218,9 @@ func TestStatsReportsUnreachableNodes(t *testing.T) {
 	pushTimeout = 2 * time.Second
 	defer func() { pushTimeout = old }()
 
-	cfg := deployConfig{Admin: map[string]string{"up": addr, "down": deadAddr}}
+	f := &controller.DeployFile{Admin: map[string]string{"up": addr, "down": deadAddr}}
 	var out strings.Builder
-	if err := stats(cfg, &out); err == nil {
+	if err := stats(f, &out); err == nil {
 		t.Fatal("unreachable node should surface an error")
 	}
 	got := out.String()
@@ -220,8 +233,119 @@ func TestStatsReportsUnreachableNodes(t *testing.T) {
 }
 
 func TestStatsRequiresAdminSection(t *testing.T) {
-	if err := stats(deployConfig{}, &strings.Builder{}); err == nil {
+	if err := stats(&controller.DeployFile{}, &strings.Builder{}); err == nil {
 		t.Fatal("config without admin section accepted")
+	}
+}
+
+func TestDrainCommand(t *testing.T) {
+	_, d := startTestDaemon(t, "relay1")
+	addr := adminTestServer(t, d)
+	f := testDeploy()
+	f.Admin = map[string]string{"relay1": addr}
+
+	var out strings.Builder
+	if err := drain(f, []string{"relay1"}, 5*time.Second, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Draining() {
+		t.Fatal("daemon not draining after ncctl drain")
+	}
+	if !strings.Contains(out.String(), "draining relay1") {
+		t.Fatalf("output: %q", out.String())
+	}
+	// Second drain surfaces the 409 as an error.
+	if err := drain(f, []string{"relay1"}, 5*time.Second, &out); err == nil {
+		t.Fatal("double drain did not error")
+	}
+	// A node missing its admin address errors too.
+	if err := drain(f, []string{"recv1"}, 5*time.Second, &out); err == nil {
+		t.Fatal("node without admin address accepted")
+	}
+}
+
+func TestReloadCommand(t *testing.T) {
+	_, d := startTestDaemon(t, "relay1")
+	addr := adminTestServer(t, d)
+	f := testDeploy()
+	f.Admin = map[string]string{"relay1": addr}
+	raw, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	if err := reload(f, raw, []string{"relay1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if d.DeployVersion() != 1 {
+		t.Fatalf("deploy version = %d", d.DeployVersion())
+	}
+	if !strings.Contains(out.String(), `"sessionsAdded":1`) {
+		t.Fatalf("output: %q", out.String())
+	}
+	// Stale replay surfaces the 409.
+	if err := reload(f, raw, []string{"relay1"}, &out); err == nil {
+		t.Fatal("stale reload did not error")
+	}
+}
+
+func TestUpstreamsOf(t *testing.T) {
+	f := testDeploy()
+	if ups := upstreamsOf(f, "recv1"); len(ups) != 1 || ups[0] != "relay1" {
+		t.Fatalf("upstreams of recv1 = %v", ups)
+	}
+	if ups := upstreamsOf(f, "relay1"); len(ups) != 0 {
+		t.Fatalf("upstreams of relay1 = %v", ups)
+	}
+}
+
+func TestRollingRestartUnsupported(t *testing.T) {
+	// The admin endpoint without a restart hook answers 501; the walker must
+	// stop rather than silently skipping the node.
+	_, d := startTestDaemon(t, "relay1")
+	addr := adminTestServer(t, d)
+	f := testDeploy()
+	f.Admin = map[string]string{"relay1": addr}
+	err := rollingRestart(f, []string{"relay1"}, time.Second, 2*time.Second, &strings.Builder{})
+	if err == nil || !strings.Contains(err.Error(), "501") {
+		t.Fatalf("rolling restart against hookless daemon: %v", err)
+	}
+	if d.Draining() {
+		t.Fatal("501 restart left the daemon draining")
+	}
+}
+
+// TestWaitHealthy drives the poller through the three phases a restart
+// produces: unreachable, still-draining old process, healthy replacement.
+func TestWaitHealthy(t *testing.T) {
+	var phase int
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		switch phase {
+		case 0:
+			phase++
+			http.Error(w, "shutting down", http.StatusServiceUnavailable)
+		case 1:
+			phase++
+			_, _ = io.WriteString(w, `{"state":"draining","draining":true}`)
+		default:
+			_, _ = io.WriteString(w, `{"state":"running","draining":false}`)
+		}
+	}))
+	defer srv.Close()
+	client := &http.Client{Timeout: time.Second}
+	addr := strings.TrimPrefix(srv.URL, "http://")
+	if err := waitHealthy(client, addr, time.Now().Add(5*time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	// An endpoint that never turns healthy times out with the last error.
+	stuck := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = io.WriteString(w, `{"state":"quiesced","draining":true}`)
+	}))
+	defer stuck.Close()
+	err := waitHealthy(client, strings.TrimPrefix(stuck.URL, "http://"), time.Now().Add(200*time.Millisecond))
+	if err == nil {
+		t.Fatal("stuck drain reported healthy")
 	}
 }
 
@@ -230,16 +354,11 @@ func TestExampleConfigParses(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var cfg deployConfig
-	if err := json.Unmarshal(raw, &cfg); err != nil {
+	f, err := controller.ParseDeployFile(raw)
+	if err != nil {
 		t.Fatalf("example config invalid: %v", err)
 	}
-	if len(cfg.Sessions) != 1 || len(cfg.Daemons) != 3 || len(cfg.Peers) != 3 || len(cfg.Admin) != 3 {
-		t.Fatalf("example config unexpected shape: %+v", cfg)
-	}
-	for node, role := range cfg.Sessions[0].Roles {
-		if _, err := parseRole(role); err != nil {
-			t.Fatalf("example config role for %s: %v", node, err)
-		}
+	if len(f.Sessions) != 1 || len(f.Daemons) != 3 || len(f.Peers) != 3 || len(f.Admin) != 3 {
+		t.Fatalf("example config unexpected shape: %+v", f)
 	}
 }

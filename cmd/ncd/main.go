@@ -9,21 +9,26 @@
 // length-prefixed JSON messages. Peer name→address bindings arrive in the
 // same stream (the "peers" map), so forwarding tables can reference nodes
 // by name.
+//
+// Lifecycle: SIGTERM/SIGINT starts a graceful drain (stop admitting new
+// sessions and generations, flush in-flight ones, then close) bounded by
+// -drain-deadline; a second signal exits immediately. The admin endpoint
+// adds POST /drain, /reload (hot-apply a deploy-file diff) and /restart
+// (drain, then exec a fresh ncd on the same bound addresses).
 package main
 
 import (
 	"encoding/json"
 	"errors"
-	"expvar"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"net"
-	"net/http"
-	"net/http/pprof"
 	"os"
-
+	"os/signal"
+	"strconv"
+	"syscall"
 	"time"
 
 	"ncfn/internal/controller"
@@ -44,9 +49,11 @@ func run(args []string) error {
 	name := fs.String("name", "", "this node's logical name (required)")
 	dataAddr := fs.String("data", "127.0.0.1:0", "UDP address for coded traffic")
 	controlAddr := fs.String("control", "127.0.0.1:0", "TCP address for control messages")
-	adminAddr := fs.String("admin", "", "HTTP address for the admin endpoint (/stats, /debug/vars, /debug/pprof); empty disables it")
+	adminAddr := fs.String("admin", "", "HTTP address for the admin endpoint (/stats, /drain, /reload, /restart, /debug/pprof); empty disables it")
 	batch := fs.Int("batch", emunet.DefaultRxBatch,
 		"datagram I/O batch depth: recvmmsg ring size and per-destination tx coalescing depth (1 = one syscall per packet)")
+	drainDeadline := fs.Duration("drain-deadline", controller.DefaultDrainDeadline,
+		"how long a graceful drain (SIGTERM, /drain, /restart) waits for in-flight generations before closing anyway")
 	readyFile := fs.String("readyfile", "",
 		"write a JSON {\"data\",\"control\",\"admin\"} address file once all listeners are up (for process harnesses); empty disables it")
 	if err := fs.Parse(args); err != nil {
@@ -55,6 +62,13 @@ func run(args []string) error {
 	if *name == "" {
 		return errors.New("-name is required")
 	}
+
+	// Register for shutdown signals before any listener opens, so a SIGTERM
+	// arriving during startup is queued rather than killing the process
+	// mid-bind; the handler goroutine starts once the daemon exists.
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	defer signal.Stop(sigc)
 
 	reg := telemetry.NewRegistry()
 	registry := emunet.NewRegistry()
@@ -70,6 +84,13 @@ func run(args []string) error {
 		dataplane.WithTelemetry(reg), dataplane.WithTxCoalesce(*batch))
 	defer daemon.Close()
 
+	ln, err := net.Listen("tcp", *controlAddr)
+	if err != nil {
+		return fmt.Errorf("control listen: %w", err)
+	}
+	defer ln.Close()
+	log.Printf("ncd %s: data %s control %s", *name, conn.UDPAddr(), ln.Addr())
+
 	adminBound := ""
 	if *adminAddr != "" {
 		adminLn, err := net.Listen("tcp", *adminAddr)
@@ -78,17 +99,18 @@ func run(args []string) error {
 		}
 		defer adminLn.Close()
 		reg.PublishExpvar("ncd_" + *name)
-		go serveAdmin(adminLn, reg)
 		adminBound = adminLn.Addr().String()
+		go controller.ServeAdmin(adminLn, controller.AdminConfig{
+			Daemon:        daemon,
+			Registry:      reg,
+			Node:          *name,
+			Peers:         registry,
+			DrainDeadline: *drainDeadline,
+			Restart: execHandoff(*name, conn.UDPAddr().String(), ln.Addr().String(),
+				adminBound, *batch, *drainDeadline, *readyFile),
+		})
 		log.Printf("ncd %s: admin http://%s/stats", *name, adminBound)
 	}
-
-	ln, err := net.Listen("tcp", *controlAddr)
-	if err != nil {
-		return fmt.Errorf("control listen: %w", err)
-	}
-	defer ln.Close()
-	log.Printf("ncd %s: data %s control %s", *name, conn.UDPAddr(), ln.Addr())
 
 	if *readyFile != "" {
 		// Every listener is up: publish the bound addresses so a launching
@@ -103,10 +125,37 @@ func run(args []string) error {
 		}
 	}
 
-	// When the daemon's τ shutdown fires (NC_VNF_END), unblock Accept so
-	// the process exits.
+	// stopWatch ends the helper goroutines when run returns (tests run
+	// several daemons in one process).
 	stopWatch := make(chan struct{})
 	defer close(stopWatch)
+
+	// SIGTERM/SIGINT start a graceful drain: the VNF refuses new sessions
+	// and generations, in-flight generations flush, and the drain waiter
+	// closes the daemon at quiescence (or the deadline). A second signal
+	// skips the grace period and exits immediately.
+	go func() {
+		var sig os.Signal
+		select {
+		case sig = <-sigc:
+		case <-stopWatch:
+			return
+		}
+		log.Printf("ncd %s: %v: draining (deadline %s)", *name, sig, *drainDeadline)
+		if err := daemon.StartDrain(*drainDeadline); err != nil {
+			// Already draining or closed: nothing left to start.
+			log.Printf("ncd %s: drain: %v", *name, err)
+		}
+		select {
+		case sig = <-sigc:
+			log.Printf("ncd %s: %v: immediate exit", *name, sig)
+			os.Exit(1)
+		case <-stopWatch:
+		}
+	}()
+
+	// When the daemon closes — τ shutdown (NC_VNF_END), drain completion,
+	// or /restart — unblock Accept so the process exits.
 	go func() {
 		ticker := time.NewTicker(200 * time.Millisecond)
 		defer ticker.Stop()
@@ -142,6 +191,36 @@ func run(args []string) error {
 	}
 }
 
+// execHandoff builds the /restart hook: replace this process with a fresh
+// ncd pinned to the same bound addresses. The exec closes every inherited
+// socket (Go sets CLOEXEC), freeing the ports for the replacement, and
+// preserves the PID so a supervising harness's Wait keeps working.
+func execHandoff(name, data, control, admin string, batch int, drainDeadline time.Duration, readyFile string) func() {
+	return func() {
+		exe, err := os.Executable()
+		if err != nil {
+			log.Printf("ncd %s: restart: %v", name, err)
+			os.Exit(1)
+		}
+		argv := []string{exe,
+			"-name", name,
+			"-data", data,
+			"-control", control,
+			"-admin", admin,
+			"-batch", strconv.Itoa(batch),
+			"-drain-deadline", drainDeadline.String(),
+		}
+		if readyFile != "" {
+			argv = append(argv, "-readyfile", readyFile)
+		}
+		log.Printf("ncd %s: restart: exec handoff", name)
+		if err := syscall.Exec(exe, argv, os.Environ()); err != nil {
+			log.Printf("ncd %s: restart exec: %v", name, err)
+			os.Exit(1)
+		}
+	}
+}
+
 // readyInfo is the address set a daemon advertises once its listeners are
 // bound (the -readyfile contents).
 type readyInfo struct {
@@ -161,28 +240,4 @@ func writeReadyFile(path string, info readyInfo) error {
 		return err
 	}
 	return os.Rename(tmp, path)
-}
-
-// serveAdmin runs the observability endpoint: a JSON telemetry snapshot at
-// /stats, the expvar dump at /debug/vars, and the pprof profiles under
-// /debug/pprof/. It serves until the listener closes (process shutdown).
-func serveAdmin(ln net.Listener, reg *telemetry.Registry) {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
-		raw, err := reg.Snapshot().MarshalIndent()
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		_, _ = w.Write(raw)
-	})
-	mux.Handle("/debug/vars", expvar.Handler())
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
-	_ = srv.Serve(ln)
 }

@@ -12,6 +12,7 @@ import (
 	"ncfn/internal/controller"
 	"ncfn/internal/dataplane"
 	"ncfn/internal/emunet"
+	"ncfn/internal/gf"
 	"ncfn/internal/ncproto"
 	"ncfn/internal/rlnc"
 	"ncfn/internal/simclock"
@@ -113,7 +114,10 @@ func NewButterfly(seed int64) (*Cluster, error) {
 		Clock:     clk,
 		Cloud:     cl,
 		Reg:       reg,
-		params:    rlnc.Params{GenerationBlocks: 4, BlockSize: 32},
+		// Field is spelled explicitly (the zero value means GF256 anyway) so
+		// the session configs compare equal to what a deploy file yields —
+		// the reload soak relies on unchanged sessions being left untouched.
+		params:    rlnc.Params{GenerationBlocks: 4, BlockSize: 32, Field: gf.GF256},
 		seed:      seed,
 		epoch:     make(map[string]int),
 		addr:      make(map[string]string),
@@ -301,6 +305,91 @@ func (c *Cluster) redeploy(node, newInstance string) error {
 		c.src.SetHops(c.sourceGroups())
 	}
 	return nil
+}
+
+// Daemon returns a relay's live control daemon (nil while it is down).
+func (c *Cluster) Daemon(node string) *controller.Daemon {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.daemons[node]
+}
+
+// roleName maps a dataplane role back to its deploy-file spelling.
+func roleName(r dataplane.Role) string {
+	switch r {
+	case dataplane.RoleRecoder:
+		return "recoder"
+	case dataplane.RoleDecoder:
+		return "decoder"
+	default:
+		return "forwarder"
+	}
+}
+
+// DeployFileFor renders one relay's current butterfly role and forwarding
+// table as a versioned deploy file — the document an operator would POST to
+// /reload. With extraSession set, the file also names an inert second
+// session (a forwarder entry pointing nowhere useful), so reload soaks can
+// churn session adds and removes around the live traffic.
+func (c *Cluster) DeployFileFor(node string, version int, extraSession bool) *controller.DeployFile {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	spec := butterflyPlan[node]
+	groups := make([]controller.DeployHopGroup, 0, len(spec.hops))
+	for _, h := range spec.hops {
+		groups = append(groups, controller.DeployHopGroup{Addrs: []string{c.addrLocked(h.to)}, PerGen: h.perGen})
+	}
+	f := &controller.DeployFile{
+		Version: version,
+		Sessions: []controller.DeploySession{{
+			ID:        int(Session),
+			Blocks:    c.params.GenerationBlocks,
+			BlockSize: c.params.BlockSize,
+			Roles:     map[string]string{node: roleName(spec.role)},
+			InPerGen:  map[string]int{node: spec.inPerGen},
+			Tables:    map[string][]controller.DeployHopGroup{node: groups},
+		}},
+		Daemons: map[string]string{node: c.addrLocked(node)},
+	}
+	if extraSession {
+		f.Sessions = append(f.Sessions, controller.DeploySession{
+			ID:        200,
+			Blocks:    c.params.GenerationBlocks,
+			BlockSize: c.params.BlockSize,
+			Roles:     map[string]string{node: "forwarder"},
+			Tables:    map[string][]controller.DeployHopGroup{node: {{Addrs: []string{"spare"}}}},
+		})
+	}
+	return f
+}
+
+// RollingRestart drains one relay to quiescence, closes it, and brings a
+// replacement into service at a fresh address with upstream tables re-pushed
+// — the in-process twin of one step of `ncctl rolling-restart`. The drain
+// waiter runs on the cluster's virtual clock; realTimeout bounds, in real
+// time, how long the harness keeps advancing the clock toward quiescence.
+func (c *Cluster) RollingRestart(node string, realTimeout time.Duration) error {
+	c.mu.Lock()
+	d := c.daemons[node]
+	inst := c.instances[node]
+	c.mu.Unlock()
+	if d == nil {
+		return fmt.Errorf("chaostest: rolling restart %s: no live daemon", node)
+	}
+	if err := d.StartDrain(time.Minute); err != nil {
+		return fmt.Errorf("chaostest: rolling restart %s: %w", node, err)
+	}
+	deadline := time.Now().Add(realTimeout) //nolint:nc real-time bound on the in-process drain goroutine, not simulated time
+	for !d.Closed() {
+		if time.Now().After(deadline) { //nolint:nc same real-time bound
+			return fmt.Errorf("chaostest: rolling restart %s: drain never completed", node)
+		}
+		// The drain waiter polls quiescence sweeps on the virtual clock;
+		// advance it and yield so the waiter gets scheduled between steps.
+		c.Clock.Advance(time.Millisecond)
+		time.Sleep(100 * time.Microsecond) //nolint:nc real-time yield to the drain goroutine
+	}
+	return c.redeploy(node, inst)
 }
 
 // CrashVNF kills a relay the hard way: the VM crashes at the cloud layer and

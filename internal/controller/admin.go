@@ -1,0 +1,234 @@
+package controller
+
+import (
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"ncfn/internal/dataplane"
+	"ncfn/internal/emunet"
+	"ncfn/internal/telemetry"
+)
+
+// DefaultDrainDeadline bounds a drain that never quiesces (a wedged shard,
+// a conn that keeps delivering admitted-generation traffic): the daemon
+// closes anyway once it expires.
+const DefaultDrainDeadline = 30 * time.Second
+
+// AdminConfig wires a daemon's admin HTTP endpoint.
+type AdminConfig struct {
+	// Daemon is the node's control agent; required for /drain, /reload and
+	// /restart (nil serves /stats only).
+	Daemon *Daemon
+	// Registry backs /stats (required).
+	Registry *telemetry.Registry
+	// Node is this daemon's logical name; /reload diffs the deploy file's
+	// view of this node against the live VNF.
+	Node string
+	// Peers, when non-nil, receives the peer bindings of reloaded deploy
+	// files, exactly as ServeControlStream registers the bindings of
+	// control messages.
+	Peers *emunet.Registry
+	// DrainDeadline is the drain deadline when a request names none;
+	// zero selects DefaultDrainDeadline.
+	DrainDeadline time.Duration
+	// Restart, when non-nil, enables POST /restart: it runs after the
+	// restart's drain completed and the daemon closed (cmd/ncd re-execs
+	// itself here). Nil answers /restart with 501.
+	Restart func()
+}
+
+// NewAdminMux builds the admin endpoint: the observability routes (/stats,
+// /debug/vars, /debug/pprof) plus the operational lifecycle routes —
+// /drain (POST to start a graceful drain, GET for drain status), /reload
+// (POST a deploy file to hot-apply its diff), and /restart (POST to drain
+// and then hand off to a fresh process). See PROTOCOL.md §5.
+func NewAdminMux(cfg AdminConfig) *http.ServeMux {
+	if cfg.DrainDeadline <= 0 {
+		cfg.DrainDeadline = DefaultDrainDeadline
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
+		raw, err := cfg.Registry.Snapshot().MarshalIndent()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(raw)
+	})
+	if cfg.Daemon != nil {
+		mux.HandleFunc("/drain", func(w http.ResponseWriter, r *http.Request) { handleDrain(cfg, w, r) })
+		mux.HandleFunc("/reload", func(w http.ResponseWriter, r *http.Request) { handleReload(cfg, w, r) })
+		mux.HandleFunc("/restart", func(w http.ResponseWriter, r *http.Request) { handleRestart(cfg, w, r) })
+	}
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeAdmin serves the admin endpoint on ln until the listener closes.
+func ServeAdmin(ln net.Listener, cfg AdminConfig) {
+	srv := &http.Server{Handler: NewAdminMux(cfg), ReadHeaderTimeout: 5 * time.Second}
+	_ = srv.Serve(ln)
+}
+
+// drainStatus is the GET /drain (and POST /drain response) document.
+type drainStatus struct {
+	// State is the drain state machine position: running | draining |
+	// quiesced.
+	State string `json:"state"`
+	// Draining reports whether a drain (or restart) is in progress.
+	Draining bool `json:"draining"`
+	// Version is the last applied deploy-file version (see /reload).
+	Version int `json:"version"`
+}
+
+// drainStateName maps the dataplane drain gauge values to wire names.
+func drainStateName(s int64) string {
+	switch s {
+	case dataplane.DrainStateDraining:
+		return "draining"
+	case dataplane.DrainStateQuiesced:
+		return "quiesced"
+	default:
+		return "running"
+	}
+}
+
+// statusOf snapshots the daemon's lifecycle position.
+func statusOf(d *Daemon) drainStatus {
+	return drainStatus{
+		State:    drainStateName(d.VNF().DrainState()),
+		Draining: d.Draining(),
+		Version:  d.DeployVersion(),
+	}
+}
+
+// writeJSON writes v with the given status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// lifecycleStatus maps drain/reload errors onto HTTP statuses: lifecycle
+// conflicts (double drain, reload-while-draining, stale version, closed
+// daemon) are 409s, config problems are 400s.
+func lifecycleStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrAlreadyDraining), errors.Is(err, ErrStaleVersion), errors.Is(err, ErrDaemonClosed):
+		return http.StatusConflict
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// drainDeadline reads the request's ?deadline=<duration> override.
+func drainDeadline(cfg AdminConfig, r *http.Request) (time.Duration, error) {
+	raw := r.URL.Query().Get("deadline")
+	if raw == "" {
+		return cfg.DrainDeadline, nil
+	}
+	d, err := time.ParseDuration(raw)
+	if err != nil || d <= 0 {
+		return 0, fmt.Errorf("bad deadline %q", raw)
+	}
+	return d, nil
+}
+
+// handleDrain serves /drain: GET reports the drain status, POST starts a
+// graceful drain (409 when one is already in progress).
+func handleDrain(cfg AdminConfig, w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, statusOf(cfg.Daemon))
+	case http.MethodPost:
+		deadline, err := drainDeadline(cfg, r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := cfg.Daemon.StartDrain(deadline); err != nil {
+			http.Error(w, err.Error(), lifecycleStatus(err))
+			return
+		}
+		writeJSON(w, http.StatusOK, statusOf(cfg.Daemon))
+	default:
+		http.Error(w, "drain: GET or POST", http.StatusMethodNotAllowed)
+	}
+}
+
+// maxDeployFile bounds a /reload request body.
+const maxDeployFile = 16 << 20
+
+// handleReload serves POST /reload: the body is a deploy file; its diff
+// against the node's live state is hot-applied (Daemon.Reload) and the
+// summary returned. 400 on malformed or invalid files, 409 on lifecycle
+// conflicts (draining, stale version).
+func handleReload(cfg AdminConfig, w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "reload: POST a deploy file", http.StatusMethodNotAllowed)
+		return
+	}
+	raw, err := io.ReadAll(io.LimitReader(r.Body, maxDeployFile))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	f, err := ParseDeployFile(raw)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if cfg.Peers != nil {
+		for peer, addr := range f.Peers {
+			udpAddr, err := net.ResolveUDPAddr("udp", addr)
+			if err != nil {
+				http.Error(w, fmt.Sprintf("resolve peer %s=%s: %v", peer, addr, err), http.StatusBadRequest)
+				return
+			}
+			cfg.Peers.Register(peer, udpAddr)
+		}
+	}
+	sum, err := cfg.Daemon.Reload(f, cfg.Node)
+	if err != nil {
+		http.Error(w, err.Error(), lifecycleStatus(err))
+		return
+	}
+	writeJSON(w, http.StatusOK, sum)
+}
+
+// handleRestart serves POST /restart: drain, and once the drain completes
+// (quiesced or deadline) and the daemon closes, run the configured restart
+// hook — cmd/ncd's exec handoff into a fresh process on the same addresses.
+func handleRestart(cfg AdminConfig, w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "restart: POST", http.StatusMethodNotAllowed)
+		return
+	}
+	if cfg.Restart == nil {
+		http.Error(w, "restart: not supported by this daemon", http.StatusNotImplemented)
+		return
+	}
+	deadline, err := drainDeadline(cfg, r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := cfg.Daemon.startDrain(deadline, cfg.Restart); err != nil {
+		http.Error(w, err.Error(), lifecycleStatus(err))
+		return
+	}
+	writeJSON(w, http.StatusOK, statusOf(cfg.Daemon))
+}

@@ -27,6 +27,12 @@ type Daemon struct {
 	applied     int // control messages applied (for tests/metrics)
 	tableSwaps  int
 	lastApplied Signal
+
+	// Lifecycle state (see lifecycle.go): draining marks an in-progress
+	// graceful drain; deployVersion tracks the last versioned deploy file
+	// applied by Reload, enforcing reload monotonicity.
+	draining      bool
+	deployVersion int
 }
 
 // NewDaemon builds a daemon managing a VNF on the given conn.
@@ -74,6 +80,12 @@ func (d *Daemon) Apply(m *Message) error {
 	if d.closed {
 		return fmt.Errorf("controller: daemon closed")
 	}
+	if d.draining && (m.Signal == NCSettings || m.Signal == NCStart) {
+		// A draining daemon is on its way out: refuse anything that would
+		// grow its state or re-open it (the VNF-level admission gate backs
+		// this up for NC_SETTINGS).
+		return fmt.Errorf("%s refused: %w", m.Signal, ErrAlreadyDraining)
+	}
 	start := d.clock.Now()
 	defer func() {
 		d.vnf.Telemetry().Histogram(MetricApplyNs).Observe(d.clock.Now().Sub(start).Nanoseconds())
@@ -104,6 +116,9 @@ func (d *Daemon) Apply(m *Message) error {
 	case NCVNFStart:
 		// VM-level launches are handled by the controller's cloud pools;
 		// at the daemon this is a no-op acknowledgement.
+		return nil
+	case NCSessionEnd:
+		d.vnf.EndSession(m.Session)
 		return nil
 	default:
 		return fmt.Errorf("controller: unknown signal %d", int(m.Signal))

@@ -1,0 +1,362 @@
+package controller
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"ncfn/internal/dataplane"
+	"ncfn/internal/gf"
+	"ncfn/internal/ncproto"
+	"ncfn/internal/rlnc"
+	"ncfn/internal/telemetry"
+)
+
+// DeployFile is the deployment JSON schema: sessions, roles, forwarding
+// tables, and peer address bindings as one document (see cmd/ncctl for an
+// example). ncctl reads it to drive start/stop/reload/rolling-restart, the
+// procnet harness writes it for the multi-process tiers, and a daemon's
+// admin /reload endpoint diffs one against its live state to hot-apply
+// changes without a restart. Version, when nonzero, makes reloads
+// monotonic: a daemon refuses a reload whose version is not newer than the
+// one it last applied.
+type DeployFile struct {
+	Version  int             `json:"version,omitempty"`
+	Sessions []DeploySession `json:"sessions"`
+	// Peers maps logical node names to UDP data-plane addresses.
+	Peers map[string]string `json:"peers,omitempty"`
+	// Daemons maps node names to TCP control addresses.
+	Daemons map[string]string `json:"daemons,omitempty"`
+	// Admin maps node names to HTTP admin addresses.
+	Admin map[string]string `json:"admin,omitempty"`
+}
+
+// DeploySession is one session entry of the deployment document.
+type DeploySession struct {
+	ID         int `json:"id"`
+	Blocks     int `json:"blocks"`
+	BlockSize  int `json:"blockSize"`
+	Redundancy int `json:"redundancy"`
+	// Field selects the coefficient field: 2 for GF(2), 256 or 0 for
+	// GF(2^8).
+	Field    int                         `json:"field,omitempty"`
+	Roles    map[string]string           `json:"roles"`
+	InPerGen map[string]int              `json:"inPerGen,omitempty"`
+	Tables   map[string][]DeployHopGroup `json:"tables,omitempty"`
+}
+
+// DeployHopGroup is one next-hop group of a forwarding-table entry.
+type DeployHopGroup struct {
+	Addrs  []string `json:"addrs"`
+	PerGen int      `json:"perGen,omitempty"`
+}
+
+// ParseFieldOrder maps the JSON field order (2, 256, or 0 for the default)
+// to the gf.Field enum.
+func ParseFieldOrder(order int) (gf.Field, error) {
+	switch order {
+	case 0, 256:
+		return gf.GF256, nil
+	case 2:
+		return gf.GF2, nil
+	default:
+		return 0, fmt.Errorf("unknown field order %d (want 2 or 256)", order)
+	}
+}
+
+// ParseRole maps a deploy-file role string to a dataplane role.
+func ParseRole(s string) (dataplane.Role, error) {
+	switch s {
+	case "recoder":
+		return dataplane.RoleRecoder, nil
+	case "decoder":
+		return dataplane.RoleDecoder, nil
+	case "forwarder":
+		return dataplane.RoleForwarder, nil
+	default:
+		return 0, fmt.Errorf("unknown role %q", s)
+	}
+}
+
+// Params builds the session's coding parameters, applying the defaults for
+// omitted blocks/blockSize.
+func (s *DeploySession) Params() (rlnc.Params, error) {
+	blocks := s.Blocks
+	if blocks == 0 {
+		blocks = rlnc.DefaultGenerationBlocks
+	}
+	blockSize := s.BlockSize
+	if blockSize == 0 {
+		blockSize = rlnc.DefaultBlockSize
+	}
+	field, err := ParseFieldOrder(s.Field)
+	if err != nil {
+		return rlnc.Params{}, fmt.Errorf("session %d: %w", s.ID, err)
+	}
+	p := rlnc.Params{GenerationBlocks: blocks, BlockSize: blockSize, Field: field}
+	if err := p.Validate(); err != nil {
+		return rlnc.Params{}, fmt.Errorf("session %d: %w", s.ID, err)
+	}
+	return p, nil
+}
+
+// Config builds the session's dataplane configuration for one node, or
+// (nil, nil) when the node plays no role in the session.
+func (s *DeploySession) Config(node string) (*dataplane.SessionConfig, error) {
+	roleName, ok := s.Roles[node]
+	if !ok {
+		return nil, nil
+	}
+	role, err := ParseRole(roleName)
+	if err != nil {
+		return nil, fmt.Errorf("session %d: node %s: %w", s.ID, node, err)
+	}
+	params, err := s.Params()
+	if err != nil {
+		return nil, err
+	}
+	return &dataplane.SessionConfig{
+		ID:         ncproto.SessionID(s.ID),
+		Params:     params,
+		Role:       role,
+		Redundancy: s.Redundancy,
+		InPerGen:   s.InPerGen[node],
+	}, nil
+}
+
+// ParseDeployFile unmarshals and validates a deployment document: every
+// session's roles and parameters must parse for every node they name.
+func ParseDeployFile(raw []byte) (*DeployFile, error) {
+	var f DeployFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("controller: parse deploy file: %w", err)
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+// Validate checks every session's roles and coding parameters.
+func (f *DeployFile) Validate() error {
+	seen := make(map[int]bool, len(f.Sessions))
+	for i := range f.Sessions {
+		s := &f.Sessions[i]
+		if seen[s.ID] {
+			return fmt.Errorf("controller: deploy file: duplicate session %d", s.ID)
+		}
+		seen[s.ID] = true
+		if _, err := s.Params(); err != nil {
+			return fmt.Errorf("controller: deploy file: %w", err)
+		}
+		for node, roleName := range s.Roles {
+			if _, err := ParseRole(roleName); err != nil {
+				return fmt.Errorf("controller: deploy file: session %d: node %s: %w", s.ID, node, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Nodes lists the daemon nodes in deterministic (sorted) order.
+func (f *DeployFile) Nodes() []string {
+	nodes := make([]string, 0, len(f.Daemons))
+	for n := range f.Daemons {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	return nodes
+}
+
+// NodeSessions builds the desired session configurations for one node, in
+// deploy-file order.
+func (f *DeployFile) NodeSessions(node string) ([]dataplane.SessionConfig, error) {
+	var out []dataplane.SessionConfig
+	for i := range f.Sessions {
+		cfg, err := f.Sessions[i].Config(node)
+		if err != nil {
+			return nil, err
+		}
+		if cfg != nil {
+			out = append(out, *cfg)
+		}
+	}
+	return out, nil
+}
+
+// NodeTable builds the desired forwarding table for one node: one entry per
+// session that routes through it.
+func (f *DeployFile) NodeTable(node string) map[ncproto.SessionID][]dataplane.HopGroup {
+	table := make(map[ncproto.SessionID][]dataplane.HopGroup)
+	for i := range f.Sessions {
+		s := &f.Sessions[i]
+		groups, ok := s.Tables[node]
+		if !ok {
+			continue
+		}
+		hops := make([]dataplane.HopGroup, 0, len(groups))
+		for _, g := range groups {
+			hops = append(hops, dataplane.HopGroup{Addrs: g.Addrs, PerGen: g.PerGen})
+		}
+		table[ncproto.SessionID(s.ID)] = hops
+	}
+	return table
+}
+
+// NodeMessages builds the cold-start control sequence for one node: one
+// NC_SETTINGS per session it plays a role in (carrying the peer bindings),
+// one NC_FORWARD_TAB per session with a table entry, then NC_START. A node
+// with no role in any session yields nil.
+func (f *DeployFile) NodeMessages(node string) ([]*Message, error) {
+	var msgs []*Message
+	for i := range f.Sessions {
+		s := &f.Sessions[i]
+		cfg, err := s.Config(node)
+		if err != nil {
+			return nil, err
+		}
+		if cfg == nil {
+			continue
+		}
+		msgs = append(msgs, &Message{Signal: NCSettings, Peers: f.Peers, Settings: cfg})
+		if groups, ok := s.Tables[node]; ok {
+			hops := make([]dataplane.HopGroup, 0, len(groups))
+			for _, g := range groups {
+				hops = append(hops, dataplane.HopGroup{Addrs: g.Addrs, PerGen: g.PerGen})
+			}
+			msgs = append(msgs, &Message{
+				Signal: NCForwardTab,
+				Table:  map[ncproto.SessionID][]dataplane.HopGroup{cfg.ID: hops},
+			})
+		}
+	}
+	if len(msgs) == 0 {
+		return nil, nil
+	}
+	return append(msgs, &Message{Signal: NCStart}), nil
+}
+
+// ReloadSummary reports what a hot-reload changed.
+type ReloadSummary struct {
+	Version             int `json:"version"`
+	SessionsAdded       int `json:"sessionsAdded"`
+	SessionsUpdated     int `json:"sessionsUpdated"`
+	SessionsRemoved     int `json:"sessionsRemoved"`
+	TableEntriesChanged int `json:"tableEntriesChanged"`
+}
+
+// changes is the total number of applied changes.
+func (s ReloadSummary) changes() int {
+	return s.SessionsAdded + s.SessionsUpdated + s.SessionsRemoved + s.TableEntriesChanged
+}
+
+// Reload diffs the deploy file's view of one node against the daemon's live
+// VNF state and hot-applies the difference:
+//
+//   - sessions the file adds (or whose settings changed) get NC_SETTINGS —
+//     note a settings change replaces the session's coding state wholesale,
+//     so an unchanged session is never touched;
+//   - forwarding-table differences are applied as ONE NC_FORWARD_TAB batch,
+//     i.e. one RCU snapshot swap, with no pause events;
+//   - sessions the file no longer names on this node get NC_SESSION_END.
+//
+// Peer bindings in the file are NOT registered here (the transport layer
+// owns name resolution); the admin endpoint registers them before calling
+// Reload. Reload refuses to run on a draining or closed daemon and, for
+// versioned files, enforces version monotonicity.
+func (d *Daemon) Reload(f *DeployFile, node string) (ReloadSummary, error) {
+	if err := f.Validate(); err != nil {
+		return ReloadSummary{}, err
+	}
+	if err := d.checkReloadable(f.Version); err != nil {
+		return ReloadSummary{}, err
+	}
+	sum := ReloadSummary{Version: f.Version}
+
+	desired, err := f.NodeSessions(node)
+	if err != nil {
+		return sum, err
+	}
+	desiredByID := make(map[ncproto.SessionID]dataplane.SessionConfig, len(desired))
+	for _, cfg := range desired {
+		desiredByID[cfg.ID] = cfg
+	}
+
+	// Session adds and updates first, so new table entries never point at
+	// unconfigured sessions.
+	vnf := d.VNF()
+	for _, cfg := range desired {
+		live, ok := vnf.SessionConfigFor(cfg.ID)
+		if ok && live == cfg {
+			continue
+		}
+		if err := d.Apply(&Message{Signal: NCSettings, Settings: &cfg}); err != nil {
+			return sum, err
+		}
+		if ok {
+			sum.SessionsUpdated++
+		} else {
+			sum.SessionsAdded++
+		}
+	}
+
+	// Forwarding-table diff: every changed entry lands in one ApplyBatch —
+	// one snapshot publish, one grace period, zero pauses. Entries whose
+	// session survives but loses its table are deleted (nil hops); entries
+	// of removed sessions are cleaned up by NC_SESSION_END below.
+	desiredTable := f.NodeTable(node)
+	liveTable := vnf.Table().Snapshot()
+	batch := make(map[ncproto.SessionID][]dataplane.HopGroup)
+	for sid, hops := range desiredTable {
+		if !equalHopGroups(liveTable[sid], hops) {
+			batch[sid] = hops
+		}
+	}
+	for sid := range liveTable {
+		if _, keep := desiredTable[sid]; keep {
+			continue
+		}
+		if _, sessionStays := desiredByID[sid]; sessionStays {
+			batch[sid] = nil
+		}
+	}
+	if len(batch) > 0 {
+		if err := d.Apply(&Message{Signal: NCForwardTab, Table: batch}); err != nil {
+			return sum, err
+		}
+		sum.TableEntriesChanged = len(batch)
+	}
+
+	// Retire sessions the file no longer names on this node.
+	for _, id := range vnf.SessionIDs() {
+		if _, keep := desiredByID[id]; keep {
+			continue
+		}
+		if err := d.Apply(&Message{Signal: NCSessionEnd, Session: id}); err != nil {
+			return sum, err
+		}
+		sum.SessionsRemoved++
+	}
+
+	vnf.Telemetry().Recorder(dataplane.FlightRecorderName, telemetry.DefaultRecorderCapacity).
+		Record(d.clock.Now().UnixNano(), telemetry.EventReload, node, 0, 0, int64(sum.changes()))
+	return sum, nil
+}
+
+// equalHopGroups reports whether two hop-group lists are identical.
+func equalHopGroups(a, b []dataplane.HopGroup) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].PerGen != b[i].PerGen || len(a[i].Addrs) != len(b[i].Addrs) {
+			return false
+		}
+		for j := range a[i].Addrs {
+			if a[i].Addrs[j] != b[i].Addrs[j] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -37,6 +37,11 @@ const (
 	// NCSettings delivers per-session VNF roles, session IDs, UDP ports,
 	// and generation/block sizes.
 	NCSettings
+	// NCSessionEnd removes one session's configuration and coding state
+	// without touching the rest of the VNF — the per-session half of
+	// NCVNFEnd, used by deploy-file hot-reloads to retire sessions a new
+	// config no longer names.
+	NCSessionEnd
 )
 
 // String names the signal using the paper's identifiers.
@@ -52,6 +57,8 @@ func (s Signal) String() string {
 		return "NC_FORWARD_TAB"
 	case NCSettings:
 		return "NC_SETTINGS"
+	case NCSessionEnd:
+		return "NC_SESSION_END"
 	default:
 		return "NC_UNKNOWN"
 	}

@@ -33,6 +33,7 @@ import (
 var (
 	ErrNotDeployed   = errors.New("core: service not deployed")
 	ErrAlreadyClosed = errors.New("core: service closed")
+	ErrDraining      = errors.New("core: service draining")
 )
 
 // Config describes a Service deployment.
@@ -93,6 +94,7 @@ type Service struct {
 	reg *telemetry.Registry
 
 	mu        sync.Mutex
+	draining  bool
 	sessions  []optimize.Session
 	plan      *optimize.Plan
 	net       *emunet.Network
@@ -143,6 +145,9 @@ func NewService(cfg Config) (*Service, error) {
 func (s *Service) AddSession(sess optimize.Session) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.draining {
+		return ErrDraining
+	}
 	if s.plan != nil {
 		return errors.New("core: cannot add sessions after Deploy")
 	}
@@ -181,6 +186,9 @@ func (s *Service) Deploy() error {
 	defer s.mu.Unlock()
 	if s.closed {
 		return ErrAlreadyClosed
+	}
+	if s.draining {
+		return ErrDraining
 	}
 	if s.plan != nil {
 		return errors.New("core: already deployed")
@@ -452,6 +460,62 @@ func (s *Service) Stats() Report {
 		rep.Sessions[sess.ID] = sr
 	}
 	return rep
+}
+
+// Drain moves the whole deployment into the draining state: AddSession and
+// Deploy refuse new work, and every deployed VNF stops admitting new coding
+// state while its in-flight generations keep flushing. Drain blocks until
+// all VNFs quiesce (empty shard queues, flushed tx rings) or the shared
+// timeout expires, returning an error naming the nodes still busy. The
+// service stays readable (Stats, Receivers) and closable afterwards; on an
+// undeployed service Drain just gates admission.
+func (s *Service) Drain(timeout time.Duration) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrAlreadyClosed
+	}
+	if s.draining {
+		s.mu.Unlock()
+		return ErrDraining
+	}
+	s.draining = true
+	nodes := make([]topology.NodeID, 0, len(s.vnfs))
+	vnfs := make(map[topology.NodeID]*dataplane.VNF, len(s.vnfs))
+	for node, v := range s.vnfs {
+		nodes = append(nodes, node)
+		vnfs[node] = v
+	}
+	s.mu.Unlock()
+
+	// Fan the drain out first so every relay refuses new coding state at
+	// once, then wait each out against the shared deadline.
+	for _, v := range vnfs {
+		v.Drain()
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	deadline := time.Now().Add(timeout)
+	var stuck []topology.NodeID
+	for _, node := range nodes {
+		remaining := time.Until(deadline)
+		if remaining < 0 {
+			remaining = 0
+		}
+		if !vnfs[node].WaitQuiesced(remaining) {
+			stuck = append(stuck, node)
+		}
+	}
+	if len(stuck) > 0 {
+		return fmt.Errorf("core: drain timeout after %v: %v not quiesced", timeout, stuck)
+	}
+	return nil
+}
+
+// Draining reports whether Drain has been called on this service.
+func (s *Service) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
 }
 
 // Close tears the deployment down: sources, receivers, VNFs, and (when

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"testing"
 	"time"
@@ -90,6 +91,64 @@ func TestServiceLifecycleErrors(t *testing.T) {
 	}
 	if err := svc.AddSession(optimize.Session{ID: 2}); err == nil {
 		t.Fatal("session added after deploy")
+	}
+}
+
+// TestServiceDrain drives the deployment-wide graceful drain: after real
+// traffic, Drain must quiesce every VNF (observable through the drain-state
+// gauge), gate AddSession, refuse a second Drain, and leave the service
+// closable.
+func TestServiceDrain(t *testing.T) {
+	svc := butterflyService(t, 1)
+	if err := svc.Deploy(); err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 16*1024)
+	rand.New(rand.NewSource(11)).Read(data)
+	if _, err := svc.Send(1, data, 500*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if svc.Draining() {
+		t.Fatal("draining before Drain")
+	}
+	if err := svc.Drain(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !svc.Draining() {
+		t.Fatal("Draining() false after Drain")
+	}
+	for node, v := range svc.vnfs {
+		if v.DrainState() != dataplane.DrainStateQuiesced {
+			t.Fatalf("VNF %s drain state = %d, want quiesced", node, v.DrainState())
+		}
+	}
+	if err := svc.Drain(time.Second); !errors.Is(err, ErrDraining) {
+		t.Fatalf("second Drain = %v, want ErrDraining", err)
+	}
+	if err := svc.AddSession(optimize.Session{ID: 9}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("AddSession while draining = %v, want ErrDraining", err)
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Drain(time.Second); !errors.Is(err, ErrAlreadyClosed) {
+		t.Fatalf("Drain after Close = %v, want ErrAlreadyClosed", err)
+	}
+}
+
+// TestServiceDrainUndeployed pins the admission gate on a service that was
+// never deployed: Drain succeeds immediately (nothing to flush) and both
+// AddSession and Deploy are refused afterwards.
+func TestServiceDrainUndeployed(t *testing.T) {
+	svc := butterflyService(t, 0)
+	if err := svc.Drain(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Deploy(); !errors.Is(err, ErrDraining) {
+		t.Fatalf("Deploy while draining = %v, want ErrDraining", err)
+	}
+	if err := svc.AddSession(optimize.Session{ID: 2}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("AddSession while draining = %v, want ErrDraining", err)
 	}
 }
 

@@ -47,6 +47,17 @@ const (
 	// stays empty while this counter advances — the observable guarantee
 	// that table pushes no longer stall shards.
 	MetricTableSwaps = "dataplane_table_swaps"
+
+	// Drain lifecycle (see drain.go). DrainState gauges the state machine
+	// position (0 running, 1 draining, 2 quiesced) — operators and the
+	// rolling-restart walker poll it over /stats. DrainPending gauges the
+	// residual in-flight work observed by the last quiescence sweep (queued
+	// datagrams plus unflushed coalescer packets). DrainRefused counts
+	// packets refused because they would have created new coding state
+	// while draining.
+	MetricDrainState   = "dataplane_drain_state"
+	MetricDrainPending = "dataplane_drain_pending"
+	MetricDrainRefused = "dataplane_drain_refused_packets"
 )
 
 // vnfTelemetry is a VNF's instrument set. Counters are sharded with one
@@ -85,6 +96,13 @@ type vnfTelemetry struct {
 	evictedDrops *telemetry.Counter
 	tableSwaps   *telemetry.Counter
 
+	// Drain instruments. The gauges are single-cell: drainState is written
+	// only on state transitions and drainPending only by the quiescence
+	// sweep. drainRefused is striped like the other packet counters.
+	drainState   *telemetry.Gauge
+	drainPending *telemetry.Gauge
+	drainRefused *telemetry.Counter
+
 	rec *telemetry.Recorder
 }
 
@@ -111,6 +129,10 @@ func newVNFTelemetry(reg *telemetry.Registry, workers int) vnfTelemetry {
 		evicted:      reg.Counter(MetricGenerationsEvicted, 1),
 		evictedDrops: reg.Counter(MetricEvictedDrops, cells),
 		tableSwaps:   reg.Counter(MetricTableSwaps, 1),
+
+		drainState:   reg.Gauge(MetricDrainState, 1),
+		drainPending: reg.Gauge(MetricDrainPending, 1),
+		drainRefused: reg.Counter(MetricDrainRefused, cells),
 
 		rec: reg.Recorder(FlightRecorderName, telemetry.DefaultRecorderCapacity),
 	}

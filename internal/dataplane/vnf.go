@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -126,6 +127,14 @@ type VNF struct {
 
 	deliveries chan Delivery
 	acks       chan ncproto.Ack
+
+	// Drain lifecycle (see drain.go). draining flips once on Drain and
+	// gates admission of new coding state; quiesced latches when a
+	// quiescence sweep finds the pipeline empty; drainStartNs stamps the
+	// transition for the drain-duration flight event.
+	draining     atomic.Bool
+	quiesced     atomic.Bool
+	drainStartNs atomic.Int64
 
 	wg        sync.WaitGroup
 	closeOnce sync.Once
@@ -379,6 +388,9 @@ func (v *VNF) Acks() <-chan ncproto.Ack { return v.acks }
 // Configure installs (or replaces) a session configuration, as NC_SETTINGS
 // does on a freshly started VNF.
 func (v *VNF) Configure(cfg SessionConfig) error {
+	if v.draining.Load() {
+		return fmt.Errorf("dataplane: configure session %d: %w", cfg.ID, ErrDraining)
+	}
 	if err := cfg.Params.Validate(); err != nil {
 		return fmt.Errorf("dataplane: configure session %d: %w", cfg.ID, err)
 	}
@@ -517,6 +529,31 @@ func (v *VNF) SessionStatsFor(id ncproto.SessionID) (SessionStats, bool) {
 		GenerationsActive: active,
 		Role:              st.cfg.Role,
 	}, true
+}
+
+// SessionIDs lists the sessions configured on this VNF, sorted ascending —
+// the live half of a deploy-file reload diff.
+func (v *VNF) SessionIDs() []ncproto.SessionID {
+	v.mu.RLock()
+	ids := make([]ncproto.SessionID, 0, len(v.sessions))
+	for id := range v.sessions {
+		ids = append(ids, id)
+	}
+	v.mu.RUnlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// SessionConfigFor returns a session's live configuration, or false if the
+// session is not configured on this VNF.
+func (v *VNF) SessionConfigFor(id ncproto.SessionID) (SessionConfig, bool) {
+	v.mu.RLock()
+	st := v.sessions[id]
+	v.mu.RUnlock()
+	if st == nil {
+		return SessionConfig{}, false
+	}
+	return st.cfg, true
 }
 
 // UpdateTable atomically replaces forwarding entries (nil hop lists delete
@@ -889,6 +926,14 @@ func (v *VNF) recode(sh *vnfShard, st *sessionState, p *ncproto.Packet) {
 	}
 	rec, ok := st.recoders[p.Generation]
 	if !ok {
+		if v.draining.Load() {
+			// Drain admission gate: recoding this packet would create
+			// coding state for a new generation. Refuse it so the drain
+			// converges; in-flight generations above keep flushing.
+			st.mu.Unlock()
+			v.refuseDrainAdmission(sh.idx+1, p.Session, p.Generation, 1)
+			return
+		}
 		rec = st.takeRecoder(v, st.nextSeed)
 		if rec == nil {
 			var err error
@@ -1069,6 +1114,13 @@ func (v *VNF) decodeBatch(cell int, st *sessionState, sess ncproto.SessionID, ge
 	}
 	dec, ok := st.decoders[gen]
 	if !ok {
+		if v.draining.Load() {
+			// Drain admission gate (see recode): no new per-generation
+			// decoder state while draining.
+			st.mu.Unlock()
+			v.refuseDrainAdmission(cell, sess, gen, len(batch))
+			return
+		}
 		dec = st.takeDecoder(v)
 		if dec == nil {
 			var err error

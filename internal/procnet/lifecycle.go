@@ -1,0 +1,182 @@
+package procnet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"ncfn/internal/dataplane"
+)
+
+// lifecycleClient bounds every admin lifecycle RPC.
+var lifecycleClient = &http.Client{Timeout: 5 * time.Second}
+
+// DrainStatus mirrors ncd's admin /drain document.
+type DrainStatus struct {
+	State    string `json:"state"` // running | draining | quiesced
+	Draining bool   `json:"draining"`
+	Version  int    `json:"version"`
+}
+
+// GetDrainStatus fetches one daemon's lifecycle position.
+func GetDrainStatus(adminAddr string) (DrainStatus, error) {
+	resp, err := lifecycleClient.Get("http://" + adminAddr + "/drain")
+	if err != nil {
+		return DrainStatus{}, err
+	}
+	defer resp.Body.Close()
+	var st DrainStatus
+	if err := decodeOK(resp, &st); err != nil {
+		return DrainStatus{}, fmt.Errorf("procnet: drain status %s: %w", adminAddr, err)
+	}
+	return st, nil
+}
+
+// PostDrain starts a graceful drain on one daemon: it stops admitting new
+// sessions and generations, flushes what is in flight, and exits at
+// quiescence or after the deadline.
+func PostDrain(adminAddr string, deadline time.Duration) error {
+	return postLifecycle(adminAddr, "/drain", deadline)
+}
+
+// PostRestart triggers one daemon's drain-then-exec-handoff restart.
+func PostRestart(adminAddr string, deadline time.Duration) error {
+	return postLifecycle(adminAddr, "/restart", deadline)
+}
+
+// PostReload POSTs a deploy file to one daemon's /reload and returns the
+// reload summary JSON.
+func PostReload(adminAddr string, deploy []byte) ([]byte, error) {
+	resp, err := lifecycleClient.Post("http://"+adminAddr+"/reload", "application/json", bytes.NewReader(deploy))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("procnet: reload %s: %s %s", adminAddr, resp.Status, bytes.TrimSpace(raw))
+	}
+	return raw, nil
+}
+
+func postLifecycle(adminAddr, path string, deadline time.Duration) error {
+	url := "http://" + adminAddr + path + "?deadline=" + deadline.String()
+	resp, err := lifecycleClient.Post(url, "application/json", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("procnet: %s %s: %s %s", path, adminAddr, resp.Status, bytes.TrimSpace(raw))
+	}
+	return nil
+}
+
+func decodeOK(resp *http.Response, v any) error {
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s %s", resp.Status, bytes.TrimSpace(raw))
+	}
+	return json.Unmarshal(raw, v)
+}
+
+// Drain starts a graceful drain on this daemon.
+func (d *Daemon) Drain(deadline time.Duration) error {
+	return PostDrain(d.Admin, deadline)
+}
+
+// WaitQuiesced waits until the daemon's drained pipeline reports quiescence
+// through the dataplane_drain_state gauge. A completed drain closes the
+// daemon — and with it the admin endpoint — so a dead process also counts
+// as quiesced; only a still-running daemon that never reaches quiescence
+// times out.
+func (d *Daemon) WaitQuiesced(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	var last error
+	for {
+		if d.exited() {
+			return nil
+		}
+		snap, err := Stats(d.Admin)
+		if err == nil {
+			if snap.Gauges[dataplane.MetricDrainState] == dataplane.DrainStateQuiesced {
+				return nil
+			}
+			last = fmt.Errorf("procnet: %s drain state %d", d.Name, snap.Gauges[dataplane.MetricDrainState])
+		} else {
+			// Unreachable mid-drain: the daemon may be between closing its
+			// listeners and process exit — keep polling until it is reaped.
+			last = err
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("procnet: %s never quiesced: %w", d.Name, last)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// WaitExit waits for the daemon process to exit and returns its exit error
+// (nil for a clean exit — e.g. a completed drain).
+func (d *Daemon) WaitExit(timeout time.Duration) error {
+	select {
+	case <-d.waitDone:
+		return d.waitErr
+	case <-time.After(timeout):
+		return fmt.Errorf("procnet: %s did not exit within %v\n%s", d.Name, timeout, d.Output())
+	}
+}
+
+// Signal sends sig (e.g. syscall.SIGTERM to start a graceful drain) to the
+// daemon process.
+func (d *Daemon) Signal(sig os.Signal) error {
+	return d.cmd.Process.Signal(sig)
+}
+
+// WaitHealthy polls one admin endpoint until a running (not draining)
+// daemon answers — i.e. until a restarted replacement process is serving —
+// or the timeout passes.
+func WaitHealthy(adminAddr string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	var last error
+	for {
+		st, err := GetDrainStatus(adminAddr)
+		switch {
+		case err != nil:
+			last = err
+		case st.Draining || st.State != "running":
+			last = fmt.Errorf("state %s", st.State)
+		default:
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("procnet: %s never became healthy: %w", adminAddr, last)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// Restart drives one daemon through a drain-and-exec-handoff restart and
+// waits for the replacement to come back healthy on the same (pinned)
+// addresses. The PID is preserved across the handoff, so Stop/WaitExit keep
+// working afterwards. The replacement starts blank: reconfigure it (ncctl
+// start, or a reload) before sending traffic.
+func (d *Daemon) Restart(drainDeadline, wait time.Duration) error {
+	if err := PostRestart(d.Admin, drainDeadline); err != nil {
+		return fmt.Errorf("procnet: restart %s: %w", d.Name, err)
+	}
+	if err := WaitHealthy(d.Admin, wait); err != nil {
+		return fmt.Errorf("procnet: restart %s: %w", d.Name, err)
+	}
+	return nil
+}

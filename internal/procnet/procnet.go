@@ -88,6 +88,24 @@ type Daemon struct {
 
 	cmd *exec.Cmd
 	log *bytes.Buffer
+
+	// waitDone closes once the process is reaped; waitErr then holds the
+	// exit error. A single background reaper owns cmd.Wait so Stop,
+	// WaitExit, and the readiness loop can all observe exit safely. Note an
+	// ncd /restart exec handoff keeps the PID, so the reaper keeps waiting
+	// across restarts and fires only on real process exit.
+	waitDone chan struct{}
+	waitErr  error
+}
+
+// exited reports (without blocking) whether the process has been reaped.
+func (d *Daemon) exited() bool {
+	select {
+	case <-d.waitDone:
+		return true
+	default:
+		return false
+	}
 }
 
 // StartDaemon launches `bin -name name` with kernel-assigned loopback
@@ -97,7 +115,7 @@ type Daemon struct {
 func StartDaemon(bin, name, dir string, batch int) (*Daemon, error) {
 	ready := filepath.Join(dir, name+".ready")
 	_ = os.Remove(ready)
-	d := &Daemon{Name: name, log: &bytes.Buffer{}}
+	d := &Daemon{Name: name, log: &bytes.Buffer{}, waitDone: make(chan struct{})}
 	d.cmd = exec.Command(bin,
 		"-name", name,
 		"-data", "127.0.0.1:0",
@@ -111,6 +129,10 @@ func StartDaemon(bin, name, dir string, batch int) (*Daemon, error) {
 	if err := d.cmd.Start(); err != nil {
 		return nil, fmt.Errorf("procnet: start %s: %w", name, err)
 	}
+	go func() {
+		d.waitErr = d.cmd.Wait()
+		close(d.waitDone)
+	}()
 	deadline := time.Now().Add(10 * time.Second)
 	for {
 		raw, err := os.ReadFile(ready)
@@ -123,7 +145,7 @@ func StartDaemon(bin, name, dir string, batch int) (*Daemon, error) {
 			d.Data, d.Control, d.Admin = info.Data, info.Control, info.Admin
 			return d, nil
 		}
-		if d.cmd.ProcessState != nil || time.Now().After(deadline) {
+		if d.exited() || time.Now().After(deadline) {
 			out := d.Output()
 			d.Stop()
 			return nil, fmt.Errorf("procnet: %s never became ready\n%s", name, out)
@@ -137,7 +159,7 @@ func (d *Daemon) Stop() {
 	if d.cmd.Process != nil {
 		_ = d.cmd.Process.Kill()
 	}
-	_ = d.cmd.Wait()
+	<-d.waitDone
 }
 
 // Output returns the daemon's combined stdout/stderr so far (for failure

@@ -43,6 +43,17 @@ const (
 	// coding state (LRU/TTL/byte-cap pressure). Value is the estimated bytes
 	// released.
 	EventGenerationEvict
+	// EventDrainStart: the data plane entered drain — no new coding state
+	// is admitted while in-flight generations flush. Value is unused.
+	EventDrainStart
+	// EventDrainQuiesced: a draining data plane observed empty shard queues
+	// and flushed coalescer rings. Value is the drain duration in
+	// nanoseconds (drain start to first quiescent observation).
+	EventDrainQuiesced
+	// EventReload: a deploy-config hot-reload was applied. Value packs the
+	// reload's change count (sessions added + updated + removed + table
+	// entries changed).
+	EventReload
 )
 
 // String names the event type.
@@ -66,6 +77,12 @@ func (t EventType) String() string {
 		return "fault"
 	case EventGenerationEvict:
 		return "generation_evict"
+	case EventDrainStart:
+		return "drain_start"
+	case EventDrainQuiesced:
+		return "drain_quiesced"
+	case EventReload:
+		return "reload"
 	default:
 		return "none"
 	}
@@ -85,7 +102,7 @@ func (t *EventType) UnmarshalJSON(raw []byte) error {
 	if err := json.Unmarshal(raw, &name); err != nil {
 		return err
 	}
-	for et := EventNone; et <= EventGenerationEvict; et++ {
+	for et := EventNone; et <= EventReload; et++ {
 		if et.String() == name {
 			*t = et
 			return nil
